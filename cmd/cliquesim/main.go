@@ -1,0 +1,239 @@
+// Command cliquesim runs a single routing, sorting, rank, mode or small-key
+// workload on the simulated congested clique and prints the execution
+// statistics the paper's bounds are stated in (rounds, per-edge words,
+// traffic).
+//
+// Examples:
+//
+//	cliquesim -op route -n 256 -pattern uniform -alg deterministic
+//	cliquesim -op route -n 256 -pattern skewed  -alg naive-direct
+//	cliquesim -op sort  -n 144 -dist duplicate-heavy
+//	cliquesim -op smallkeys -n 1024 -domain 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"congestedclique/internal/baseline"
+	"congestedclique/internal/clique"
+	"congestedclique/internal/core"
+	"congestedclique/internal/tables"
+	"congestedclique/internal/verify"
+	"congestedclique/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		op      = flag.String("op", "route", "operation: route | sort | rank | mode | smallkeys")
+		n       = flag.Int("n", 64, "number of clique nodes")
+		per     = flag.Int("per", -1, "messages/keys per node (default n)")
+		pattern = flag.String("pattern", "uniform", "routing pattern: uniform | skewed | set-adversarial | random-partial | self-heavy")
+		dist    = flag.String("dist", "uniform", "key distribution: uniform | duplicate-heavy | pre-sorted | reverse-sorted | clustered | constant")
+		alg     = flag.String("alg", "deterministic", "algorithm: deterministic | low-compute | randomized | naive-direct")
+		domain  = flag.Int("domain", 4, "key domain size for -op smallkeys")
+		seed    = flag.Int64("seed", 1, "workload and randomized-algorithm seed")
+		strict  = flag.Int("strict", 0, "fail if any edge carries more than this many words per round (0 = record only)")
+	)
+	flag.Parse()
+	if *per < 0 {
+		*per = *n
+	}
+
+	var opts []clique.Option
+	if *strict > 0 {
+		opts = append(opts, clique.WithStrictEdgeBudget(*strict))
+	}
+	nw, err := clique.New(*n, opts...)
+	if err != nil {
+		return err
+	}
+
+	switch *op {
+	case "route":
+		return runRouting(nw, *n, *per, *pattern, *alg, *seed)
+	case "sort":
+		return runSorting(nw, *n, *per, *dist, *alg, *seed)
+	case "rank":
+		return runRank(nw, *n, *per, *dist, *seed)
+	case "mode":
+		return runMode(nw, *n, *per, *dist, *seed)
+	case "smallkeys":
+		return runSmallKeys(nw, *n, *per, *domain, *seed)
+	default:
+		return fmt.Errorf("unknown operation %q", *op)
+	}
+}
+
+func printStats(caption string, m clique.Metrics) {
+	t := tables.New(caption, "metric", "value")
+	t.AddRow("rounds", m.Rounds)
+	t.AddRow("max words per edge per round", m.MaxEdgeWords)
+	t.AddRow("max packets per edge per round", m.MaxEdgeMessages)
+	t.AddRow("total packets", m.TotalMessages)
+	t.AddRow("total words", m.TotalWords)
+	if m.MaxStepsPerNode > 0 {
+		t.AddRow("max self-reported steps per node", m.MaxStepsPerNode)
+	}
+	if m.MaxMemoryWordsPerNode > 0 {
+		t.AddRow("max self-reported memory words per node", m.MaxMemoryWordsPerNode)
+	}
+	fmt.Println(t.String())
+}
+
+func runRouting(nw *clique.Network, n, per int, pattern, alg string, seed int64) error {
+	inst, err := workload.NewRoutingInstance(n, per, workload.RoutingPattern(pattern), seed)
+	if err != nil {
+		return err
+	}
+	results := make([][]core.Message, n)
+	err = nw.Run(func(nd *clique.Node) error {
+		var (
+			out  []core.Message
+			rErr error
+		)
+		switch alg {
+		case "deterministic":
+			out, rErr = core.Route(nd, inst.Msgs[nd.ID()])
+		case "low-compute":
+			out, rErr = core.LowComputeRoute(nd, inst.Msgs[nd.ID()])
+		case "randomized":
+			out, rErr = baseline.RandomizedRoute(nd, inst.Msgs[nd.ID()], seed)
+		case "naive-direct":
+			out, rErr = baseline.NaiveDirectRoute(nd, inst.Msgs[nd.ID()])
+		default:
+			rErr = fmt.Errorf("unknown algorithm %q", alg)
+		}
+		if rErr != nil {
+			return rErr
+		}
+		results[nd.ID()] = out
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := verify.Routing(inst.Msgs, results); err != nil {
+		return err
+	}
+	fmt.Printf("routing %q on n=%d (%d messages, pattern %s): delivery verified\n\n",
+		alg, n, inst.TotalMessages(), pattern)
+	printStats("execution cost", nw.Metrics())
+	return nil
+}
+
+func runSorting(nw *clique.Network, n, per int, dist, alg string, seed int64) error {
+	inst, err := workload.NewSortingInstance(n, per, workload.KeyDistribution(dist), seed)
+	if err != nil {
+		return err
+	}
+	results := make([]*core.SortResult, n)
+	err = nw.Run(func(nd *clique.Node) error {
+		var (
+			res  *core.SortResult
+			sErr error
+		)
+		switch alg {
+		case "randomized":
+			res, sErr = baseline.RandomizedSampleSort(nd, inst.Keys[nd.ID()], seed)
+		default:
+			res, sErr = core.Sort(nd, inst.Keys[nd.ID()])
+		}
+		if sErr != nil {
+			return sErr
+		}
+		results[nd.ID()] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := verify.Sorting(inst.Keys, results); err != nil {
+		return err
+	}
+	fmt.Printf("sorting %q on n=%d (%d keys, distribution %s): output verified\n\n", alg, n, inst.TotalKeys(), dist)
+	printStats("execution cost", nw.Metrics())
+	return nil
+}
+
+func runRank(nw *clique.Network, n, per int, dist string, seed int64) error {
+	inst, err := workload.NewSortingInstance(n, per, workload.KeyDistribution(dist), seed)
+	if err != nil {
+		return err
+	}
+	results := make([]*core.RankResult, n)
+	err = nw.Run(func(nd *clique.Node) error {
+		res, rErr := core.Rank(nd, inst.Keys[nd.ID()])
+		if rErr != nil {
+			return rErr
+		}
+		results[nd.ID()] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := verify.Ranks(inst.Keys, results); err != nil {
+		return err
+	}
+	fmt.Printf("rank-in-union (Corollary 4.6) on n=%d: %d distinct values, output verified\n\n", n, results[0].DistinctTotal)
+	printStats("execution cost", nw.Metrics())
+	return nil
+}
+
+func runMode(nw *clique.Network, n, per int, dist string, seed int64) error {
+	inst, err := workload.NewSortingInstance(n, per, workload.KeyDistribution(dist), seed)
+	if err != nil {
+		return err
+	}
+	modes := make([]*core.ModeResult, n)
+	err = nw.Run(func(nd *clique.Node) error {
+		res, mErr := core.Mode(nd, inst.Keys[nd.ID()])
+		if mErr != nil {
+			return mErr
+		}
+		modes[nd.ID()] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mode on n=%d: value %d occurs %d times\n\n", n, modes[0].Value, modes[0].Count)
+	printStats("execution cost", nw.Metrics())
+	return nil
+}
+
+func runSmallKeys(nw *clique.Network, n, per, domain int, seed int64) error {
+	values, err := workload.NewSmallKeyInstance(n, per, domain, seed)
+	if err != nil {
+		return err
+	}
+	results := make([]*core.SmallKeyResult, n)
+	err = nw.Run(func(nd *clique.Node) error {
+		res, cErr := core.SmallKeyCount(nd, values[nd.ID()], domain)
+		if cErr != nil {
+			return cErr
+		}
+		results[nd.ID()] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := verify.Histogram(values, results[0]); err != nil {
+		return err
+	}
+	fmt.Printf("small-key counting (Section 6.3) on n=%d, domain %d: histogram verified\n\n", n, domain)
+	printStats("execution cost", nw.Metrics())
+	return nil
+}

@@ -1,0 +1,224 @@
+// Package congestedclique is a library implementation of
+//
+//	Christoph Lenzen,
+//	"Optimal Deterministic Routing and Sorting on the Congested Clique",
+//	PODC 2013 (arXiv:1207.1852).
+//
+// It simulates a congested clique of n nodes — a fully connected synchronous
+// network in which every directed edge carries O(log n) bits per round — and
+// provides the paper's deterministic constant-round algorithms on top of it:
+//
+//   - Route: the Information Distribution Task (every node sends and receives
+//     up to n messages) in at most 16 rounds (Theorem 3.7), or in 12 rounds
+//     with near-linear local computation (Theorem 5.4),
+//   - Sort: sorting n keys per node so that node i learns the i-th batch of
+//     the global order, in 37 rounds (Theorem 4.5),
+//   - Rank, SelectKth, Median, Mode: the rank-in-union variant and its
+//     corollaries (Corollary 4.6),
+//   - CountSmallKeys: the two-round counting protocol for keys of o(log n)
+//     bits (Section 6.3),
+//   - randomized and naive baselines for comparison (the algorithms the
+//     paper's introduction compares against).
+//
+// Every call builds an in-process clique, runs the per-node protocol with one
+// goroutine per node, verifies nothing exceeds the bandwidth model, and
+// returns both the protocol output and the execution statistics (rounds,
+// per-edge words, traffic) that the paper's bounds are stated in.
+package congestedclique
+
+import (
+	"errors"
+	"fmt"
+
+	"congestedclique/internal/clique"
+	"congestedclique/internal/core"
+)
+
+// Message is one unit of the Information Distribution Task: Payload must
+// travel from node Src to node Dst. Seq distinguishes messages with the same
+// endpoints; (Src, Dst, Seq) must be unique per message.
+type Message struct {
+	Src     int
+	Dst     int
+	Seq     int
+	Payload int64
+}
+
+// Key is one key of the sorting problem. Origin and Seq identify the key's
+// position in the input (they are assigned by the library when sorting plain
+// values) and break ties between equal values.
+type Key struct {
+	Value  int64
+	Origin int
+	Seq    int
+}
+
+// Algorithm selects which routing/sorting algorithm an operation uses.
+type Algorithm int
+
+const (
+	// Deterministic is the paper's main contribution: 16-round routing
+	// (Theorem 3.7) and 37-round sorting (Theorem 4.5).
+	Deterministic Algorithm = iota + 1
+	// LowCompute is the Section 5 routing variant: 12 rounds with O(n log n)
+	// local computation and memory (Theorem 5.4). Sorting falls back to the
+	// deterministic algorithm.
+	LowCompute
+	// Randomized is the Valiant-style randomized comparison algorithm in the
+	// spirit of the prior work the paper cites ([7] for routing, [12] for
+	// sorting).
+	Randomized
+	// NaiveDirect delivers every message straight over its source-destination
+	// edge; it needs up to n rounds on skewed instances and exists as the
+	// motivating baseline.
+	NaiveDirect
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case Deterministic:
+		return "deterministic"
+	case LowCompute:
+		return "low-compute"
+	case Randomized:
+		return "randomized"
+	case NaiveDirect:
+		return "naive-direct"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// ErrInvalidInstance is wrapped by errors reporting malformed problem
+// instances (out-of-range destinations, too many messages per node, ...).
+var ErrInvalidInstance = errors.New("congestedclique: invalid instance")
+
+// Stats summarises the cost of one protocol execution in the congested
+// clique's own currency.
+type Stats struct {
+	// Rounds is the number of synchronous communication rounds used.
+	Rounds int
+	// MaxEdgeWords is the largest number of 64-bit words carried by any
+	// directed edge in any single round; the model requires this to stay a
+	// constant independent of n.
+	MaxEdgeWords int
+	// MaxEdgeMessages is the largest number of packets on any edge per round.
+	MaxEdgeMessages int
+	// TotalMessages and TotalWords aggregate all traffic of the execution.
+	TotalMessages int64
+	TotalWords    int64
+	// MaxStepsPerNode is the largest self-reported local computation count
+	// (only populated by the LowCompute algorithm).
+	MaxStepsPerNode int64
+	// MaxMemoryWordsPerNode is the largest self-reported resident memory in
+	// words (only populated by the LowCompute algorithm).
+	MaxMemoryWordsPerNode int64
+}
+
+func statsFromMetrics(m clique.Metrics) Stats {
+	return Stats{
+		Rounds:                m.Rounds,
+		MaxEdgeWords:          m.MaxEdgeWords,
+		MaxEdgeMessages:       m.MaxEdgeMessages,
+		TotalMessages:         m.TotalMessages,
+		TotalWords:            m.TotalWords,
+		MaxStepsPerNode:       m.MaxStepsPerNode,
+		MaxMemoryWordsPerNode: m.MaxMemoryWordsPerNode,
+	}
+}
+
+// config collects the functional options of the public entry points.
+type config struct {
+	algorithm    Algorithm
+	seed         int64
+	strictBudget int
+	sharedCache  bool
+}
+
+func defaultConfig() config {
+	return config{algorithm: Deterministic, seed: 1, sharedCache: true}
+}
+
+// Option customises a library call.
+type Option func(*config) error
+
+// WithAlgorithm selects the algorithm (default Deterministic).
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *config) error {
+		switch a {
+		case Deterministic, LowCompute, Randomized, NaiveDirect:
+			c.algorithm = a
+			return nil
+		default:
+			return fmt.Errorf("congestedclique: unknown algorithm %d", int(a))
+		}
+	}
+}
+
+// WithSeed sets the seed used by the randomized algorithms (default 1). The
+// deterministic algorithms ignore it.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithStrictBandwidth makes the execution fail if any directed edge ever
+// carries more than words 64-bit words in one round. Use it to assert that a
+// workload respects the O(log n)-bits-per-edge model.
+func WithStrictBandwidth(words int) Option {
+	return func(c *config) error {
+		if words <= 0 {
+			return fmt.Errorf("congestedclique: strict bandwidth must be positive, got %d", words)
+		}
+		c.strictBudget = words
+		return nil
+	}
+}
+
+// WithSharedScheduleCache enables or disables the simulator's deterministic
+// shared-computation cache (enabled by default). Disabling it makes every
+// node recompute the public schedule colorings itself; results are identical,
+// only simulation wall-clock time changes.
+func WithSharedScheduleCache(enabled bool) Option {
+	return func(c *config) error {
+		c.sharedCache = enabled
+		return nil
+	}
+}
+
+func buildNetwork(n int, cfg config) (*clique.Network, error) {
+	opts := []clique.Option{clique.WithSharedCache(cfg.sharedCache)}
+	if cfg.strictBudget > 0 {
+		opts = append(opts, clique.WithStrictEdgeBudget(cfg.strictBudget))
+	}
+	return clique.New(n, opts...)
+}
+
+func applyOptions(opts []Option) (config, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+func toCoreMessage(m Message) core.Message {
+	return core.Message{Src: m.Src, Dst: m.Dst, Seq: m.Seq, Payload: clique.Word(m.Payload)}
+}
+
+func fromCoreMessage(m core.Message) Message {
+	return Message{Src: m.Src, Dst: m.Dst, Seq: m.Seq, Payload: int64(m.Payload)}
+}
+
+func toCoreKey(k Key) core.Key {
+	return core.Key{Value: k.Value, Origin: k.Origin, Seq: k.Seq}
+}
+
+func fromCoreKey(k core.Key) Key {
+	return Key{Value: k.Value, Origin: k.Origin, Seq: k.Seq}
+}

@@ -1,0 +1,363 @@
+package bipartite
+
+import (
+	"fmt"
+)
+
+// A demand matrix D is the compact form of a bipartite multigraph: D[i][j]
+// parallel edges connect left vertex i to right vertex j. The paper's routing
+// primitives all operate on such matrices ("node i holds D[i][j] messages for
+// node j"), so coloring them directly — without expanding every parallel
+// edge — is both faster and closer to the per-node computation bounds of
+// Section 5.
+
+// ColorRun is a contiguous block of colors assigned to one cell of a demand
+// matrix: colors Start, Start+1, ..., Start+Len-1.
+type ColorRun struct {
+	Start int
+	Len   int
+}
+
+// DemandColoring is a proper edge coloring of the multigraph described by a
+// demand matrix, in run-length form. Runs[i][j] lists the color blocks given
+// to the D[i][j] units of cell (i,j); the total length of the runs equals
+// D[i][j], and no color appears twice in any row or column.
+type DemandColoring struct {
+	NumColors int
+	Runs      [][][]ColorRun
+}
+
+// ColorOfUnit returns the color of the k-th unit (0-based) of cell (i,j).
+func (dc *DemandColoring) ColorOfUnit(i, j, k int) (int, error) {
+	rem := k
+	for _, run := range dc.Runs[i][j] {
+		if rem < run.Len {
+			return run.Start + rem, nil
+		}
+		rem -= run.Len
+	}
+	return 0, fmt.Errorf("bipartite: cell (%d,%d) has no unit %d", i, j, k)
+}
+
+// Validate checks that dc is a proper coloring of demand.
+func (dc *DemandColoring) Validate(demand [][]int) error {
+	rows := len(demand)
+	if rows == 0 {
+		return nil
+	}
+	cols := len(demand[0])
+	rowSeen := make([]map[int]bool, rows)
+	colSeen := make([]map[int]bool, cols)
+	for i := range rowSeen {
+		rowSeen[i] = make(map[int]bool)
+	}
+	for j := range colSeen {
+		colSeen[j] = make(map[int]bool)
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			total := 0
+			for _, run := range dc.Runs[i][j] {
+				if run.Len <= 0 {
+					return fmt.Errorf("bipartite: cell (%d,%d) has non-positive run", i, j)
+				}
+				total += run.Len
+				for c := run.Start; c < run.Start+run.Len; c++ {
+					if c < 0 || c >= dc.NumColors {
+						return fmt.Errorf("bipartite: cell (%d,%d) uses color %d outside [0,%d)", i, j, c, dc.NumColors)
+					}
+					if rowSeen[i][c] {
+						return fmt.Errorf("bipartite: color %d repeated in row %d", c, i)
+					}
+					rowSeen[i][c] = true
+					if colSeen[j][c] {
+						return fmt.Errorf("bipartite: color %d repeated in column %d", c, j)
+					}
+					colSeen[j][c] = true
+				}
+			}
+			if total != demand[i][j] {
+				return fmt.Errorf("bipartite: cell (%d,%d) colored %d units, demand %d", i, j, total, demand[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+// RowColSums returns the row sums and column sums of a demand matrix.
+func RowColSums(demand [][]int) (rows, cols []int) {
+	r := len(demand)
+	if r == 0 {
+		return nil, nil
+	}
+	c := len(demand[0])
+	rows = make([]int, r)
+	cols = make([]int, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			rows[i] += demand[i][j]
+			cols[j] += demand[i][j]
+		}
+	}
+	return rows, cols
+}
+
+// MaxRowColSum returns the maximum over all row sums and column sums, i.e.
+// the maximum degree of the corresponding multigraph.
+func MaxRowColSum(demand [][]int) int {
+	rows, cols := RowColSums(demand)
+	max := 0
+	for _, v := range rows {
+		if v > max {
+			max = v
+		}
+	}
+	for _, v := range cols {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// PadToRegular returns a copy of demand with dummy demand added so that every
+// row sum and every column sum equals exactly d. The paper pads "at most"
+// demands to exact regularity so König's theorem applies; dummy units are
+// never transmitted. It returns an error if some row or column already
+// exceeds d or if the matrix is not square enough to absorb the padding
+// (padding a matrix to d-regularity is always possible when it is
+// rectangular with max(rows,cols) compatible; for the square matrices used by
+// the algorithms it always succeeds).
+func PadToRegular(demand [][]int, d int) ([][]int, error) {
+	r := len(demand)
+	if r == 0 {
+		return nil, fmt.Errorf("bipartite: empty demand matrix")
+	}
+	c := len(demand[0])
+	rows, cols := RowColSums(demand)
+	totalRowDeficit := 0
+	for i, v := range rows {
+		if v > d {
+			return nil, fmt.Errorf("bipartite: row %d sum %d exceeds target degree %d", i, v, d)
+		}
+		totalRowDeficit += d - v
+	}
+	totalColDeficit := 0
+	for j, v := range cols {
+		if v > d {
+			return nil, fmt.Errorf("bipartite: column %d sum %d exceeds target degree %d", j, v, d)
+		}
+		totalColDeficit += d - v
+	}
+	if totalRowDeficit != totalColDeficit {
+		// Row and column deficits can only differ if the matrix is not
+		// square; the algorithms only pad square matrices.
+		return nil, fmt.Errorf("bipartite: cannot pad %dx%d matrix to %d-regular (row deficit %d, column deficit %d)",
+			r, c, d, totalRowDeficit, totalColDeficit)
+	}
+
+	out := make([][]int, r)
+	for i := range out {
+		out[i] = make([]int, c)
+		copy(out[i], demand[i])
+	}
+	// Classic northwest-corner style filling: repeatedly add as much dummy
+	// demand as possible to a (deficient row, deficient column) pair.
+	i, j := 0, 0
+	rowDef := make([]int, r)
+	colDef := make([]int, c)
+	for k := range rows {
+		rowDef[k] = d - rows[k]
+	}
+	for k := range cols {
+		colDef[k] = d - cols[k]
+	}
+	for i < r && j < c {
+		if rowDef[i] == 0 {
+			i++
+			continue
+		}
+		if colDef[j] == 0 {
+			j++
+			continue
+		}
+		add := rowDef[i]
+		if colDef[j] < add {
+			add = colDef[j]
+		}
+		out[i][j] += add
+		rowDef[i] -= add
+		colDef[j] -= add
+	}
+	for k := range rowDef {
+		if rowDef[k] != 0 {
+			return nil, fmt.Errorf("bipartite: padding failed, row %d still deficient by %d", k, rowDef[k])
+		}
+	}
+	for k := range colDef {
+		if colDef[k] != 0 {
+			return nil, fmt.Errorf("bipartite: padding failed, column %d still deficient by %d", k, colDef[k])
+		}
+	}
+	return out, nil
+}
+
+// ColorDemandMatrix computes a proper d-edge-coloring of the multigraph
+// described by demand, where d must be at least the maximum row/column sum.
+// The matrix is first padded to exact d-regularity (Theorem 3.2 requires
+// regularity); the coloring of the padded matrix is then restricted to the
+// real demand.
+//
+// The construction peels perfect matchings off the padded matrix: by Hall's
+// theorem the support of a doubly-d'-regular non-negative matrix always
+// contains a perfect matching; peeling the minimum multiplicity t along such
+// a matching assigns a block of t colors to every matched cell and leaves a
+// (d'-t)-regular matrix. At least one cell reaches zero per iteration, so at
+// most rows*cols matchings are computed. This is the run-length analogue of
+// decomposing a regular bipartite multigraph into perfect matchings.
+func ColorDemandMatrix(demand [][]int, d int) (*DemandColoring, error) {
+	r := len(demand)
+	if r == 0 {
+		return nil, fmt.Errorf("bipartite: empty demand matrix")
+	}
+	c := len(demand[0])
+	if r != c {
+		return nil, fmt.Errorf("bipartite: demand matrix must be square, got %dx%d", r, c)
+	}
+	if max := MaxRowColSum(demand); max > d {
+		return nil, fmt.Errorf("bipartite: demand degree %d exceeds requested colors %d", max, d)
+	}
+	if u := uniformDemandColoring(demand); u != nil && u.NumColors <= d {
+		return u, nil
+	}
+
+	padded, err := PadToRegular(demand, d)
+	if err != nil {
+		return nil, err
+	}
+
+	runs := make([][][]ColorRun, r)
+	for i := range runs {
+		runs[i] = make([][]ColorRun, c)
+	}
+	remaining := d
+	nextColor := 0
+	work := make([][]int, r)
+	for i := range work {
+		work[i] = make([]int, c)
+		copy(work[i], padded[i])
+	}
+
+	for remaining > 0 {
+		match, err := perfectMatchingOnSupport(work)
+		if err != nil {
+			return nil, fmt.Errorf("bipartite: demand coloring failed with %d colors remaining: %w", remaining, err)
+		}
+		t := remaining
+		for i, j := range match {
+			if work[i][j] < t {
+				t = work[i][j]
+			}
+		}
+		if t <= 0 {
+			return nil, fmt.Errorf("bipartite: internal error: matching with zero capacity")
+		}
+		for i, j := range match {
+			work[i][j] -= t
+			// Only record runs for real demand; padding beyond demand[i][j]
+			// is dummy and never transmitted. A cell's runs are recorded in
+			// increasing color order, so the first demand[i][j] colored units
+			// are exactly the real ones.
+			runs[i][j] = append(runs[i][j], ColorRun{Start: nextColor, Len: t})
+		}
+		nextColor += t
+		remaining -= t
+	}
+
+	// Trim each cell's runs to its real demand (drop the dummy suffix).
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			need := demand[i][j]
+			var trimmed []ColorRun
+			for _, run := range runs[i][j] {
+				if need <= 0 {
+					break
+				}
+				take := run.Len
+				if take > need {
+					take = need
+				}
+				trimmed = append(trimmed, ColorRun{Start: run.Start, Len: take})
+				need -= take
+			}
+			if need > 0 {
+				return nil, fmt.Errorf("bipartite: cell (%d,%d) under-colored by %d", i, j, need)
+			}
+			runs[i][j] = trimmed
+		}
+	}
+
+	return &DemandColoring{NumColors: d, Runs: runs}, nil
+}
+
+// perfectMatchingOnSupport finds a perfect matching in the bipartite graph
+// whose edges are the strictly positive cells of work, using Kuhn's
+// augmenting-path algorithm. It returns match[i] = j for every row i.
+func perfectMatchingOnSupport(work [][]int) ([]int, error) {
+	n := len(work)
+	matchRow := make([]int, n) // row -> col
+	matchCol := make([]int, n) // col -> row
+	for i := range matchRow {
+		matchRow[i] = -1
+		matchCol[i] = -1
+	}
+	visited := make([]bool, n)
+
+	var augment func(i int) bool
+	augment = func(i int) bool {
+		for j := 0; j < n; j++ {
+			if work[i][j] <= 0 || visited[j] {
+				continue
+			}
+			visited[j] = true
+			if matchCol[j] == -1 || augment(matchCol[j]) {
+				matchRow[i] = j
+				matchCol[j] = i
+				return true
+			}
+		}
+		return false
+	}
+
+	for i := 0; i < n; i++ {
+		for k := range visited {
+			visited[k] = false
+		}
+		if !augment(i) {
+			return nil, fmt.Errorf("bipartite: no perfect matching on support (row %d unmatched); matrix is not doubly balanced", i)
+		}
+	}
+	return matchRow, nil
+}
+
+// ExpandDemand converts a demand matrix into an explicit multigraph, mainly
+// for cross-checking the run-length coloring against ColorExact in tests.
+func ExpandDemand(demand [][]int) (*Multigraph, error) {
+	r := len(demand)
+	if r == 0 {
+		return nil, fmt.Errorf("bipartite: empty demand matrix")
+	}
+	c := len(demand[0])
+	g, err := NewMultigraph(r, c)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			for k := 0; k < demand[i][j]; k++ {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,236 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomBalancedDemand builds a square demand matrix whose row and column
+// sums all equal exactly d, by overlaying d random permutation matrices.
+func randomBalancedDemand(s, d int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	m := make([][]int, s)
+	for i := range m {
+		m[i] = make([]int, s)
+	}
+	for k := 0; k < d; k++ {
+		perm := rng.Perm(s)
+		for i, j := range perm {
+			m[i][j]++
+		}
+	}
+	return m
+}
+
+// randomBoundedDemand builds a square demand matrix whose row and column sums
+// are all at most d.
+func randomBoundedDemand(s, d int, seed int64) [][]int {
+	m := randomBalancedDemand(s, d, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] > 0 && rng.Intn(3) == 0 {
+				m[i][j] -= rng.Intn(m[i][j] + 1)
+			}
+		}
+	}
+	return m
+}
+
+func TestRowColSums(t *testing.T) {
+	t.Parallel()
+	d := [][]int{{1, 2}, {3, 4}}
+	rows, cols := RowColSums(d)
+	if rows[0] != 3 || rows[1] != 7 || cols[0] != 4 || cols[1] != 6 {
+		t.Fatalf("sums wrong: rows=%v cols=%v", rows, cols)
+	}
+	if MaxRowColSum(d) != 7 {
+		t.Fatalf("max sum = %d, want 7", MaxRowColSum(d))
+	}
+	r, c := RowColSums(nil)
+	if r != nil || c != nil {
+		t.Fatal("nil matrix should give nil sums")
+	}
+}
+
+func TestPadToRegular(t *testing.T) {
+	t.Parallel()
+	d := [][]int{
+		{2, 0, 1},
+		{0, 1, 0},
+		{1, 1, 1},
+	}
+	padded, err := PadToRegular(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols := RowColSums(padded)
+	for i, v := range rows {
+		if v != 5 {
+			t.Fatalf("row %d sum %d, want 5", i, v)
+		}
+	}
+	for j, v := range cols {
+		if v != 5 {
+			t.Fatalf("col %d sum %d, want 5", j, v)
+		}
+	}
+	// Padding never removes demand.
+	for i := range d {
+		for j := range d[i] {
+			if padded[i][j] < d[i][j] {
+				t.Fatalf("padding reduced cell (%d,%d)", i, j)
+			}
+		}
+	}
+	// Original is untouched.
+	if d[0][0] != 2 {
+		t.Fatal("PadToRegular mutated its input")
+	}
+}
+
+func TestPadToRegularErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := PadToRegular(nil, 3); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := PadToRegular([][]int{{4}}, 3); err == nil {
+		t.Fatal("row sum above target accepted")
+	}
+	if _, err := PadToRegular([][]int{{0, 0}, {4, 0}}, 3); err == nil {
+		t.Fatal("column sum above target accepted")
+	}
+}
+
+func TestColorDemandMatrixExactBalanced(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ s, d int }{{1, 1}, {2, 3}, {4, 4}, {8, 20}, {16, 16}, {32, 33}} {
+		demand := randomBalancedDemand(tc.s, tc.d, int64(tc.s*1000+tc.d))
+		dc, err := ColorDemandMatrix(demand, tc.d)
+		if err != nil {
+			t.Fatalf("s=%d d=%d: %v", tc.s, tc.d, err)
+		}
+		if dc.NumColors != tc.d {
+			t.Fatalf("s=%d d=%d: %d colors", tc.s, tc.d, dc.NumColors)
+		}
+		if err := dc.Validate(demand); err != nil {
+			t.Fatalf("s=%d d=%d: %v", tc.s, tc.d, err)
+		}
+	}
+}
+
+func TestColorDemandMatrixBounded(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ s, d int }{{3, 4}, {5, 7}, {8, 12}, {16, 40}} {
+		demand := randomBoundedDemand(tc.s, tc.d, int64(tc.s*31+tc.d))
+		dc, err := ColorDemandMatrix(demand, tc.d)
+		if err != nil {
+			t.Fatalf("s=%d d=%d: %v", tc.s, tc.d, err)
+		}
+		if err := dc.Validate(demand); err != nil {
+			t.Fatalf("s=%d d=%d: %v", tc.s, tc.d, err)
+		}
+	}
+}
+
+func TestColorDemandMatrixErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := ColorDemandMatrix(nil, 2); err == nil {
+		t.Fatal("empty demand accepted")
+	}
+	if _, err := ColorDemandMatrix([][]int{{1, 0}}, 2); err == nil {
+		t.Fatal("non-square demand accepted")
+	}
+	if _, err := ColorDemandMatrix([][]int{{3}}, 2); err == nil {
+		t.Fatal("demand exceeding color budget accepted")
+	}
+}
+
+func TestColorOfUnit(t *testing.T) {
+	t.Parallel()
+	demand := [][]int{
+		{2, 1},
+		{1, 2},
+	}
+	dc, err := ColorDemandMatrix(demand, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every unit maps to a distinct color within its row and column.
+	type rc struct{ row, col, color int }
+	seen := map[rc]bool{}
+	for i := range demand {
+		for j := range demand[i] {
+			for k := 0; k < demand[i][j]; k++ {
+				c, err := dc.ColorOfUnit(i, j, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seen[rc{i, -1, c}] || seen[rc{-1, j, c}] {
+					t.Fatalf("color %d repeated in row %d or column %d", c, i, j)
+				}
+				seen[rc{i, -1, c}] = true
+				seen[rc{-1, j, c}] = true
+			}
+		}
+	}
+	if _, err := dc.ColorOfUnit(0, 0, 5); err == nil {
+		t.Fatal("out-of-range unit accepted")
+	}
+}
+
+func TestExpandDemandMatchesColoring(t *testing.T) {
+	t.Parallel()
+	demand := randomBalancedDemand(6, 9, 42)
+	g, err := ExpandDemand(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 6*9 {
+		t.Fatalf("expanded edges = %d, want %d", len(g.Edges), 6*9)
+	}
+	if !g.IsRegular(9) {
+		t.Fatal("expanded graph should be 9-regular")
+	}
+	// Cross-check: the expanded graph colored by ColorExact and the demand
+	// matrix colored by ColorDemandMatrix both use exactly 9 colors.
+	ce, err := ColorExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := ColorDemandMatrix(demand, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.NumColors != cd.NumColors {
+		t.Fatalf("exact coloring %d colors, demand coloring %d colors", ce.NumColors, cd.NumColors)
+	}
+	if _, err := ExpandDemand(nil); err == nil {
+		t.Fatal("empty demand accepted")
+	}
+}
+
+// TestColorDemandMatrixProperty is the property-based analogue of König's
+// theorem on the demand-matrix representation: any doubly-bounded matrix can
+// be properly colored with max(row,col) colors.
+func TestColorDemandMatrixProperty(t *testing.T) {
+	t.Parallel()
+	f := func(sRaw, dRaw uint8, seed int64) bool {
+		s := int(sRaw)%10 + 1
+		d := int(dRaw)%15 + 1
+		demand := randomBoundedDemand(s, d, seed)
+		need := MaxRowColSum(demand)
+		if need == 0 {
+			need = 1
+		}
+		dc, err := ColorDemandMatrix(demand, need)
+		if err != nil {
+			return false
+		}
+		return dc.Validate(demand) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

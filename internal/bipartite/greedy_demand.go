@@ -1,0 +1,173 @@
+package bipartite
+
+import "fmt"
+
+// uniformDemandColoring recognises the common special case of a constant
+// demand matrix (every cell holds exactly u units, as in the announcement
+// patterns of Corollaries 3.3/3.4) and colors it with a Latin-square layout:
+// cell (i,j) receives the color block ((i+j) mod n)*u .. +u. This avoids any
+// matching computation for the patterns that are known a priori.
+func uniformDemandColoring(demand [][]int) *DemandColoring {
+	n := len(demand)
+	if n == 0 {
+		return nil
+	}
+	u := demand[0][0]
+	for i := 0; i < n; i++ {
+		if len(demand[i]) != n {
+			return nil
+		}
+		for j := 0; j < n; j++ {
+			if demand[i][j] != u {
+				return nil
+			}
+		}
+	}
+	if u == 0 {
+		return nil
+	}
+	runs := make([][][]ColorRun, n)
+	for i := range runs {
+		runs[i] = make([][]ColorRun, n)
+		for j := range runs[i] {
+			runs[i][j] = []ColorRun{{Start: ((i + j) % n) * u, Len: u}}
+		}
+	}
+	return &DemandColoring{NumColors: n * u, Runs: runs}
+}
+
+// ColorDemandGreedy colors the multigraph described by a square demand
+// matrix with at most 2Δ-1 colors, where Δ is the maximum row/column sum,
+// using the greedy strategy of the paper's footnote 3 / Section 5. Compared
+// to ColorDemandMatrix it needs no matching computations — the work is
+// proportional to the number of non-zero cells plus the number of color-run
+// fragments — at the price of up to twice as many colors, which the routing
+// layer absorbs by letting relays carry two messages per edge.
+func ColorDemandGreedy(demand [][]int) (*DemandColoring, error) {
+	r := len(demand)
+	if r == 0 {
+		return nil, fmt.Errorf("bipartite: empty demand matrix")
+	}
+	c := len(demand[0])
+	if r != c {
+		return nil, fmt.Errorf("bipartite: demand matrix must be square, got %dx%d", r, c)
+	}
+	if u := uniformDemandColoring(demand); u != nil {
+		return u, nil
+	}
+	delta := MaxRowColSum(demand)
+	if delta == 0 {
+		return &DemandColoring{NumColors: 0, Runs: emptyRuns(r, c)}, nil
+	}
+	numColors := 2*delta - 1
+
+	rowFree := make([]*freeSet, r)
+	colFree := make([]*freeSet, c)
+	for i := range rowFree {
+		rowFree[i] = newFreeSet(numColors)
+	}
+	for j := range colFree {
+		colFree[j] = newFreeSet(numColors)
+	}
+
+	runs := make([][][]ColorRun, r)
+	for i := range runs {
+		runs[i] = make([][]ColorRun, c)
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			need := demand[i][j]
+			if need == 0 {
+				continue
+			}
+			assigned, err := takeCommon(rowFree[i], colFree[j], need)
+			if err != nil {
+				return nil, fmt.Errorf("bipartite: greedy coloring cell (%d,%d): %w", i, j, err)
+			}
+			runs[i][j] = assigned
+		}
+	}
+	return &DemandColoring{NumColors: numColors, Runs: runs}, nil
+}
+
+func emptyRuns(r, c int) [][][]ColorRun {
+	runs := make([][][]ColorRun, r)
+	for i := range runs {
+		runs[i] = make([][]ColorRun, c)
+	}
+	return runs
+}
+
+// freeSet is an ordered list of disjoint free color intervals.
+type freeSet struct {
+	intervals []ColorRun
+}
+
+func newFreeSet(numColors int) *freeSet {
+	return &freeSet{intervals: []ColorRun{{Start: 0, Len: numColors}}}
+}
+
+// takeCommon removes `need` colors present in both free sets and returns them
+// as runs. The greedy bound guarantees enough common colors exist as long as
+// both sets stem from a matrix with degree at most Δ and 2Δ-1 colors.
+func takeCommon(a, b *freeSet, need int) ([]ColorRun, error) {
+	var taken []ColorRun
+	ai, bi := 0, 0
+	for need > 0 && ai < len(a.intervals) && bi < len(b.intervals) {
+		ra, rb := a.intervals[ai], b.intervals[bi]
+		lo := ra.Start
+		if rb.Start > lo {
+			lo = rb.Start
+		}
+		hiA := ra.Start + ra.Len
+		hiB := rb.Start + rb.Len
+		hi := hiA
+		if hiB < hi {
+			hi = hiB
+		}
+		if lo >= hi {
+			if hiA <= hiB {
+				ai++
+			} else {
+				bi++
+			}
+			continue
+		}
+		take := hi - lo
+		if take > need {
+			take = need
+		}
+		taken = append(taken, ColorRun{Start: lo, Len: take})
+		need -= take
+		a.remove(lo, take)
+		b.remove(lo, take)
+		// Removal may have shifted interval indices; restart the scan from the
+		// beginning of whichever list is shorter. The lists stay short (a few
+		// fragments), so this does not change the asymptotics.
+		ai, bi = 0, 0
+	}
+	if need > 0 {
+		return nil, fmt.Errorf("ran out of common free colors (still need %d)", need)
+	}
+	return taken, nil
+}
+
+// remove deletes the color range [start, start+length) from the free set.
+func (f *freeSet) remove(start, length int) {
+	end := start + length
+	var out []ColorRun
+	for _, iv := range f.intervals {
+		ivEnd := iv.Start + iv.Len
+		if ivEnd <= start || iv.Start >= end {
+			out = append(out, iv)
+			continue
+		}
+		if iv.Start < start {
+			out = append(out, ColorRun{Start: iv.Start, Len: start - iv.Start})
+		}
+		if ivEnd > end {
+			out = append(out, ColorRun{Start: end, Len: ivEnd - end})
+		}
+	}
+	f.intervals = out
+}

@@ -1,0 +1,23 @@
+// Package clique implements the congested-clique execution substrate used by
+// every algorithm in this repository.
+//
+// The model (Section 2 of Lenzen, PODC 2013) is a fully connected system of n
+// nodes with unique identifiers, computing in synchronous rounds. In each
+// round every node performs arbitrary local computation and sends one message
+// of O(log n) bits along each of its n-1 incident edges (nodes also "send to
+// themselves" for uniformity). The package simulates this model in-process:
+//
+//   - one goroutine per node executes the node program,
+//   - Exchange() is the synchronous round barrier,
+//   - messages are slices of 64-bit words; the O(log n)-bit budget of the
+//     model corresponds to a small constant number of words per directed edge
+//     per round, which the engine records (and can enforce strictly),
+//   - per-round metrics capture message counts, word counts and the maximum
+//     load on any directed edge, the observables the paper's bounds speak to.
+//
+// Node programs are written against the Exchanger interface so that the same
+// algorithm code can run either directly on a physical Node or on a virtual
+// node provided by a Mux, which multiplexes several logical protocol
+// instances onto one physical node in lockstep rounds (used by the
+// non-square-n construction of Theorem 3.7 and by the sorting pipeline).
+package clique

@@ -1,0 +1,73 @@
+package clique
+
+// RoundStats aggregates the traffic of a single synchronous round.
+type RoundStats struct {
+	// Messages is the number of packets delivered in the round.
+	Messages int
+	// Words is the total number of words delivered in the round.
+	Words int
+	// MaxEdgeWords is the maximum number of words carried by any single
+	// directed edge in the round. The congested-clique model requires this to
+	// stay O(log n) bits, i.e. a small constant number of words.
+	MaxEdgeWords int
+	// MaxEdgeMessages is the maximum number of packets carried by any single
+	// directed edge in the round.
+	MaxEdgeMessages int
+	// MaxNodeSentWords is the maximum number of words sent by any single node
+	// in the round (at most n times the edge budget).
+	MaxNodeSentWords int
+	// MaxNodeRecvWords is the maximum number of words received by any single
+	// node in the round.
+	MaxNodeRecvWords int
+}
+
+// Metrics aggregates the observable cost of a protocol execution. These are
+// exactly the quantities the paper's bounds are stated in: rounds, per-edge
+// bandwidth, and (self-reported) local computation and memory.
+type Metrics struct {
+	// Rounds is the number of completed round barriers.
+	Rounds int
+	// PerRound holds one entry per completed round.
+	PerRound []RoundStats
+	// TotalMessages is the total number of packets delivered.
+	TotalMessages int64
+	// TotalWords is the total number of words delivered.
+	TotalWords int64
+	// MaxEdgeWords is the maximum over all rounds of RoundStats.MaxEdgeWords.
+	MaxEdgeWords int
+	// MaxEdgeMessages is the maximum over all rounds of
+	// RoundStats.MaxEdgeMessages.
+	MaxEdgeMessages int
+	// MaxStepsPerNode is the maximum number of self-reported local computation
+	// steps over all nodes (see Node.CountSteps). Zero unless the protocol
+	// instruments itself.
+	MaxStepsPerNode int64
+	// MaxMemoryWordsPerNode is the maximum self-reported resident word count
+	// over all nodes (see Node.ReportMemory). Zero unless instrumented.
+	MaxMemoryWordsPerNode int64
+	// DroppedToDeparted counts packets addressed to nodes whose program had
+	// already returned. Well-formed protocols never produce such packets.
+	DroppedToDeparted int
+}
+
+// merge folds a completed round into the running totals.
+func (m *Metrics) merge(rs RoundStats) {
+	m.Rounds++
+	m.PerRound = append(m.PerRound, rs)
+	m.TotalMessages += int64(rs.Messages)
+	m.TotalWords += int64(rs.Words)
+	if rs.MaxEdgeWords > m.MaxEdgeWords {
+		m.MaxEdgeWords = rs.MaxEdgeWords
+	}
+	if rs.MaxEdgeMessages > m.MaxEdgeMessages {
+		m.MaxEdgeMessages = rs.MaxEdgeMessages
+	}
+}
+
+// clone returns a deep copy so callers cannot mutate engine state.
+func (m *Metrics) clone() Metrics {
+	out := *m
+	out.PerRound = make([]RoundStats, len(m.PerRound))
+	copy(out.PerRound, m.PerRound)
+	return out
+}

@@ -1,0 +1,417 @@
+package clique
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBandwidthExceeded is wrapped by the error returned when a strict edge
+// budget (WithStrictEdgeBudget) is violated.
+var ErrBandwidthExceeded = errors.New("per-edge bandwidth budget exceeded")
+
+// Exchanger is the communication surface node programs are written against.
+// It is implemented by *Node (a physical clique node) and by *VNode (a
+// virtual node multiplexing one logical protocol instance onto a physical
+// node, see Mux).
+type Exchanger interface {
+	// ID returns the node's identifier in 0..N()-1.
+	ID() int
+	// N returns the number of nodes in the clique.
+	N() int
+	// Round returns the number of round barriers this node has completed.
+	Round() int
+	// Send queues one packet for delivery to node to at the next barrier.
+	// Sending to oneself is allowed (and used by the algorithms to keep the
+	// presentation uniform, matching the paper's convention).
+	Send(to int, data Packet)
+	// Exchange blocks until every active node has reached the barrier, then
+	// returns everything this node received in the round, indexed by sender.
+	Exchange() (Inbox, error)
+	// CountSteps adds k to this node's self-reported local-computation step
+	// counter (Section 5 accounting). It is a no-op for k <= 0.
+	CountSteps(k int)
+	// ReportMemory records a self-reported resident memory footprint in words;
+	// the per-node maximum is kept (Section 5 accounting).
+	ReportMemory(words int)
+	// SharedCompute returns the result of f, memoising it under key when the
+	// shared deterministic-computation cache is enabled. Every node calling
+	// SharedCompute with the same key must supply a function computing the
+	// same (deterministic) value; the cache only removes redundant
+	// recomputation in the simulator, it does not communicate.
+	SharedCompute(key string, f func() interface{}) interface{}
+}
+
+// Network is an in-process simulation of a congested clique of n nodes.
+type Network struct {
+	n   int
+	cfg config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	started bool
+	active  int
+	arrived int
+	round   int
+	failed  error
+
+	// outboxes[i] holds the packets queued by node i in the current round.
+	outboxes [][]pendingPacket
+	// inboxes[i] is what node i received in the round that just completed.
+	inboxes []Inbox
+	// departed[i] reports that node i's program has returned.
+	departed []bool
+
+	// scratch buffers reused by the delivery step.
+	recvWords []int
+	edgeWords map[edge]int
+	edgeMsgs  map[edge]int
+
+	metrics Metrics
+
+	sharedMu sync.Mutex
+	shared   map[string]interface{}
+
+	stepsMu sync.Mutex
+	steps   map[int]int64
+	memory  map[int]int64
+}
+
+type edge struct{ from, to int }
+
+// New creates a congested clique with n >= 1 nodes.
+func New(n int, opts ...Option) (*Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("clique: need at least one node, got %d", n)
+	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	nw := &Network{
+		n:         n,
+		cfg:       cfg,
+		active:    0,
+		outboxes:  make([][]pendingPacket, n),
+		inboxes:   make([]Inbox, n),
+		departed:  make([]bool, n),
+		recvWords: make([]int, n),
+		edgeWords: make(map[edge]int),
+		edgeMsgs:  make(map[edge]int),
+		shared:    make(map[string]interface{}),
+		steps:     make(map[int]int64),
+		memory:    make(map[int]int64),
+	}
+	nw.cond = sync.NewCond(&nw.mu)
+	return nw, nil
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.n }
+
+// Metrics returns a copy of the execution metrics collected so far. It is
+// normally called after Run has returned.
+func (nw *Network) Metrics() Metrics {
+	nw.mu.Lock()
+	m := nw.metrics.clone()
+	nw.mu.Unlock()
+
+	nw.stepsMu.Lock()
+	for _, s := range nw.steps {
+		if s > m.MaxStepsPerNode {
+			m.MaxStepsPerNode = s
+		}
+	}
+	for _, w := range nw.memory {
+		if w > m.MaxMemoryWordsPerNode {
+			m.MaxMemoryWordsPerNode = w
+		}
+	}
+	nw.stepsMu.Unlock()
+	return m
+}
+
+// Rounds returns the number of completed rounds.
+func (nw *Network) Rounds() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.round
+}
+
+// StepsPerNode returns the self-reported computation steps of every node.
+func (nw *Network) StepsPerNode() map[int]int64 {
+	nw.stepsMu.Lock()
+	defer nw.stepsMu.Unlock()
+	out := make(map[int]int64, len(nw.steps))
+	for id, s := range nw.steps {
+		out[id] = s
+	}
+	return out
+}
+
+// Run executes program once per node, each in its own goroutine, and waits
+// for all of them to return. It returns the first error produced by any node
+// program, a bandwidth violation, or nil. Run may only be called once per
+// Network.
+func (nw *Network) Run(program func(*Node) error) error {
+	nw.mu.Lock()
+	if nw.started {
+		nw.mu.Unlock()
+		return errors.New("clique: Network.Run called twice")
+	}
+	nw.started = true
+	nw.active = nw.n
+	nw.mu.Unlock()
+
+	errs := make([]error, nw.n)
+	var wg sync.WaitGroup
+	for i := 0; i < nw.n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			nd := &Node{nw: nw, id: id}
+			defer nw.leave(nd)
+			defer func() {
+				if r := recover(); r != nil {
+					errs[id] = fmt.Errorf("clique: node %d panicked: %v", id, r)
+				}
+			}()
+			errs[id] = program(nd)
+		}(i)
+	}
+	wg.Wait()
+
+	nw.mu.Lock()
+	failed := nw.failed
+	nw.mu.Unlock()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return failed
+}
+
+// Node is one physical node of the clique. A Node must only be used from the
+// goroutine running its program.
+type Node struct {
+	nw       *Network
+	id       int
+	pending  []pendingPacket
+	round    int
+	departed bool
+	steps    int64
+	memory   int64
+}
+
+var _ Exchanger = (*Node)(nil)
+
+// ID returns the node identifier (0-based).
+func (nd *Node) ID() int { return nd.id }
+
+// N returns the clique size.
+func (nd *Node) N() int { return nd.nw.n }
+
+// Round returns the number of rounds this node has completed.
+func (nd *Node) Round() int { return nd.round }
+
+// Send queues a packet for node to; it is delivered at the next Exchange.
+func (nd *Node) Send(to int, data Packet) {
+	if to < 0 || to >= nd.nw.n {
+		panic(fmt.Sprintf("clique: node %d sent to invalid destination %d (n=%d)", nd.id, to, nd.nw.n))
+	}
+	nd.pending = append(nd.pending, pendingPacket{to: to, data: data})
+}
+
+// Broadcast queues the same packet for every node, including the sender.
+func (nd *Node) Broadcast(data Packet) {
+	for to := 0; to < nd.nw.n; to++ {
+		nd.Send(to, data)
+	}
+}
+
+// CountSteps adds k self-reported computation steps.
+func (nd *Node) CountSteps(k int) {
+	if k > 0 {
+		nd.steps += int64(k)
+	}
+}
+
+// ReportMemory records a self-reported resident word count; the maximum over
+// the execution is kept.
+func (nd *Node) ReportMemory(words int) {
+	if int64(words) > nd.memory {
+		nd.memory = int64(words)
+	}
+}
+
+// SharedCompute memoises a deterministic computation across nodes (see
+// Exchanger).
+func (nd *Node) SharedCompute(key string, f func() interface{}) interface{} {
+	if !nd.nw.cfg.sharedCache {
+		return f()
+	}
+	nw := nd.nw
+	nw.sharedMu.Lock()
+	if v, ok := nw.shared[key]; ok {
+		nw.sharedMu.Unlock()
+		return v
+	}
+	nw.sharedMu.Unlock()
+	// Compute outside the lock: colorings can be expensive and the value is
+	// deterministic, so racing computations produce identical results.
+	v := f()
+	nw.sharedMu.Lock()
+	if prev, ok := nw.shared[key]; ok {
+		v = prev
+	} else {
+		nw.shared[key] = v
+	}
+	nw.sharedMu.Unlock()
+	return v
+}
+
+// Exchange implements the synchronous round barrier.
+func (nd *Node) Exchange() (Inbox, error) {
+	nw := nd.nw
+	nw.mu.Lock()
+	if nw.failed != nil {
+		err := nw.failed
+		nw.mu.Unlock()
+		return nil, err
+	}
+	if nd.departed {
+		nw.mu.Unlock()
+		return nil, errors.New("clique: Exchange called after node program returned")
+	}
+
+	// Publish this node's outbox.
+	nw.outboxes[nd.id] = nd.pending
+	nd.pending = nil
+
+	generation := nw.round
+	nw.arrived++
+	if nw.arrived == nw.active {
+		nw.deliverLocked()
+	} else {
+		for nw.round == generation && nw.failed == nil {
+			nw.cond.Wait()
+		}
+	}
+	if nw.failed != nil {
+		err := nw.failed
+		nw.mu.Unlock()
+		return nil, err
+	}
+	inbox := nw.inboxes[nd.id]
+	nw.inboxes[nd.id] = nil
+	nw.mu.Unlock()
+
+	nd.round++
+	return inbox, nil
+}
+
+// leave removes a node from the barrier once its program has returned. If the
+// node was the last one every other active node was waiting on, the round is
+// completed on its behalf.
+func (nw *Network) leave(nd *Node) {
+	nw.stepsMu.Lock()
+	nw.steps[nd.id] = nd.steps
+	nw.memory[nd.id] = nd.memory
+	nw.stepsMu.Unlock()
+
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nd.departed {
+		return
+	}
+	nd.departed = true
+	nw.departed[nd.id] = true
+	nw.active--
+	if nw.active > 0 && nw.arrived == nw.active && nw.failed == nil {
+		nw.deliverLocked()
+	}
+	if nw.active == 0 {
+		nw.cond.Broadcast()
+	}
+}
+
+// deliverLocked completes the current round: it moves every queued packet
+// into the destination inbox, computes the round statistics, and wakes up all
+// waiting nodes. Callers must hold nw.mu.
+func (nw *Network) deliverLocked() {
+	stats := RoundStats{}
+	for i := range nw.recvWords {
+		nw.recvWords[i] = 0
+	}
+	clear(nw.edgeWords)
+	clear(nw.edgeMsgs)
+
+	for from := 0; from < nw.n; from++ {
+		out := nw.outboxes[from]
+		if len(out) == 0 {
+			continue
+		}
+		sentWords := 0
+		for _, pp := range out {
+			if nw.departed[pp.to] {
+				nw.metrics.DroppedToDeparted++
+				continue
+			}
+			if nw.inboxes[pp.to] == nil {
+				nw.inboxes[pp.to] = make(Inbox, nw.n)
+			}
+			nw.inboxes[pp.to][from] = append(nw.inboxes[pp.to][from], pp.data)
+
+			w := len(pp.data)
+			stats.Messages++
+			stats.Words += w
+			sentWords += w
+			nw.recvWords[pp.to] += w
+			e := edge{from: from, to: pp.to}
+			nw.edgeWords[e] += w
+			nw.edgeMsgs[e]++
+		}
+		if sentWords > stats.MaxNodeSentWords {
+			stats.MaxNodeSentWords = sentWords
+		}
+		nw.outboxes[from] = nil
+	}
+	for _, w := range nw.recvWords {
+		if w > stats.MaxNodeRecvWords {
+			stats.MaxNodeRecvWords = w
+		}
+	}
+	var worstEdge edge
+	for e, w := range nw.edgeWords {
+		if w > stats.MaxEdgeWords {
+			stats.MaxEdgeWords = w
+			worstEdge = e
+		}
+	}
+	for _, c := range nw.edgeMsgs {
+		if c > stats.MaxEdgeMessages {
+			stats.MaxEdgeMessages = c
+		}
+	}
+
+	if nw.cfg.maxWordsPerEdge > 0 && stats.MaxEdgeWords > nw.cfg.maxWordsPerEdge {
+		nw.failed = fmt.Errorf("clique: round %d: edge %d->%d carried %d words, budget %d: %w",
+			nw.round, worstEdge.from, worstEdge.to, stats.MaxEdgeWords, nw.cfg.maxWordsPerEdge, ErrBandwidthExceeded)
+	}
+
+	if nw.cfg.recordPerRound {
+		nw.metrics.merge(stats)
+	} else {
+		saved := nw.metrics.PerRound
+		nw.metrics.merge(stats)
+		nw.metrics.PerRound = saved
+	}
+
+	nw.round++
+	nw.arrived = 0
+	nw.cond.Broadcast()
+}

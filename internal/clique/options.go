@@ -1,0 +1,62 @@
+package clique
+
+import "fmt"
+
+// config holds the tunable behaviour of a Network. It is populated through
+// functional options so the zero configuration stays usable.
+type config struct {
+	// maxWordsPerEdge, when positive, makes the engine fail the run as soon as
+	// any directed edge carries more than this many words in a single round.
+	// Zero disables strict enforcement (loads are still recorded in Metrics).
+	maxWordsPerEdge int
+	// sharedCache enables the deterministic shared-computation cache exposed
+	// through Exchanger.SharedCompute. Disabling it makes every node perform
+	// the computation itself, which changes nothing observable except
+	// simulator wall-clock time.
+	sharedCache bool
+	// recordPerRound controls whether Metrics.PerRound is populated. Disabling
+	// it saves memory for very long executions.
+	recordPerRound bool
+}
+
+func defaultConfig() config {
+	return config{
+		maxWordsPerEdge: 0,
+		sharedCache:     true,
+		recordPerRound:  true,
+	}
+}
+
+// Option customises a Network.
+type Option func(*config) error
+
+// WithStrictEdgeBudget makes the network fail the execution if any directed
+// edge ever carries more than words words in one round. This is how tests
+// assert that an algorithm respects the O(log n)-bits-per-edge model.
+func WithStrictEdgeBudget(words int) Option {
+	return func(c *config) error {
+		if words <= 0 {
+			return fmt.Errorf("clique: strict edge budget must be positive, got %d", words)
+		}
+		c.maxWordsPerEdge = words
+		return nil
+	}
+}
+
+// WithSharedCache enables or disables the deterministic shared-computation
+// cache (see Exchanger.SharedCompute). It is enabled by default.
+func WithSharedCache(enabled bool) Option {
+	return func(c *config) error {
+		c.sharedCache = enabled
+		return nil
+	}
+}
+
+// WithPerRoundStats enables or disables per-round statistics retention. It is
+// enabled by default.
+func WithPerRoundStats(enabled bool) Option {
+	return func(c *config) error {
+		c.recordPerRound = enabled
+		return nil
+	}
+}

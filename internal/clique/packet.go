@@ -1,0 +1,76 @@
+package clique
+
+// Word is the unit of message payload. The congested-clique model allows a
+// constant number of integers that are polynomially bounded in n per message;
+// a Word holds one such integer.
+type Word = int64
+
+// Packet is a single message sent along one directed edge in one round. Its
+// length must stay bounded by a constant (independent of n) for an algorithm
+// to respect the O(log n) bits-per-edge budget of the model.
+type Packet []Word
+
+// Clone returns an independent copy of the packet. Packets received from
+// Exchange may share backing storage with the engine, so callers that retain
+// packet contents across rounds should clone them.
+func (p Packet) Clone() Packet {
+	if p == nil {
+		return nil
+	}
+	out := make(Packet, len(p))
+	copy(out, p)
+	return out
+}
+
+// pendingPacket is a packet queued by a node for delivery at the next round
+// barrier.
+type pendingPacket struct {
+	to   int
+	data Packet
+}
+
+// Inbox holds everything a node received in one round, indexed by sender.
+// Inbox[s] is the list of packets sent by node s this round (nil if none).
+type Inbox [][]Packet
+
+// From returns the packets received from sender s. It is a convenience
+// accessor that tolerates a short or nil inbox.
+func (in Inbox) From(s int) []Packet {
+	if s < 0 || s >= len(in) {
+		return nil
+	}
+	return in[s]
+}
+
+// Single returns the unique packet received from sender s, or nil if none was
+// received. It is used by protocols whose invariant is "at most one packet
+// per edge per round"; if the invariant is violated the first packet is
+// returned (the violation itself surfaces through the engine's metrics or the
+// strict bandwidth cap).
+func (in Inbox) Single(s int) Packet {
+	ps := in.From(s)
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps[0]
+}
+
+// Count returns the total number of packets in the inbox.
+func (in Inbox) Count() int {
+	total := 0
+	for _, ps := range in {
+		total += len(ps)
+	}
+	return total
+}
+
+// Words returns the total number of words in the inbox.
+func (in Inbox) Words() int {
+	total := 0
+	for _, ps := range in {
+		for _, p := range ps {
+			total += len(p)
+		}
+	}
+	return total
+}

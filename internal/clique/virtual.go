@@ -1,0 +1,257 @@
+package clique
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mux multiplexes several logical protocol instances onto one physical node.
+// All active instances advance in lockstep: one virtual round of every active
+// instance corresponds to exactly one physical round of the underlying node.
+// Packets are tagged with their instance identifier (one extra word) so that
+// the receiving Mux can demultiplex them; this is the implementation of the
+// paper's "run the instances in parallel, increasing the message size by a
+// constant factor".
+//
+// The Mux is used by the non-square-n routing construction of Theorem 3.7
+// (two square sub-instances plus the 6-round boundary procedure run in
+// parallel) and by the sorting pipeline (piggybacking the bucket-size
+// aggregation on the Step-6 routing rounds).
+type Mux struct {
+	nd Exchanger
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	active  int
+	arrived int
+	round   int
+	failed  error
+	// pending accumulates tagged packets queued by all instances this round.
+	pending []pendingPacket
+	// inboxes[instance] is the demultiplexed inbox of the round that just
+	// completed.
+	inboxes map[int]Inbox
+	vnodes  map[int]*VNode
+}
+
+// NewMux wraps a physical (or itself virtual) node. Instances are registered
+// with Instance before any of them starts exchanging.
+func NewMux(nd Exchanger) *Mux {
+	m := &Mux{
+		nd:      nd,
+		inboxes: make(map[int]Inbox),
+		vnodes:  make(map[int]*VNode),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Instance registers a new virtual node for the logical instance with the
+// given identifier. Identifiers must be non-negative and unique per Mux, and
+// identical across all physical nodes participating in the same logical
+// instance.
+func (m *Mux) Instance(id int) (*VNode, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("clique: instance id must be non-negative, got %d", id)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.vnodes[id]; ok {
+		return nil, fmt.Errorf("clique: instance %d registered twice", id)
+	}
+	vn := &VNode{mux: m, instance: id}
+	m.vnodes[id] = vn
+	m.active++
+	return vn, nil
+}
+
+// Run is a convenience helper: it registers one instance per program (with
+// instance identifiers equal to the map keys), runs each program in its own
+// goroutine on its virtual node, and waits for all of them. It returns the
+// first error.
+func (m *Mux) Run(programs map[int]func(Exchanger) error) error {
+	vnodes := make(map[int]*VNode, len(programs))
+	ids := make([]int, 0, len(programs))
+	for id := range programs {
+		vn, err := m.Instance(id)
+		if err != nil {
+			return err
+		}
+		vnodes[id] = vn
+		ids = append(ids, id)
+	}
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(slot, id int) {
+			defer wg.Done()
+			vn := vnodes[id]
+			defer vn.Close()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[slot] = fmt.Errorf("clique: instance %d panicked: %v", id, r)
+				}
+			}()
+			errs[slot] = programs[id](vn)
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failed
+}
+
+// VNode is the virtual node handed to one logical instance. It implements
+// Exchanger by delegating identity, instrumentation and shared computation to
+// the underlying physical node and by funnelling communication through the
+// Mux barrier.
+type VNode struct {
+	mux      *Mux
+	instance int
+	round    int
+	closed   bool
+}
+
+var _ Exchanger = (*VNode)(nil)
+
+// ID returns the physical node identifier.
+func (v *VNode) ID() int { return v.mux.nd.ID() }
+
+// N returns the clique size.
+func (v *VNode) N() int { return v.mux.nd.N() }
+
+// Round returns the number of virtual rounds completed by this instance.
+func (v *VNode) Round() int { return v.round }
+
+// CountSteps delegates to the physical node.
+func (v *VNode) CountSteps(k int) { v.mux.nd.CountSteps(k) }
+
+// ReportMemory delegates to the physical node.
+func (v *VNode) ReportMemory(words int) { v.mux.nd.ReportMemory(words) }
+
+// SharedCompute delegates to the physical node.
+func (v *VNode) SharedCompute(key string, f func() interface{}) interface{} {
+	return v.mux.nd.SharedCompute(key, f)
+}
+
+// Send queues a packet for delivery within this instance. The packet is
+// tagged with the instance identifier (one extra word on the wire).
+func (v *VNode) Send(to int, data Packet) {
+	tagged := make(Packet, 0, len(data)+1)
+	tagged = append(tagged, Word(v.instance))
+	tagged = append(tagged, data...)
+	m := v.mux
+	m.mu.Lock()
+	m.pending = append(m.pending, pendingPacket{to: to, data: tagged})
+	m.mu.Unlock()
+}
+
+// Exchange advances this instance by one round. It blocks until every other
+// active instance on the same physical node has also reached its barrier;
+// the last instance to arrive performs the physical exchange and
+// demultiplexes the received packets by instance tag.
+func (v *VNode) Exchange() (Inbox, error) {
+	m := v.mux
+	m.mu.Lock()
+	if v.closed {
+		m.mu.Unlock()
+		return nil, errors.New("clique: Exchange called on closed virtual node")
+	}
+	if m.failed != nil {
+		err := m.failed
+		m.mu.Unlock()
+		return nil, err
+	}
+	generation := m.round
+	m.arrived++
+	if m.arrived == m.active {
+		m.deliverLocked()
+	} else {
+		for m.round == generation && m.failed == nil {
+			m.cond.Wait()
+		}
+	}
+	if m.failed != nil {
+		err := m.failed
+		m.mu.Unlock()
+		return nil, err
+	}
+	inbox := m.inboxes[v.instance]
+	delete(m.inboxes, v.instance)
+	m.mu.Unlock()
+
+	v.round++
+	if inbox == nil {
+		inbox = make(Inbox, v.N())
+	}
+	return inbox, nil
+}
+
+// Close removes the instance from the Mux barrier. It must be called exactly
+// once when the instance's program has finished (Mux.Run does this
+// automatically). Closing may complete a round on behalf of the remaining
+// instances.
+func (v *VNode) Close() {
+	m := v.mux
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v.closed {
+		return
+	}
+	v.closed = true
+	m.active--
+	if m.active > 0 && m.arrived == m.active && m.failed == nil {
+		m.deliverLocked()
+	}
+	if m.active == 0 {
+		m.cond.Broadcast()
+	}
+}
+
+// deliverLocked performs one physical exchange on behalf of all active
+// instances and distributes the result. Callers must hold m.mu.
+//
+// The physical Exchange blocks on the network-wide barrier; holding m.mu
+// while blocked is safe because every other goroutine that could need the
+// lock is an instance of this same Mux, and all of them are already parked at
+// the Mux barrier (m.arrived == m.active) or closed.
+func (m *Mux) deliverLocked() {
+	for _, pp := range m.pending {
+		m.nd.Send(pp.to, pp.data)
+	}
+	m.pending = nil
+
+	inbox, err := m.nd.Exchange()
+	if err != nil {
+		m.failed = err
+		m.cond.Broadcast()
+		return
+	}
+
+	n := m.nd.N()
+	for from, packets := range inbox {
+		for _, p := range packets {
+			if len(p) == 0 {
+				continue
+			}
+			instance := int(p[0])
+			box, ok := m.inboxes[instance]
+			if !ok {
+				box = make(Inbox, n)
+				m.inboxes[instance] = box
+			}
+			box[from] = append(box[from], p[1:])
+		}
+	}
+
+	m.round++
+	m.arrived = 0
+	m.cond.Broadcast()
+}

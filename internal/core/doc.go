@@ -1,0 +1,22 @@
+// Package core implements the algorithms of Lenzen, "Optimal Deterministic
+// Routing and Sorting on the Congested Clique" (PODC 2013).
+//
+// The package provides, as functions executed by every node of a simulated
+// congested clique (package internal/clique):
+//
+//   - the Information Distribution Task of Problem 3.1 solved by Algorithm 1
+//     and Algorithm 2 in 16 rounds (Theorem 3.7), including the non-square-n
+//     construction,
+//   - the low-computation 12-round variant of Section 5 (Theorem 5.4),
+//   - the sorting algorithm of Problem 4.1 solved by Algorithms 3 and 4 in 37
+//     rounds (Theorem 4.5),
+//   - the rank-in-union variant, selection and mode (Corollary 4.6),
+//   - the small-key counting protocol of Section 6.3.
+//
+// The building blocks mirror the paper's structure: Corollary 3.3 (two-round
+// routing with publicly known demands, relayRoute) and Corollary 3.4
+// (four-round routing with unknown demands inside a group, groupRouteUnknown)
+// are implemented once and reused by every algorithm, exactly as in the
+// paper. All schedule computations (edge colorings of demand matrices) are
+// deterministic, so nodes agree on them without communication.
+package core

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"congestedclique/internal/clique"
+)
+
+// LowComputeRoute is the per-node entry point for the Section 5 variant of
+// the Information Distribution Task (Theorem 5.4): 12 communication rounds
+// with O(n log n) local computation and memory per node. The savings over
+// Algorithm 1 come from
+//
+//   - Lemma 5.1: the within-set balancing steps are replaced by an oblivious
+//     two-round round-robin redistribution whose forwarding pattern is fixed
+//     in advance, so no edge coloring (and no count announcement) is needed;
+//     the price is that members hold up to 2√n instead of exactly √n
+//     messages per set, which doubles the message size of the following
+//     round,
+//   - Lemma 5.3 / footnote 3: the remaining schedule colorings use the
+//     greedy 2Δ-1 coloring instead of the exact König coloring,
+//   - the set-level exchange pattern assigns intermediate sets by a local
+//     proportional rule instead of the exact global coloring (see DESIGN.md
+//     for the discussion of this substitution), which removes the need for
+//     the Step 3 announcement of Algorithm 2.
+//
+// Round budget: 2 (set totals) + 2 (round-robin by intermediate set) +
+// 1 (inter-set exchange) + 2 (round-robin by destination set) + 1 (move to
+// destination sets) + 4 (Corollary 3.4 delivery) = 12.
+//
+// Local computation is self-reported through Exchanger.CountSteps so that
+// the O(n log n) claim can be checked experimentally (experiment E3).
+func LowComputeRoute(ex clique.Exchanger, msgs []Message) ([]Message, error) {
+	c := fullComm(ex, fmt.Sprintf("lowroute@r%d", ex.Round()))
+	n := c.size()
+	if n == 1 {
+		return msgs, nil
+	}
+	if !isPerfectSquare(n) || n < routeTrivialThreshold {
+		// The non-square decomposition is identical to Theorem 3.7's and adds
+		// nothing to the Section 5 analysis; small and non-square cliques fall
+		// back to the standard router.
+		return Route(ex, msgs)
+	}
+	parcels := make([]parcel, 0, len(msgs))
+	for _, m := range msgs {
+		parcels = append(parcels, parcel{Src: m.Src, Dst: m.Dst, Words: []clique.Word{clique.Word(m.Seq), m.Payload}})
+	}
+	received, err := lowComputeRouteParcels(c, parcels, "thm5.4")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Message, 0, len(received))
+	for _, p := range received {
+		if len(p.Words) < 2 {
+			return nil, fmt.Errorf("core: malformed routed message with %d payload words", len(p.Words))
+		}
+		out = append(out, Message{Src: p.Src, Dst: p.Dst, Seq: int(p.Words[0]), Payload: p.Words[1]})
+	}
+	sortMessages(out)
+	return out, nil
+}
+
+// lowComputeRouteParcels is the 12-round schedule on a perfect-square comm.
+func lowComputeRouteParcels(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) {
+	if err := validateParcels(c, parcels); err != nil {
+		return nil, err
+	}
+	m := c.size()
+	s := isqrt(m)
+	grp, err := newGrouping(m, s)
+	if err != nil {
+		return nil, err
+	}
+	myGroup := grp.groupOf(c.me)
+	myIdxInGroup := grp.indexInGroup(c.me)
+	groupMembers := make([]int, s)
+	for i := range groupMembers {
+		groupMembers[i] = grp.member(myGroup, i)
+	}
+
+	load := make([]held, 0, len(parcels))
+	for _, p := range parcels {
+		dstLocal, _ := c.localOf(p.Dst)
+		load = append(load, held{dstLocal: dstLocal, src: p.Src, payload: p.Words})
+	}
+	c.ex.CountSteps(len(load) + s*s)
+	c.ex.ReportMemory(len(load)*6 + s*s)
+
+	// --- Step 2 variant (Lemma 5.3), 5 rounds -------------------------------
+
+	// (2 rounds) Every node learns the set-level totals T[A][B]; O(s^2) work.
+	cntSet := make([]int, s)
+	for _, h := range load {
+		cntSet[grp.groupOf(h.dstLocal)]++
+	}
+	contributions := make(map[int]int64, s)
+	for b, v := range cntSet {
+		contributions[myGroup*s+b] = int64(v)
+	}
+	if _, err := aggregateAndBroadcast(c, contributions, func(slot int) int { return slot }, s*s); err != nil {
+		return nil, fmt.Errorf("%s totals: %w", keyPrefix, err)
+	}
+	c.ex.CountSteps(len(load) + s*s)
+
+	// (local) Assign every message an intermediate set with the proportional
+	// rotation rule: the j-th message a node holds for destination set B goes
+	// to intermediate set (j + a + B) mod s, so every node splits its per-set
+	// traffic evenly over the intermediate sets.
+	perSetCursor := make([]int, s)
+	for i := range load {
+		b := grp.groupOf(load[i].dstLocal)
+		j := perSetCursor[b]
+		perSetCursor[b]++
+		load[i].interSet = (j + myIdxInGroup + b) % s
+	}
+	c.ex.CountSteps(len(load))
+
+	// (2 rounds) Oblivious round-robin redistribution within the set, keyed by
+	// intermediate set (Corollary 5.2).
+	load, err = roundRobinRedistribute(c, grp, load, func(h held) int { return h.interSet }, keyPrefix+"/rr-inter")
+	if err != nil {
+		return nil, fmt.Errorf("%s inter-set balancing: %w", keyPrefix, err)
+	}
+	c.ex.CountSteps(len(load))
+
+	// (1 round) Inter-set exchange: for each intermediate set, send one held
+	// message to each of its members (at most a constant number per edge
+	// because of the previous balancing).
+	byInter := make([][]held, s)
+	for _, h := range load {
+		byInter[h.interSet] = append(byInter[h.interSet], h)
+	}
+	for t := 0; t < s; t++ {
+		for k, h := range byInter[t] {
+			c.send(grp.member(t, k%s), clique.Packet(encodeHeldParcel(h)))
+		}
+	}
+	load, err = collectHeld(c, keyPrefix+" exchange")
+	if err != nil {
+		return nil, err
+	}
+	c.ex.CountSteps(len(load))
+	c.ex.ReportMemory(len(load) * 6)
+
+	// --- Steps 3 and 4 via Lemma 5.1, 3 rounds -------------------------------
+
+	// (2 rounds) Oblivious round-robin redistribution keyed by the final
+	// destination set.
+	load, err = roundRobinRedistribute(c, grp, load, func(h held) int { return grp.groupOf(h.dstLocal) }, keyPrefix+"/rr-dst")
+	if err != nil {
+		return nil, fmt.Errorf("%s destination balancing: %w", keyPrefix, err)
+	}
+	c.ex.CountSteps(len(load))
+
+	// (1 round) Move every message to a member of its destination set, at most
+	// two per edge (Lemma 5.1).
+	byDst := make([][]held, s)
+	for _, h := range load {
+		byDst[grp.groupOf(h.dstLocal)] = append(byDst[grp.groupOf(h.dstLocal)], h)
+	}
+	for t := 0; t < s; t++ {
+		for k, h := range byDst[t] {
+			c.send(grp.member(t, k%s), clique.Packet(encodeHeldParcel(h)))
+		}
+	}
+	load, err = collectHeld(c, keyPrefix+" step4")
+	if err != nil {
+		return nil, err
+	}
+	c.ex.CountSteps(len(load))
+
+	// --- Step 5 (Corollary 3.4 with the greedy coloring), 4 rounds -----------
+	items := make([]item, 0, len(load))
+	for _, h := range load {
+		if grp.groupOf(h.dstLocal) != myGroup {
+			return nil, fmt.Errorf("%s step5: node %d holds a parcel for foreign set %d", keyPrefix, c.ex.ID(), grp.groupOf(h.dstLocal))
+		}
+		items = append(items, item{dst: h.dstLocal, words: encodeHeldParcel(h)})
+	}
+	receivedItems, err := groupRouteUnknownColored(c, groupMembers, items, keyPrefix+"/s5", true)
+	if err != nil {
+		return nil, fmt.Errorf("%s step5: %w", keyPrefix, err)
+	}
+	c.ex.CountSteps(len(receivedItems))
+	return heldItemsToParcels(c, receivedItems, keyPrefix+" step5")
+}
+
+// roundRobinRedistribute is Lemma 5.1: every member of a set orders its held
+// parcels by class, deals them round-robin over all nodes of the clique, and
+// every relay forwards everything it received from the a-th member of a set
+// to that set's ((a + relay) mod s)-th member. The pattern is oblivious (it
+// does not depend on the message distribution), costs two rounds and O(load)
+// computation, and guarantees that afterwards every member holds at most
+// 2·load/s + s parcels of any class.
+func roundRobinRedistribute(c *comm, grp grouping, load []held, classOf func(held) int, keyPrefix string) ([]held, error) {
+	m := c.size()
+	s := grp.groupSize
+
+	// Bucket-sort by class (O(load + s)).
+	sort.SliceStable(load, func(i, j int) bool { return classOf(load[i]) < classOf(load[j]) })
+
+	// Round 1: deal the j-th parcel to node j mod m.
+	for j, h := range load {
+		c.send(j%m, clique.Packet(encodeHeldParcel(h)))
+	}
+	inbox, err := c.exchange()
+	if err != nil {
+		return nil, fmt.Errorf("%s deal: %w", keyPrefix, err)
+	}
+
+	// Round 2: forward everything received from the a-th member of set A to
+	// member (a + myID) mod s of set A.
+	for senderLocal, packets := range inbox {
+		if len(packets) == 0 {
+			continue
+		}
+		a := grp.indexInGroup(senderLocal)
+		target := grp.member(grp.groupOf(senderLocal), (a+c.me)%s)
+		for _, p := range packets {
+			c.send(target, p)
+		}
+	}
+	return collectHeld(c, keyPrefix+" forward")
+}

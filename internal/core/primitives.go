@@ -1,0 +1,527 @@
+package core
+
+import (
+	"fmt"
+
+	"congestedclique/internal/bipartite"
+	"congestedclique/internal/clique"
+)
+
+// item is one routable unit handled by the communication primitives: a
+// destination (a local member index of the enclosing comm) plus a constant
+// number of payload words.
+type item struct {
+	dst   int
+	words []clique.Word
+}
+
+// relayRoute implements Corollary 3.3: two-round routing of items whose
+// demand matrix is known to every member of the sending group.
+//
+// Every member of the comm must call relayRoute in the same round, because
+// any member can serve as a relay. Nodes that do not belong to a sending
+// group in this step pass a nil group; they participate purely as relays.
+//
+//   - group lists the local indices of this node's group (sorted ascending);
+//     groups of different callers must be identical or disjoint.
+//   - demand[a][b] is the number of items the a-th group member sends to the
+//     b-th group member; it must be identical at every member of the group
+//     and consistent with the items actually passed in mine.
+//   - mine are this node's items; each destination must lie inside group.
+//
+// Following the proof of Corollary 3.3, the demand multigraph is edge-colored
+// with d = max degree colors (König / Theorem 3.2); the item of color c is
+// relayed through the comm member c mod size in the first round and forwarded
+// to its destination in the second. When d exceeds the comm size (overloaded
+// instances), relays carry ceil(d/size) items per edge, which only increases
+// the constant number of words per edge.
+func relayRoute(c *comm, group []int, demand [][]int, mine []item, stepKey string) ([]item, error) {
+	return relayRouteColored(c, group, demand, mine, stepKey, false)
+}
+
+// relayRouteColored is relayRoute with a choice of schedule coloring: the
+// exact König coloring (Theorem 3.2) or the greedy 2Δ-1 coloring of
+// footnote 3, which Section 5 uses to keep local computation near-linear at
+// the price of relays carrying up to two messages per edge.
+func relayRouteColored(c *comm, group []int, demand [][]int, mine []item, stepKey string, greedy bool) ([]item, error) {
+	size := c.size()
+
+	if len(group) > 0 {
+		if len(mine) > 0 && c.me < 0 {
+			return nil, fmt.Errorf("core: relayRoute(%s): non-member holds items", stepKey)
+		}
+		myIdx := -1
+		for i, g := range group {
+			if g == c.me {
+				myIdx = i
+				break
+			}
+		}
+		if myIdx < 0 {
+			return nil, fmt.Errorf("core: relayRoute(%s): node %d not in its own group", stepKey, c.ex.ID())
+		}
+		if len(demand) != len(group) {
+			return nil, fmt.Errorf("core: relayRoute(%s): demand has %d rows for group of %d", stepKey, len(demand), len(group))
+		}
+
+		// Bucket my items by destination position within the group, keeping
+		// their given order; this defines the canonical unit order of each
+		// demand cell at the sender.
+		posInGroup := make(map[int]int, len(group))
+		for i, g := range group {
+			posInGroup[g] = i
+		}
+		buckets := make([][]item, len(group))
+		for _, it := range mine {
+			b, ok := posInGroup[it.dst]
+			if !ok {
+				return nil, fmt.Errorf("core: relayRoute(%s): item destination %d outside group", stepKey, it.dst)
+			}
+			buckets[b] = append(buckets[b], it)
+		}
+		for b := range buckets {
+			if len(buckets[b]) != demand[myIdx][b] {
+				return nil, fmt.Errorf("core: relayRoute(%s): node %d holds %d items for group position %d, demand says %d",
+					stepKey, c.ex.ID(), len(buckets[b]), b, demand[myIdx][b])
+			}
+		}
+
+		d := bipartite.MaxRowColSum(demand)
+		if d > 0 {
+			colKey := fmt.Sprintf("%s/grp%d", stepKey, group[0])
+			shared := c.shared(colKey, func() interface{} {
+				var dc *bipartite.DemandColoring
+				var err error
+				if greedy {
+					dc, err = bipartite.ColorDemandGreedy(demand)
+				} else {
+					dc, err = bipartite.ColorDemandMatrix(demand, d)
+				}
+				if err != nil {
+					return err
+				}
+				return dc
+			})
+			dc, ok := shared.(*bipartite.DemandColoring)
+			if !ok {
+				return nil, fmt.Errorf("core: relayRoute(%s): coloring failed: %v", stepKey, shared)
+			}
+			for b, bucket := range buckets {
+				for k, it := range bucket {
+					color, err := dc.ColorOfUnit(myIdx, b, k)
+					if err != nil {
+						return nil, fmt.Errorf("core: relayRoute(%s): %w", stepKey, err)
+					}
+					relay := color % size
+					packet := make(clique.Packet, 0, len(it.words)+1)
+					packet = append(packet, clique.Word(it.dst))
+					packet = append(packet, it.words...)
+					c.send(relay, packet)
+				}
+			}
+		}
+	} else if len(mine) > 0 {
+		return nil, fmt.Errorf("core: relayRoute(%s): items passed without a group", stepKey)
+	}
+
+	// Round 1: items travel to their relays.
+	inbox, err := c.exchange()
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 2: relays forward each item to its destination.
+	for _, packets := range inbox {
+		for _, p := range packets {
+			if len(p) == 0 {
+				continue
+			}
+			dst := int(p[0])
+			if dst < 0 || dst >= size {
+				return nil, fmt.Errorf("core: relayRoute(%s): relayed destination %d out of range", stepKey, dst)
+			}
+			c.send(dst, p)
+		}
+	}
+	inbox, err = c.exchange()
+	if err != nil {
+		return nil, err
+	}
+
+	var received []item
+	for _, packets := range inbox {
+		for _, p := range packets {
+			if len(p) == 0 {
+				continue
+			}
+			received = append(received, item{dst: int(p[0]), words: p[1:].Clone()})
+		}
+	}
+	return received, nil
+}
+
+// announceFixed implements the announcement pattern used throughout the
+// paper ("each node in W announces ... to all nodes in W"): every group
+// member sends the same number of payloads to every other group member, so
+// the demand is uniform and known a priori, and Corollary 3.3 applies
+// directly (2 rounds).
+//
+// perMember is the fixed number of payloads each member announces; callers
+// pad with sentinel payloads when members have fewer real values. The return
+// value lists, for each group position a, the payloads announced by that
+// member (in unspecified order; payloads should carry their own indices when
+// order matters).
+//
+// Non-members pass a nil group and act as relays.
+func announceFixed(c *comm, group []int, payloads [][]clique.Word, perMember int, stepKey string) ([][][]clique.Word, error) {
+	var mine []item
+	var demand [][]int
+	myIdx := -1
+	if len(group) > 0 {
+		for i, g := range group {
+			if g == c.me {
+				myIdx = i
+				break
+			}
+		}
+		if myIdx < 0 {
+			return nil, fmt.Errorf("core: announceFixed(%s): node %d not in its group", stepKey, c.ex.ID())
+		}
+		if len(payloads) != perMember {
+			return nil, fmt.Errorf("core: announceFixed(%s): %d payloads, want %d", stepKey, len(payloads), perMember)
+		}
+		w := len(group)
+		demand = make([][]int, w)
+		for i := range demand {
+			demand[i] = make([]int, w)
+			for j := range demand[i] {
+				demand[i][j] = perMember
+			}
+		}
+		mine = make([]item, 0, w*perMember)
+		for _, dst := range group {
+			for _, p := range payloads {
+				words := make([]clique.Word, 0, len(p)+1)
+				words = append(words, clique.Word(myIdx))
+				words = append(words, p...)
+				mine = append(mine, item{dst: dst, words: words})
+			}
+		}
+	}
+
+	received, err := relayRoute(c, group, demand, mine, stepKey)
+	if err != nil {
+		return nil, err
+	}
+	if len(group) == 0 {
+		return nil, nil
+	}
+	out := make([][][]clique.Word, len(group))
+	for _, it := range received {
+		if len(it.words) < 1 {
+			return nil, fmt.Errorf("core: announceFixed(%s): malformed announcement", stepKey)
+		}
+		a := int(it.words[0])
+		if a < 0 || a >= len(group) {
+			return nil, fmt.Errorf("core: announceFixed(%s): announcement from invalid group position %d", stepKey, a)
+		}
+		out[a] = append(out[a], it.words[1:])
+	}
+	return out, nil
+}
+
+// announceIntVector announces one integer vector per group member to the
+// whole group (Algorithm 2 Step 3, Corollary 3.5, Corollary 3.4 phase 1, ...).
+// It returns all[a][t] = element t of the vector announced by group member a.
+// The vector length must be identical at all members.
+func announceIntVector(c *comm, group []int, vec []int, stepKey string) ([][]int, error) {
+	var payloads [][]clique.Word
+	perMember := 0
+	if len(group) > 0 {
+		perMember = len(vec)
+		payloads = make([][]clique.Word, 0, len(vec))
+		for t, v := range vec {
+			payloads = append(payloads, []clique.Word{clique.Word(t), clique.Word(v)})
+		}
+	}
+	raw, err := announceFixed(c, group, payloads, perMember, stepKey)
+	if err != nil || len(group) == 0 {
+		return nil, err
+	}
+	all := make([][]int, len(group))
+	for a := range all {
+		all[a] = make([]int, len(vec))
+		if len(raw[a]) != len(vec) {
+			return nil, fmt.Errorf("core: announceIntVector(%s): member %d announced %d values, want %d", stepKey, a, len(raw[a]), len(vec))
+		}
+		for _, p := range raw[a] {
+			if len(p) < 2 {
+				return nil, fmt.Errorf("core: announceIntVector(%s): malformed payload", stepKey)
+			}
+			t := int(p[0])
+			if t < 0 || t >= len(vec) {
+				return nil, fmt.Errorf("core: announceIntVector(%s): index %d out of range", stepKey, t)
+			}
+			all[a][t] = int(p[1])
+		}
+	}
+	return all, nil
+}
+
+// groupRouteUnknown implements Corollary 3.4: four-round routing of items
+// within a group when the demands are not known in advance. The first two
+// rounds announce the per-destination counts (uniform demand, Corollary 3.3),
+// which establishes the preconditions for delivering the items with another
+// invocation of Corollary 3.3.
+func groupRouteUnknown(c *comm, group []int, mine []item, stepKey string) ([]item, error) {
+	return groupRouteUnknownColored(c, group, mine, stepKey, false)
+}
+
+// groupRouteUnknownColored is groupRouteUnknown with a choice of schedule
+// coloring (see relayRouteColored).
+func groupRouteUnknownColored(c *comm, group []int, mine []item, stepKey string, greedy bool) ([]item, error) {
+	w := len(group)
+	var vec []int
+	if w > 0 {
+		posInGroup := make(map[int]int, w)
+		for i, g := range group {
+			posInGroup[g] = i
+		}
+		vec = make([]int, w)
+		for _, it := range mine {
+			b, ok := posInGroup[it.dst]
+			if !ok {
+				return nil, fmt.Errorf("core: groupRouteUnknown(%s): destination %d outside group", stepKey, it.dst)
+			}
+			vec[b]++
+		}
+	}
+	counts, err := announceIntVector(c, group, vec, stepKey+"/announce")
+	if err != nil {
+		return nil, err
+	}
+	var demand [][]int
+	if w > 0 {
+		demand = counts
+	}
+	return relayRouteColored(c, group, demand, mine, stepKey+"/deliver", greedy)
+}
+
+// aggregateAndBroadcast makes slot sums globally known in two rounds: every
+// member sends its contribution for slot k to the slot's aggregator, the
+// aggregator sums the contributions and broadcasts the result to all
+// members. This is the pattern of Algorithm 2 Step 1 and of the bucket-size
+// aggregation used by the sorting pipeline.
+//
+// contributions maps slot -> this node's contribution (absent slots
+// contribute nothing); aggregatorOf assigns each slot to a member (local
+// index). The per-edge load is bounded by the maximum number of slots a
+// single node contributes to a single aggregator, respectively the maximum
+// number of slots per aggregator, both of which are small constants in all
+// uses.
+func aggregateAndBroadcast(c *comm, contributions map[int]int64, aggregatorOf func(int) int, numSlots int) ([]int64, error) {
+	if !c.isMember() {
+		return nil, fmt.Errorf("core: aggregateAndBroadcast: node %d is not a member", c.ex.ID())
+	}
+	for slot, v := range contributions {
+		if slot < 0 || slot >= numSlots {
+			return nil, fmt.Errorf("core: aggregateAndBroadcast: slot %d out of range", slot)
+		}
+		c.send(aggregatorOf(slot), clique.Packet{clique.Word(slot), clique.Word(v)})
+	}
+	inbox, err := c.exchange()
+	if err != nil {
+		return nil, err
+	}
+
+	// Sum the contributions of the slots this node aggregates.
+	sums := make(map[int]int64)
+	for slot := 0; slot < numSlots; slot++ {
+		if aggregatorOf(slot) == c.me {
+			sums[slot] = 0
+		}
+	}
+	for _, packets := range inbox {
+		for _, p := range packets {
+			if len(p) < 2 {
+				continue
+			}
+			slot := int(p[0])
+			if _, mine := sums[slot]; !mine {
+				return nil, fmt.Errorf("core: aggregateAndBroadcast: node %d received contribution for foreign slot %d", c.ex.ID(), slot)
+			}
+			sums[slot] += int64(p[1])
+		}
+	}
+	for slot, sum := range sums {
+		for to := 0; to < c.size(); to++ {
+			c.send(to, clique.Packet{clique.Word(slot), clique.Word(sum)})
+		}
+	}
+	inbox, err = c.exchange()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, numSlots)
+	seen := make([]bool, numSlots)
+	for _, packets := range inbox {
+		for _, p := range packets {
+			if len(p) < 2 {
+				continue
+			}
+			slot := int(p[0])
+			if slot < 0 || slot >= numSlots {
+				return nil, fmt.Errorf("core: aggregateAndBroadcast: broadcast slot %d out of range", slot)
+			}
+			out[slot] = int64(p[1])
+			seen[slot] = true
+		}
+	}
+	for slot, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("core: aggregateAndBroadcast: slot %d never broadcast", slot)
+		}
+	}
+	return out, nil
+}
+
+// spreadBroadcast makes a set of slot payloads globally known in two rounds:
+// the holder of slot k sends it to member k mod size, which broadcasts it to
+// everyone. Exactly one member must hold each slot in 0..numSlots-1. This is
+// the delimiter announcement of Algorithm 4 Step 4.
+func spreadBroadcast(c *comm, held map[int]clique.Packet, numSlots int) (map[int]clique.Packet, error) {
+	if !c.isMember() {
+		return nil, fmt.Errorf("core: spreadBroadcast: node %d is not a member", c.ex.ID())
+	}
+	size := c.size()
+	for slot, payload := range held {
+		if slot < 0 || slot >= numSlots {
+			return nil, fmt.Errorf("core: spreadBroadcast: slot %d out of range", slot)
+		}
+		packet := make(clique.Packet, 0, len(payload)+1)
+		packet = append(packet, clique.Word(slot))
+		packet = append(packet, payload...)
+		c.send(slot%size, packet)
+	}
+	inbox, err := c.exchange()
+	if err != nil {
+		return nil, err
+	}
+	for _, packets := range inbox {
+		for _, p := range packets {
+			if len(p) < 1 {
+				continue
+			}
+			slot := int(p[0])
+			if slot%size != c.me {
+				return nil, fmt.Errorf("core: spreadBroadcast: node %d relayed foreign slot %d", c.ex.ID(), slot)
+			}
+			for to := 0; to < size; to++ {
+				c.send(to, p)
+			}
+		}
+	}
+	inbox, err = c.exchange()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]clique.Packet, numSlots)
+	for _, packets := range inbox {
+		for _, p := range packets {
+			if len(p) < 1 {
+				continue
+			}
+			slot := int(p[0])
+			if slot < 0 || slot >= numSlots {
+				return nil, fmt.Errorf("core: spreadBroadcast: broadcast slot %d out of range", slot)
+			}
+			out[slot] = p[1:].Clone()
+		}
+	}
+	// Slots nobody held simply stay absent; callers decide whether that is an
+	// error (the delimiter announcement of Algorithm 4 tolerates it when there
+	// are fewer samples than groups).
+	return out, nil
+}
+
+// balancePlan is the local redistribution pattern of Algorithm 1 Step 3 and
+// Algorithm 2 Step 4: given how many items of each class every group member
+// holds, it assigns each item a target member such that afterwards every
+// member holds an (almost) equal number of items of every class. The
+// assignment is derived from a König coloring of the member-by-class demand
+// matrix: the item of color c moves to member c mod w (the paper's rule).
+type balancePlan struct {
+	coloring *bipartite.DemandColoring
+	w        int
+}
+
+// newBalancePlan builds the plan from counts[a][t] = number of class-t items
+// held by group member a. The matrix is squared up with zero rows/columns if
+// the number of classes differs from the group size.
+func newBalancePlan(c *comm, counts [][]int, w int, stepKey string) (*balancePlan, error) {
+	numClasses := 0
+	for _, row := range counts {
+		if len(row) > numClasses {
+			numClasses = len(row)
+		}
+	}
+	dim := len(counts)
+	if numClasses > dim {
+		dim = numClasses
+	}
+	square := make([][]int, dim)
+	for i := range square {
+		square[i] = make([]int, dim)
+		if i < len(counts) {
+			copy(square[i], counts[i])
+		}
+	}
+	d := bipartite.MaxRowColSum(square)
+	if d == 0 {
+		d = 1
+	}
+	shared := c.shared(stepKey, func() interface{} {
+		dc, err := bipartite.ColorDemandMatrix(square, d)
+		if err != nil {
+			return err
+		}
+		return dc
+	})
+	dc, ok := shared.(*bipartite.DemandColoring)
+	if !ok {
+		return nil, fmt.Errorf("core: balance plan (%s): %v", stepKey, shared)
+	}
+	return &balancePlan{coloring: dc, w: w}, nil
+}
+
+// target returns the group position that the k-th class-t item of member a
+// must move to.
+func (p *balancePlan) target(a, t, k int) (int, error) {
+	color, err := p.coloring.ColorOfUnit(a, t, k)
+	if err != nil {
+		return 0, err
+	}
+	return color % p.w, nil
+}
+
+// moveDemand returns the member-to-member demand matrix induced by the plan,
+// which is what Corollary 3.3 needs to execute the redistribution.
+func (p *balancePlan) moveDemand(counts [][]int) ([][]int, error) {
+	w := p.w
+	demand := make([][]int, w)
+	for i := range demand {
+		demand[i] = make([]int, w)
+	}
+	for a := range counts {
+		for t := range counts[a] {
+			for k := 0; k < counts[a][t]; k++ {
+				b, err := p.target(a, t, k)
+				if err != nil {
+					return nil, err
+				}
+				demand[a][b]++
+			}
+		}
+	}
+	return demand, nil
+}

@@ -1,0 +1,491 @@
+package core
+
+import (
+	"fmt"
+
+	"congestedclique/internal/bipartite"
+	"congestedclique/internal/clique"
+)
+
+// parcel is the unit of the Information Distribution Task in its general
+// form: a constant number of payload words that must travel from Src to Dst
+// (both global node identifiers). The paper's messages of O(log n) bits are
+// parcels with a bounded number of words; the sorting pipeline reuses the
+// same machinery to move bundles of keys.
+type parcel struct {
+	Src   int
+	Dst   int
+	Words []clique.Word
+}
+
+// Route is the per-node entry point for the Information Distribution Task
+// (Problem 3.1): every node calls Route with the messages it wants delivered
+// and receives back the messages addressed to it. It implements Theorem 3.7:
+// a deterministic solution in at most 16 communication rounds.
+//
+//   - If n is a perfect square, Algorithm 1 runs directly (16 rounds).
+//   - If n is small (below routeTrivialThreshold), the whole clique is
+//     treated as a single group of Corollary 3.4 (4 rounds).
+//   - Otherwise the paper's V1/V2/V3 decomposition runs the two square
+//     sub-instances and the 6-round boundary procedure concurrently through
+//     the virtual multiplexer, so the total stays 16 rounds at the cost of a
+//     constant-factor increase in message size.
+func Route(ex clique.Exchanger, msgs []Message) ([]Message, error) {
+	c := fullComm(ex, fmt.Sprintf("route@r%d", ex.Round()))
+	parcels := make([]parcel, 0, len(msgs))
+	for _, m := range msgs {
+		parcels = append(parcels, parcel{Src: m.Src, Dst: m.Dst, Words: []clique.Word{clique.Word(m.Seq), m.Payload}})
+	}
+	received, err := routeParcels(c, parcels, "thm3.7")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Message, 0, len(received))
+	for _, p := range received {
+		if len(p.Words) < 2 {
+			return nil, fmt.Errorf("core: malformed routed message with %d payload words", len(p.Words))
+		}
+		out = append(out, Message{Src: p.Src, Dst: p.Dst, Seq: int(p.Words[0]), Payload: p.Words[1]})
+	}
+	sortMessages(out)
+	return out, nil
+}
+
+// routeTrivialThreshold is the clique size below which the V1/V2/V3
+// decomposition degenerates; such instances are routed as a single
+// Corollary 3.4 group instead.
+const routeTrivialThreshold = 9
+
+// routeParcels dispatches between the perfect-square algorithm, the
+// tiny-clique fallback and the general decomposition. Every member of the
+// comm must call it in the same round.
+func routeParcels(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) {
+	if err := validateParcels(c, parcels); err != nil {
+		return nil, err
+	}
+	m := c.size()
+	switch {
+	case m == 1:
+		return parcels, nil
+	case m < routeTrivialThreshold:
+		return routeTiny(c, parcels, keyPrefix+"/tiny")
+	case isPerfectSquare(m):
+		return routeSquare(c, parcels, keyPrefix+"/square")
+	default:
+		return routeGeneral(c, parcels, keyPrefix+"/general")
+	}
+}
+
+// validateParcels checks that every parcel source is this node and every
+// destination is a member of the instance.
+func validateParcels(c *comm, parcels []parcel) error {
+	for _, p := range parcels {
+		if p.Src != c.ex.ID() {
+			return fmt.Errorf("core: parcel (%d->%d) submitted by node %d", p.Src, p.Dst, c.ex.ID())
+		}
+		if _, ok := c.localOf(p.Dst); !ok {
+			return fmt.Errorf("core: parcel destination %d is not a member of instance %q", p.Dst, c.label)
+		}
+	}
+	return nil
+}
+
+// held is a parcel in transit together with the bookkeeping Algorithm 2
+// attaches to it: the destination as a local index of the enclosing comm and
+// the intermediate set assigned by the set-level coloring.
+//
+// Wire layout: [dstLocal, interSet, src, payload...].
+type held struct {
+	dstLocal int
+	interSet int
+	src      int
+	payload  []clique.Word
+}
+
+func encodeHeldParcel(h held) []clique.Word {
+	out := make([]clique.Word, 0, 3+len(h.payload))
+	out = append(out, clique.Word(h.dstLocal), clique.Word(h.interSet), clique.Word(h.src))
+	out = append(out, h.payload...)
+	return out
+}
+
+func decodeHeldParcel(w []clique.Word, c *comm) (held, error) {
+	if len(w) < 3 {
+		return held{}, fmt.Errorf("core: held parcel too short: %d words", len(w))
+	}
+	h := held{dstLocal: int(w[0]), interSet: int(w[1]), src: int(w[2]), payload: w[3:]}
+	if h.dstLocal < 0 || h.dstLocal >= c.size() {
+		return held{}, fmt.Errorf("core: held parcel destination %d out of range", h.dstLocal)
+	}
+	return h, nil
+}
+
+func (h held) toParcel(c *comm) parcel {
+	words := make([]clique.Word, len(h.payload))
+	copy(words, h.payload)
+	return parcel{Src: h.src, Dst: c.global(h.dstLocal), Words: words}
+}
+
+// routeTiny routes within a very small clique by treating all members as a
+// single group of Corollary 3.4 (4 rounds). The announcement volume is |W|^2
+// values, which is a constant because the clique size is bounded by
+// routeTrivialThreshold.
+func routeTiny(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) {
+	group := make([]int, c.size())
+	for i := range group {
+		group[i] = i
+	}
+	items := make([]item, 0, len(parcels))
+	for _, p := range parcels {
+		dstLocal, _ := c.localOf(p.Dst)
+		items = append(items, item{dst: dstLocal, words: encodeHeldParcel(held{dstLocal: dstLocal, src: p.Src, payload: p.Words})})
+	}
+	received, err := groupRouteUnknown(c, group, items, keyPrefix)
+	if err != nil {
+		return nil, err
+	}
+	return heldItemsToParcels(c, received, keyPrefix)
+}
+
+func heldItemsToParcels(c *comm, items []item, keyPrefix string) ([]parcel, error) {
+	out := make([]parcel, 0, len(items))
+	for _, it := range items {
+		h, err := decodeHeldParcel(it.words, c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", keyPrefix, err)
+		}
+		if h.dstLocal != c.me {
+			return nil, fmt.Errorf("%s: node %d received parcel for node %d", keyPrefix, c.ex.ID(), c.global(h.dstLocal))
+		}
+		out = append(out, h.toParcel(c))
+	}
+	return out, nil
+}
+
+// routeSquare is Algorithm 1 for a member count that is a perfect square.
+// The step structure and round budget follow the paper exactly:
+//
+//	Step 2 (Algorithm 2)  7 rounds   balance load between the √m node sets
+//	Step 3                4 rounds   balance by destination set inside each set
+//	Step 4                1 round    move parcels to their destination sets
+//	Step 5                4 rounds   deliver inside each destination set (Cor. 3.4)
+//	                     -- total 16 rounds (Theorem 3.7)
+func routeSquare(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) {
+	m := c.size()
+	s := isqrt(m)
+	if s*s != m {
+		return nil, fmt.Errorf("core: routeSquare called with non-square member count %d", m)
+	}
+	grp, err := newGrouping(m, s)
+	if err != nil {
+		return nil, err
+	}
+	myGroup := grp.groupOf(c.me)
+	groupMembers := make([]int, s)
+	for i := range groupMembers {
+		groupMembers[i] = grp.member(myGroup, i)
+	}
+	myIdxInGroup := grp.indexInGroup(c.me)
+
+	load := make([]held, 0, len(parcels))
+	for _, p := range parcels {
+		dstLocal, _ := c.localOf(p.Dst)
+		load = append(load, held{dstLocal: dstLocal, src: p.Src, payload: p.Words})
+	}
+
+	// ------------------------------------------------------------------
+	// Step 2 of Algorithm 1, implemented by Algorithm 2 (7 rounds).
+	// ------------------------------------------------------------------
+
+	// Algorithm 2, Step 1 (2 rounds): every set learns, for every pair of
+	// sets (A,B), how many parcels A holds with destination in B.
+	cntSet := make([]int, s)
+	for _, h := range load {
+		cntSet[grp.groupOf(h.dstLocal)]++
+	}
+	contributions := make(map[int]int64, s)
+	for b, v := range cntSet {
+		contributions[myGroup*s+b] = int64(v)
+	}
+	tFlat, err := aggregateAndBroadcast(c, contributions, func(slot int) int { return slot }, s*s)
+	if err != nil {
+		return nil, fmt.Errorf("%s step2.1: %w", keyPrefix, err)
+	}
+	setDemand := make([][]int, s)
+	for a := 0; a < s; a++ {
+		setDemand[a] = make([]int, s)
+		for b := 0; b < s; b++ {
+			setDemand[a][b] = int(tFlat[a*s+b])
+		}
+	}
+
+	// Algorithm 2, Step 2 (local): color the set-level multigraph; the parcel
+	// of color col is (eventually) moved to set col mod s. This is the
+	// exchange pattern all nodes agree on.
+	dT := bipartite.MaxRowColSum(setDemand)
+	var setColoring *bipartite.DemandColoring
+	if dT > 0 {
+		shared := c.shared(keyPrefix+"/setcoloring", func() interface{} {
+			dc, colErr := bipartite.ColorDemandMatrix(setDemand, dT)
+			if colErr != nil {
+				return colErr
+			}
+			return dc
+		})
+		var ok bool
+		setColoring, ok = shared.(*bipartite.DemandColoring)
+		if !ok {
+			return nil, fmt.Errorf("%s step2.2: set coloring failed: %v", keyPrefix, shared)
+		}
+	}
+
+	// Algorithm 2, Step 3 (2 rounds): inside every set, members announce how
+	// many parcels they hold per destination set, which pins down every
+	// parcel's position in the set-level order and hence its color.
+	perMemberCnt, err := announceIntVector(c, groupMembers, cntSet, keyPrefix+"/a2.announce")
+	if err != nil {
+		return nil, fmt.Errorf("%s step2.3: %w", keyPrefix, err)
+	}
+
+	// Algorithm 2, Step 4 (local): derive each parcel's intermediate set and
+	// compute the within-set balancing pattern so that afterwards every
+	// member holds (almost) the same number of parcels per intermediate set.
+	offsets := make([][]int, s) // offsets[a][b]: first unit index of member a in cell (myGroup,b)
+	for a := 0; a < s; a++ {
+		offsets[a] = make([]int, s)
+	}
+	for b := 0; b < s; b++ {
+		run := 0
+		for a := 0; a < s; a++ {
+			offsets[a][b] = run
+			run += perMemberCnt[a][b]
+		}
+	}
+	// interCounts[a][t]: number of parcels of member a assigned to
+	// intermediate set t; computable by every group member from the shared
+	// coloring and the announced counts.
+	interCounts := make([][]int, s)
+	for a := 0; a < s; a++ {
+		interCounts[a] = make([]int, s)
+		for b := 0; b < s; b++ {
+			if perMemberCnt[a][b] == 0 || setColoring == nil {
+				continue
+			}
+			byRes, resErr := countUnitsByResidue(setColoring, myGroup, b, offsets[a][b], offsets[a][b]+perMemberCnt[a][b], s)
+			if resErr != nil {
+				return nil, fmt.Errorf("%s step2.4: %w", keyPrefix, resErr)
+			}
+			for t := 0; t < s; t++ {
+				interCounts[a][t] += byRes[t]
+			}
+		}
+	}
+	// Assign my own parcels their intermediate sets.
+	bucketCursor := make([]int, s)
+	for i := range load {
+		b := grp.groupOf(load[i].dstLocal)
+		unit := offsets[myIdxInGroup][b] + bucketCursor[b]
+		bucketCursor[b]++
+		if setColoring == nil {
+			load[i].interSet = 0
+			continue
+		}
+		color, colErr := setColoring.ColorOfUnit(myGroup, b, unit)
+		if colErr != nil {
+			return nil, fmt.Errorf("%s step2.4: %w", keyPrefix, colErr)
+		}
+		load[i].interSet = color % s
+	}
+	plan2, err := newBalancePlan(c, interCounts, s, fmt.Sprintf("%s/a2.plan/grp%d", keyPrefix, myGroup))
+	if err != nil {
+		return nil, fmt.Errorf("%s step2.4: %w", keyPrefix, err)
+	}
+	demand2, err := plan2.moveDemand(interCounts)
+	if err != nil {
+		return nil, fmt.Errorf("%s step2.4: %w", keyPrefix, err)
+	}
+
+	// Algorithm 2, Step 5 (2 rounds): execute the within-set redistribution.
+	classCursor := make([]int, s)
+	items2 := make([]item, 0, len(load))
+	for _, h := range load {
+		k := classCursor[h.interSet]
+		classCursor[h.interSet]++
+		target, tErr := plan2.target(myIdxInGroup, h.interSet, k)
+		if tErr != nil {
+			return nil, fmt.Errorf("%s step2.5: %w", keyPrefix, tErr)
+		}
+		items2 = append(items2, item{dst: grp.member(myGroup, target), words: encodeHeldParcel(h)})
+	}
+	received2, err := relayRoute(c, groupMembers, demand2, items2, keyPrefix+"/a2.move")
+	if err != nil {
+		return nil, fmt.Errorf("%s step2.5: %w", keyPrefix, err)
+	}
+	load, err = decodeHeldItems(c, received2)
+	if err != nil {
+		return nil, fmt.Errorf("%s step2.5: %w", keyPrefix, err)
+	}
+
+	// Algorithm 2, Step 6 (1 round): every member now holds (almost) the same
+	// number of parcels for each intermediate set and sends one of them to
+	// each of that set's members.
+	byInter := make([][]held, s)
+	for _, h := range load {
+		byInter[h.interSet] = append(byInter[h.interSet], h)
+	}
+	for t := 0; t < s; t++ {
+		for k, h := range byInter[t] {
+			c.send(grp.member(t, k%s), clique.Packet(encodeHeldParcel(h)))
+		}
+	}
+	load, err = collectHeld(c, keyPrefix+" step2.6")
+	if err != nil {
+		return nil, err
+	}
+
+	// ------------------------------------------------------------------
+	// Step 3 of Algorithm 1 (4 rounds, Corollary 3.5): inside every set,
+	// balance the held parcels by (final) destination set.
+	// ------------------------------------------------------------------
+	cnt3 := make([]int, s)
+	for _, h := range load {
+		cnt3[grp.groupOf(h.dstLocal)]++
+	}
+	all3, err := announceIntVector(c, groupMembers, cnt3, keyPrefix+"/s3.announce")
+	if err != nil {
+		return nil, fmt.Errorf("%s step3: %w", keyPrefix, err)
+	}
+	plan3, err := newBalancePlan(c, all3, s, fmt.Sprintf("%s/s3.plan/grp%d", keyPrefix, myGroup))
+	if err != nil {
+		return nil, fmt.Errorf("%s step3: %w", keyPrefix, err)
+	}
+	demand3, err := plan3.moveDemand(all3)
+	if err != nil {
+		return nil, fmt.Errorf("%s step3: %w", keyPrefix, err)
+	}
+	cursor3 := make([]int, s)
+	items3 := make([]item, 0, len(load))
+	for _, h := range load {
+		cls := grp.groupOf(h.dstLocal)
+		k := cursor3[cls]
+		cursor3[cls]++
+		target, tErr := plan3.target(myIdxInGroup, cls, k)
+		if tErr != nil {
+			return nil, fmt.Errorf("%s step3: %w", keyPrefix, tErr)
+		}
+		items3 = append(items3, item{dst: grp.member(myGroup, target), words: encodeHeldParcel(h)})
+	}
+	received3, err := relayRoute(c, groupMembers, demand3, items3, keyPrefix+"/s3.move")
+	if err != nil {
+		return nil, fmt.Errorf("%s step3: %w", keyPrefix, err)
+	}
+	load, err = decodeHeldItems(c, received3)
+	if err != nil {
+		return nil, fmt.Errorf("%s step3: %w", keyPrefix, err)
+	}
+
+	// ------------------------------------------------------------------
+	// Step 4 of Algorithm 1 (1 round): every member sends, for each
+	// destination set, one of its parcels to each member of that set.
+	// ------------------------------------------------------------------
+	byDstSet := make([][]held, s)
+	for _, h := range load {
+		byDstSet[grp.groupOf(h.dstLocal)] = append(byDstSet[grp.groupOf(h.dstLocal)], h)
+	}
+	for t := 0; t < s; t++ {
+		for k, h := range byDstSet[t] {
+			c.send(grp.member(t, k%s), clique.Packet(encodeHeldParcel(h)))
+		}
+	}
+	load, err = collectHeld(c, keyPrefix+" step4")
+	if err != nil {
+		return nil, err
+	}
+
+	// ------------------------------------------------------------------
+	// Step 5 of Algorithm 1 (4 rounds, Corollary 3.4): deliver inside every
+	// destination set.
+	// ------------------------------------------------------------------
+	items5 := make([]item, 0, len(load))
+	for _, h := range load {
+		if grp.groupOf(h.dstLocal) != myGroup {
+			return nil, fmt.Errorf("%s step5: node %d holds a parcel for foreign set %d", keyPrefix, c.ex.ID(), grp.groupOf(h.dstLocal))
+		}
+		items5 = append(items5, item{dst: h.dstLocal, words: encodeHeldParcel(h)})
+	}
+	received5, err := groupRouteUnknown(c, groupMembers, items5, keyPrefix+"/s5")
+	if err != nil {
+		return nil, fmt.Errorf("%s step5: %w", keyPrefix, err)
+	}
+	return heldItemsToParcels(c, received5, keyPrefix+" step5")
+}
+
+// decodeHeldItems converts relay-routed items back to held parcels.
+func decodeHeldItems(c *comm, items []item) ([]held, error) {
+	out := make([]held, 0, len(items))
+	for _, it := range items {
+		h, err := decodeHeldParcel(it.words, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+// collectHeld performs one exchange and decodes every received packet as a
+// held parcel.
+func collectHeld(c *comm, context string) ([]held, error) {
+	inbox, err := c.exchange()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", context, err)
+	}
+	var out []held
+	for _, packets := range inbox {
+		for _, p := range packets {
+			h, decErr := decodeHeldParcel(p, c)
+			if decErr != nil {
+				return nil, fmt.Errorf("%s: %w", context, decErr)
+			}
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}
+
+// countUnitsByResidue returns how many of the units [lo,hi) of cell
+// (row, col) receive a color congruent to t modulo s, for every t.
+func countUnitsByResidue(dc *bipartite.DemandColoring, row, col, lo, hi, s int) ([]int, error) {
+	out := make([]int, s)
+	if lo >= hi {
+		return out, nil
+	}
+	unit := 0
+	for _, run := range dc.Runs[row][col] {
+		runLo, runHi := unit, unit+run.Len
+		unit = runHi
+		ovLo, ovHi := lo, hi
+		if runLo > ovLo {
+			ovLo = runLo
+		}
+		if runHi < ovHi {
+			ovHi = runHi
+		}
+		if ovLo >= ovHi {
+			continue
+		}
+		c0 := run.Start + (ovLo - runLo)
+		c1 := run.Start + (ovHi - runLo)
+		span := c1 - c0
+		for t := 0; t < s; t++ {
+			out[t] += span / s
+		}
+		for k := 0; k < span%s; k++ {
+			out[(c0+k)%s]++
+		}
+	}
+	if unit < hi {
+		return nil, fmt.Errorf("core: cell (%d,%d) has only %d units, need %d", row, col, unit, hi)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"congestedclique/internal/clique"
+)
+
+// SmallKeyResult is the outcome of the Section 6.3 counting protocol: the
+// exact multiplicity of every value of a small key domain, known to every
+// node. From the histogram each node can locally derive sorted order,
+// distinct ranks, modes and selections of its own keys — the point of
+// Section 6.3 is that for keys of o(log n) bits this takes only two rounds of
+// messages carrying one or two bits each.
+type SmallKeyResult struct {
+	// Counts[v] is the number of occurrences of value v in the whole system.
+	Counts []int64
+	// Domain is the size of the key domain.
+	Domain int
+}
+
+// Total returns the total number of keys counted.
+func (r *SmallKeyResult) Total() int64 {
+	var t int64
+	for _, c := range r.Counts {
+		t += c
+	}
+	return t
+}
+
+// DistinctRank returns the rank of value v among the distinct values present
+// in the system (the Corollary 4.6 notion of rank), or -1 if v is absent.
+func (r *SmallKeyResult) DistinctRank(v int) int {
+	if v < 0 || v >= r.Domain || r.Counts[v] == 0 {
+		return -1
+	}
+	rank := 0
+	for u := 0; u < v; u++ {
+		if r.Counts[u] > 0 {
+			rank++
+		}
+	}
+	return rank
+}
+
+// Rank returns the number of keys strictly smaller than v, i.e. the position
+// at which the first copy of v appears in the globally sorted sequence.
+func (r *SmallKeyResult) Rank(v int) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v > r.Domain {
+		v = r.Domain
+	}
+	var rank int64
+	for u := 0; u < v; u++ {
+		rank += r.Counts[u]
+	}
+	return rank
+}
+
+// Mode returns the most frequent value and its multiplicity (smallest value
+// wins ties); the boolean is false if no keys are present.
+func (r *SmallKeyResult) Mode() (int, int64, bool) {
+	best := -1
+	var bestCount int64
+	for v, c := range r.Counts {
+		if c > bestCount {
+			best = v
+			bestCount = c
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, bestCount, true
+}
+
+// SmallKeyCount implements the counting protocol of Section 6.3 for keys
+// drawn from a domain of size K. Every value is statically assigned a block
+// of helper nodes: one helper per (bit position of the per-node count, bit
+// position of the aggregated count). In the first round every node sends the
+// i-th bit of its local count of value v to the helpers of (v, i); in the
+// second round the j-th helper of (v, i) broadcasts the j-th bit of the
+// number of set bits it received. Every node then reconstructs the exact
+// global histogram. Both rounds use messages of a single word (conceptually
+// one bit), and the protocol needs K * ceil(log2(n+1))^2 <= n, the paper's
+// "number of different keys is at most n / log^2 n" regime.
+func SmallKeyCount(ex clique.Exchanger, myValues []int, domain int) (*SmallKeyResult, error) {
+	c := fullComm(ex, fmt.Sprintf("smallkeys@r%d", ex.Round()))
+	n := c.size()
+	if domain <= 0 {
+		return nil, fmt.Errorf("core: small-key domain must be positive, got %d", domain)
+	}
+	bits := 1
+	for (1 << bits) <= n {
+		bits++
+	}
+	if domain*bits*bits > n {
+		return nil, fmt.Errorf("core: domain %d needs %d helper nodes, only %d available (Section 6.3 requires K*log^2(n) <= n)",
+			domain, domain*bits*bits, n)
+	}
+
+	// Local histogram.
+	local := make([]int64, domain)
+	for _, v := range myValues {
+		if v < 0 || v >= domain {
+			return nil, fmt.Errorf("core: key value %d outside domain [0,%d)", v, domain)
+		}
+		local[v]++
+	}
+
+	helper := func(value, countBit, aggBit int) int {
+		return value*bits*bits + countBit*bits + aggBit
+	}
+
+	// Round 1: send the i-th bit of my count of value v to every helper of
+	// (v, i). Messages carry a single word holding the bit.
+	for v := 0; v < domain; v++ {
+		for i := 0; i < bits; i++ {
+			bit := (local[v] >> uint(i)) & 1
+			for j := 0; j < bits; j++ {
+				c.send(helper(v, i, j), clique.Packet{clique.Word(bit)})
+			}
+		}
+	}
+	inbox, err := c.exchange()
+	if err != nil {
+		return nil, fmt.Errorf("core: small-key round 1: %w", err)
+	}
+
+	// If I am the helper of (v, i, j), count the set bits I received and
+	// broadcast the j-th bit of that count.
+	myValue, myCountBit, myAggBit := -1, -1, -1
+	if c.me < domain*bits*bits {
+		myValue = c.me / (bits * bits)
+		myCountBit = (c.me / bits) % bits
+		myAggBit = c.me % bits
+	}
+	if myValue >= 0 {
+		var ones int64
+		for _, packets := range inbox {
+			for _, p := range packets {
+				if len(p) > 0 && p[0] == 1 {
+					ones++
+				}
+			}
+		}
+		outBit := (ones >> uint(myAggBit)) & 1
+		for to := 0; to < n; to++ {
+			c.send(to, clique.Packet{clique.Word(outBit)})
+		}
+	}
+	inbox, err = c.exchange()
+	if err != nil {
+		return nil, fmt.Errorf("core: small-key round 2: %w", err)
+	}
+
+	// Reconstruct: for every (v, i), the helpers of (v, i) collectively
+	// broadcast the binary representation of "how many nodes had bit i set in
+	// their count of v"; the global count of v is the weighted sum.
+	counts := make([]int64, domain)
+	for v := 0; v < domain; v++ {
+		for i := 0; i < bits; i++ {
+			var ones int64
+			for j := 0; j < bits; j++ {
+				p := clique.Inbox(inbox).Single(helper(v, i, j))
+				if p == nil || len(p) < 1 {
+					return nil, fmt.Errorf("core: small-key round 2: missing bit from helper of (%d,%d,%d)", v, i, j)
+				}
+				if p[0] == 1 {
+					ones |= 1 << uint(j)
+				}
+			}
+			counts[v] += ones << uint(i)
+		}
+	}
+	_ = myCountBit
+	return &SmallKeyResult{Counts: counts, Domain: domain}, nil
+}

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"congestedclique/internal/clique"
+)
+
+// SortResult is what each node learns from the sorting algorithm: its batch
+// of the globally sorted key sequence and the global rank of the batch's
+// first key. Node i receives the i-th batch (Problem 4.1).
+type SortResult struct {
+	// Batch holds this node's portion of the globally sorted sequence, in
+	// ascending order.
+	Batch []Key
+	// Start is the global rank (0-based) of Batch[0]; consecutive nodes hold
+	// consecutive rank ranges.
+	Start int
+	// Total is the total number of keys in the system.
+	Total int
+}
+
+// keysPerBundle is the number of keys packed into one routed parcel, the
+// paper's "bundling a constant number of keys in each message".
+const keysPerBundle = 2
+
+// Sort is the per-node entry point of the deterministic sorting algorithm
+// (Algorithm 4 / Theorem 4.5). Every node calls Sort with at most n keys; the
+// result gives each node its batch of the global order. The schedule uses 37
+// communication rounds:
+//
+//	Step 2   1 round    send selected keys to the first group
+//	Step 3   8 rounds   Algorithm 3 on the selected keys (group 0)
+//	Step 4   2 rounds   announce the global delimiters
+//	Step 6  16 rounds   route every key to its bucket's group (Theorem 3.7),
+//	                    with the bucket-size aggregation multiplexed on top
+//	Step 7   8 rounds   Algorithm 3 inside every group concurrently
+//	Step 8   2 rounds   redistribute by global rank
+func Sort(ex clique.Exchanger, myKeys []Key) (*SortResult, error) {
+	label := fmt.Sprintf("sort@r%d", ex.Round())
+	c := fullComm(ex, label)
+	n := c.size()
+	if len(myKeys) > n {
+		return nil, fmt.Errorf("core: node %d submitted %d keys, Problem 4.1 allows at most n=%d", ex.ID(), len(myKeys), n)
+	}
+	for _, k := range myKeys {
+		if k.Origin != ex.ID() {
+			return nil, fmt.Errorf("core: node %d submitted a key with origin %d", ex.ID(), k.Origin)
+		}
+	}
+	if n == 1 {
+		batch := append([]Key(nil), myKeys...)
+		sortKeys(batch)
+		return &SortResult{Batch: batch, Start: 0, Total: len(batch)}, nil
+	}
+	if n < routeTrivialThreshold {
+		// Tiny cliques: a single application of Algorithm 3 over the whole
+		// clique already sorts (the two-level structure of Algorithm 4 only
+		// matters asymptotically).
+		return sortTiny(c, myKeys, label)
+	}
+	return sortLarge(c, myKeys, label)
+}
+
+// sortTiny sorts a small clique with one invocation of Algorithm 3 over the
+// whole member set, followed by the rank-balanced redistribution.
+func sortTiny(c *comm, myKeys []Key, keyPrefix string) (*SortResult, error) {
+	group := make([]int, c.size())
+	for i := range group {
+		group[i] = i
+	}
+	res, err := groupSort(c, group, myKeys, c.size(), keyPrefix+"/tiny")
+	if err != nil {
+		return nil, err
+	}
+	myOffset := 0
+	total := 0
+	for i, sz := range res.bucketSizes {
+		if i < c.me {
+			myOffset += sz
+		}
+		total += sz
+	}
+	return dealByRank(c, res.myBucket, myOffset, total, keyPrefix+"/tiny.rank")
+}
+
+// sortLarge is Algorithm 4 proper.
+func sortLarge(c *comm, myKeys []Key, keyPrefix string) (*SortResult, error) {
+	n := c.size()
+	s := isqrt(n) // group size (floor of sqrt(n))
+	numGroups := ceilDiv(n, s)
+	groupOf := func(local int) int { return local / s }
+	groupMembersOf := func(g int) []int {
+		lo := g * s
+		hi := lo + s
+		if hi > n {
+			hi = n
+		}
+		members := make([]int, hi-lo)
+		for i := range members {
+			members[i] = lo + i
+		}
+		return members
+	}
+	myGroup := groupOf(c.me)
+	myGroupMembers := groupMembersOf(myGroup)
+
+	// Step 1 (local): sort the input and select every sigma1-th key.
+	input := append([]Key(nil), myKeys...)
+	sortKeys(input)
+	sigma1 := ceilDiv(n, s)
+	var selected []Key
+	for i := sigma1 - 1; i < len(input); i += sigma1 {
+		selected = append(selected, input[i])
+	}
+
+	// Step 2 (1 round): the i-th selected key goes to node i (all of which
+	// belong to the first group because at most s keys are selected).
+	for i, k := range selected {
+		c.send(i, clique.Packet(encodeKey(k)))
+	}
+	inbox, err := c.exchange()
+	if err != nil {
+		return nil, fmt.Errorf("%s step2: %w", keyPrefix, err)
+	}
+	var samples []Key
+	for _, packets := range inbox {
+		for _, p := range packets {
+			k, decErr := decodeKey(p)
+			if decErr != nil {
+				return nil, fmt.Errorf("%s step2: %w", keyPrefix, decErr)
+			}
+			samples = append(samples, k)
+		}
+	}
+
+	// Step 3 (8 rounds): Algorithm 3 sorts the samples within group 0; all
+	// other nodes participate as relays.
+	var sampleGroup []int
+	if myGroup == 0 {
+		sampleGroup = groupMembersOf(0)
+	}
+	sampleSort, err := groupSort(c, sampleGroup, samples, n, keyPrefix+"/s3")
+	if err != nil {
+		return nil, fmt.Errorf("%s step3: %w", keyPrefix, err)
+	}
+
+	// Step 4 (2 rounds): pick numGroups-1 delimiters (the g-quantiles of the
+	// sorted samples) and make them globally known.
+	heldDelims := make(map[int]clique.Packet)
+	if myGroup == 0 {
+		totalSamples := 0
+		myOffset := 0
+		for i, sz := range sampleSort.bucketSizes {
+			if i < indexIn(sampleGroup, c.me) {
+				myOffset += sz
+			}
+			totalSamples += sz
+		}
+		for k := 1; k < numGroups; k++ {
+			rank := ceilDiv(k*totalSamples, numGroups) - 1 // 0-based rank of the k-th delimiter
+			if rank < 0 {
+				continue
+			}
+			if rank >= myOffset && rank < myOffset+len(sampleSort.myBucket) {
+				heldDelims[k-1] = clique.Packet(encodeKey(sampleSort.myBucket[rank-myOffset]))
+			}
+		}
+	}
+	delimPackets, err := spreadBroadcast(c, heldDelims, numGroups-1)
+	if err != nil {
+		return nil, fmt.Errorf("%s step4: %w", keyPrefix, err)
+	}
+	delims := make([]Key, 0, numGroups-1)
+	for k := 0; k < numGroups-1; k++ {
+		p, ok := delimPackets[k]
+		if !ok {
+			// Fewer samples than groups: missing delimiters collapse to the
+			// previous one, which simply leaves some buckets empty.
+			if len(delims) > 0 {
+				delims = append(delims, delims[len(delims)-1])
+				continue
+			}
+			delims = append(delims, Key{Value: -1 << 62})
+			continue
+		}
+		k, decErr := decodeKey(p)
+		if decErr != nil {
+			return nil, fmt.Errorf("%s step4: %w", keyPrefix, decErr)
+		}
+		delims = append(delims, k)
+	}
+
+	// Step 5 (local): split my input into buckets by the delimiters. Bucket j
+	// receives the keys in (delims[j-1], delims[j]]; the last bucket is
+	// unbounded above.
+	buckets := make([][]Key, numGroups)
+	for _, k := range input {
+		j := sort.Search(len(delims), func(i int) bool { return k.Less(delims[i]) || k == delims[i] })
+		buckets[j] = append(buckets[j], k)
+	}
+
+	// Step 6 (16 rounds): route every key to its bucket's group, spreading
+	// each bucket evenly over the group members; concurrently aggregate the
+	// global bucket sizes (2 rounds) on the multiplexer.
+	var routedKeys []Key
+	bucketSizes := make([]int64, numGroups)
+	mux := clique.NewMux(c.ex)
+	err = mux.Run(map[int]func(clique.Exchanger) error{
+		1: func(ex clique.Exchanger) error {
+			sub := fullCommOn(ex, c, keyPrefix+"/s6")
+			parcels := buildBucketParcels(sub, buckets, groupMembersOf)
+			received, rErr := routeParcels(sub, parcels, keyPrefix+"/s6.route")
+			if rErr != nil {
+				return rErr
+			}
+			routedKeys, rErr = unbundleKeys(received)
+			return rErr
+		},
+		2: func(ex clique.Exchanger) error {
+			sub := fullCommOn(ex, c, keyPrefix+"/s6agg")
+			contributions := make(map[int]int64, numGroups)
+			for j, b := range buckets {
+				contributions[j] = int64(len(b))
+			}
+			sums, aErr := aggregateAndBroadcast(sub, contributions, func(slot int) int { return slot }, numGroups)
+			if aErr != nil {
+				return aErr
+			}
+			copy(bucketSizes, sums)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s step6: %w", keyPrefix, err)
+	}
+
+	// Step 7 (8 rounds): Algorithm 3 inside every group concurrently sorts
+	// the keys of that group's bucket.
+	bucketSort, err := groupSort(c, myGroupMembers, routedKeys, 4*n, keyPrefix+"/s7")
+	if err != nil {
+		return nil, fmt.Errorf("%s step7: %w", keyPrefix, err)
+	}
+
+	// Step 8 (2 rounds): every node knows the global rank of each key it
+	// holds (bucket offset + within-group offset + local position), so the
+	// keys can be dealt to relays and forwarded to their final nodes.
+	total := 0
+	myStartRank := 0
+	for j := 0; j < numGroups; j++ {
+		if j < myGroup {
+			myStartRank += int(bucketSizes[j])
+		}
+		total += int(bucketSizes[j])
+	}
+	for i, sz := range bucketSort.bucketSizes {
+		if i < indexIn(myGroupMembers, c.me) {
+			myStartRank += sz
+		}
+	}
+	return dealByRank(c, bucketSort.myBucket, myStartRank, total, keyPrefix+"/s8")
+}
+
+// indexIn returns the position of x in the sorted slice members, or -1.
+func indexIn(members []int, x int) int {
+	for i, m := range members {
+		if m == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// buildBucketParcels bundles the keys of every bucket into parcels addressed
+// to the members of the bucket's group, spreading each bucket evenly over the
+// group and rotating the start member by the sender's identifier so the
+// rounding excess does not pile up on the same member.
+func buildBucketParcels(c *comm, buckets [][]Key, groupMembersOf func(int) []int) []parcel {
+	var parcels []parcel
+	for j, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		members := groupMembersOf(j)
+		w := len(members)
+		perMember := make([][]Key, w)
+		for t, k := range bucket {
+			slot := (t + c.me) % w
+			perMember[slot] = append(perMember[slot], k)
+		}
+		for slot, ks := range perMember {
+			dst := c.global(members[slot])
+			for lo := 0; lo < len(ks); lo += keysPerBundle {
+				hi := lo + keysPerBundle
+				if hi > len(ks) {
+					hi = len(ks)
+				}
+				words := make([]clique.Word, 0, 1+(hi-lo)*keyWords)
+				words = append(words, clique.Word(hi-lo))
+				for _, k := range ks[lo:hi] {
+					words = append(words, encodeKey(k)...)
+				}
+				parcels = append(parcels, parcel{Src: c.ex.ID(), Dst: dst, Words: words})
+			}
+		}
+	}
+	return parcels
+}
+
+// unbundleKeys decodes the key bundles produced by buildBucketParcels.
+func unbundleKeys(parcels []parcel) ([]Key, error) {
+	var keys []Key
+	for _, p := range parcels {
+		if len(p.Words) < 1 {
+			return nil, fmt.Errorf("core: empty key bundle")
+		}
+		count := int(p.Words[0])
+		want := 1 + count*keyWords
+		if count < 0 || len(p.Words) < want {
+			return nil, fmt.Errorf("core: malformed key bundle (%d keys, %d words)", count, len(p.Words))
+		}
+		for i := 0; i < count; i++ {
+			k, err := decodeKey(p.Words[1+i*keyWords:])
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, k)
+		}
+	}
+	return keys, nil
+}
+
+// dealByRank implements the final redistribution (Algorithm 3/4, Step 8):
+// this node holds a contiguous run of the globally sorted sequence starting
+// at global rank start; afterwards node i holds ranks [i*perNode,
+// (i+1)*perNode). Because every holder knows its keys' global ranks, two
+// rounds suffice: keys are dealt round-robin over all nodes (with their rank
+// attached) and every relay forwards each key to its final node.
+func dealByRank(c *comm, run []Key, start, total int, keyPrefix string) (*SortResult, error) {
+	n := c.size()
+	perNode := ceilDiv(total, n)
+	if perNode == 0 {
+		perNode = 1
+	}
+
+	// Round 1: deal (rank,key) pairs, bundled, round-robin over all nodes.
+	type rankedKey struct {
+		rank int
+		key  Key
+	}
+	const bundle = keysPerBundle
+	packetIdx := 0
+	for lo := 0; lo < len(run); lo += bundle {
+		hi := lo + bundle
+		if hi > len(run) {
+			hi = len(run)
+		}
+		words := make([]clique.Word, 0, 1+(hi-lo)*(keyWords+1))
+		words = append(words, clique.Word(hi-lo))
+		for t := lo; t < hi; t++ {
+			words = append(words, clique.Word(start+t))
+			words = append(words, encodeKey(run[t])...)
+		}
+		c.send((c.me+packetIdx)%n, clique.Packet(words))
+		packetIdx++
+	}
+	inbox, err := c.exchange()
+	if err != nil {
+		return nil, fmt.Errorf("%s deal: %w", keyPrefix, err)
+	}
+	var relayed []rankedKey
+	for _, packets := range inbox {
+		for _, p := range packets {
+			if len(p) < 1 {
+				continue
+			}
+			count := int(p[0])
+			if count < 0 || len(p) < 1+count*(keyWords+1) {
+				return nil, fmt.Errorf("%s deal: malformed ranked bundle", keyPrefix)
+			}
+			for i := 0; i < count; i++ {
+				base := 1 + i*(keyWords+1)
+				k, decErr := decodeKey(p[base+1:])
+				if decErr != nil {
+					return nil, fmt.Errorf("%s deal: %w", keyPrefix, decErr)
+				}
+				relayed = append(relayed, rankedKey{rank: int(p[base]), key: k})
+			}
+		}
+	}
+
+	// Round 2: forward every key to the node owning its rank range.
+	for _, rk := range relayed {
+		dst := rk.rank / perNode
+		if dst >= n {
+			dst = n - 1
+		}
+		words := make([]clique.Word, 0, 1+keyWords)
+		words = append(words, clique.Word(rk.rank))
+		words = append(words, encodeKey(rk.key)...)
+		c.send(dst, clique.Packet(words))
+	}
+	inbox, err = c.exchange()
+	if err != nil {
+		return nil, fmt.Errorf("%s deliver: %w", keyPrefix, err)
+	}
+	var mine []rankedKey
+	for _, packets := range inbox {
+		for _, p := range packets {
+			if len(p) < 1+keyWords {
+				continue
+			}
+			k, decErr := decodeKey(p[1:])
+			if decErr != nil {
+				return nil, fmt.Errorf("%s deliver: %w", keyPrefix, decErr)
+			}
+			mine = append(mine, rankedKey{rank: int(p[0]), key: k})
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i].rank < mine[j].rank })
+
+	res := &SortResult{Total: total}
+	if len(mine) > 0 {
+		res.Start = mine[0].rank
+	} else {
+		res.Start = min(c.me*perNode, total)
+	}
+	for i, rk := range mine {
+		if i > 0 && mine[i-1].rank+1 != rk.rank {
+			return nil, fmt.Errorf("%s deliver: node %d received non-contiguous ranks %d and %d", keyPrefix, c.ex.ID(), mine[i-1].rank, rk.rank)
+		}
+		res.Batch = append(res.Batch, rk.key)
+	}
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"congestedclique/internal/clique"
+)
+
+// groupSortResult is what a group member learns from Algorithm 3: its bucket
+// of the group's sorted key sequence, the sizes of all buckets (so global
+// offsets inside the group are known to every member), and the delimiters
+// that defined the buckets.
+type groupSortResult struct {
+	myBucket    []Key
+	bucketSizes []int
+	delimiters  []Key
+}
+
+// groupSort implements Algorithm 3: the members of one group sort the union
+// of their keys using only edges with at least one endpoint in the group
+// (plus the shared relays of Corollary 3.3, which is what allows disjoint
+// groups to run concurrently). Every member of the comm must call groupSort
+// in the same round; nodes with a nil group participate as relays only.
+//
+// capacity is an upper bound on the number of keys any group member holds
+// (the paper's "2n"); it determines the sampling stride. The round budget is
+// 8: 2 (announce samples) + 2 (announce bucket counts) + 4 (Corollary 3.4
+// key exchange). The paper's Step 8 (rebalancing to exactly equal batches) is
+// provided separately by dealByRank, matching how Algorithm 4 skips it.
+func groupSort(c *comm, group []int, myKeys []Key, capacity int, keyPrefix string) (*groupSortResult, error) {
+	m := c.size()
+	w := len(group)
+
+	var (
+		sigma    int
+		maxSel   int
+		selected []Key
+		input    []Key
+		myIdx    = -1
+	)
+	if w > 0 {
+		if len(myKeys) > capacity {
+			return nil, fmt.Errorf("core: groupSort(%s): node %d holds %d keys, capacity %d", keyPrefix, c.ex.ID(), len(myKeys), capacity)
+		}
+		myIdx = indexIn(group, c.me)
+		if myIdx < 0 {
+			return nil, fmt.Errorf("core: groupSort(%s): node %d not in its group", keyPrefix, c.ex.ID())
+		}
+		// Step 1 (local): sort the input and select every sigma-th key. The
+		// stride is chosen so that the group-wide number of samples is at
+		// most m, keeping the announcement inside the Corollary 3.3 budget
+		// (the paper's sigma = 2*sqrt(n) for w = sqrt(n), capacity = 2n,
+		// m = n).
+		input = append([]Key(nil), myKeys...)
+		sortKeys(input)
+		sigma = ceilDiv(w*capacity, m)
+		if sigma < 1 {
+			sigma = 1
+		}
+		maxSel = ceilDiv(capacity, sigma)
+		for i := sigma - 1; i < len(input); i += sigma {
+			selected = append(selected, input[i])
+		}
+	}
+
+	// Step 2 (2 rounds): announce the selected keys to every group member.
+	// Payload: [valid, value, origin, seq], padded to maxSel entries so the
+	// demand is uniform.
+	var payloads [][]clique.Word
+	if w > 0 {
+		payloads = make([][]clique.Word, 0, maxSel)
+		for _, k := range selected {
+			p := append([]clique.Word{1}, encodeKey(k)...)
+			payloads = append(payloads, p)
+		}
+		for len(payloads) < maxSel {
+			payloads = append(payloads, []clique.Word{0, 0, 0, 0})
+		}
+	}
+	announced, err := announceFixed(c, group, payloads, maxSel, keyPrefix+"/samples")
+	if err != nil {
+		return nil, fmt.Errorf("core: groupSort(%s) step2: %w", keyPrefix, err)
+	}
+
+	var delims []Key
+	var buckets [][]Key
+	if w > 0 {
+		// Step 3 (local): merge the samples and pick the w-quantiles as
+		// delimiters.
+		var samples []Key
+		for _, perSender := range announced {
+			for _, p := range perSender {
+				if len(p) < 1+keyWords || p[0] != 1 {
+					continue
+				}
+				k, decErr := decodeKey(p[1:])
+				if decErr != nil {
+					return nil, fmt.Errorf("core: groupSort(%s) step3: %w", keyPrefix, decErr)
+				}
+				samples = append(samples, k)
+			}
+		}
+		sortKeys(samples)
+		delims = make([]Key, 0, w-1)
+		for j := 1; j < w; j++ {
+			if len(samples) == 0 {
+				break
+			}
+			rank := ceilDiv(j*len(samples), w) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			delims = append(delims, samples[rank])
+		}
+
+		// Step 4 (local): split my input into buckets by the delimiters; the
+		// last bucket is unbounded above.
+		buckets = make([][]Key, w)
+		for _, k := range input {
+			j := sort.Search(len(delims), func(i int) bool { return k.Less(delims[i]) || k == delims[i] })
+			buckets[j] = append(buckets[j], k)
+		}
+	}
+
+	// Step 5 (2 rounds): announce the bucket counts.
+	var counts []int
+	if w > 0 {
+		counts = make([]int, w)
+		for j := range buckets {
+			counts[j] = len(buckets[j])
+		}
+	}
+	allCounts, err := announceIntVector(c, group, counts, keyPrefix+"/counts")
+	if err != nil {
+		return nil, fmt.Errorf("core: groupSort(%s) step5: %w", keyPrefix, err)
+	}
+
+	// Step 6 (4 rounds): send bucket j to the j-th group member, bundling a
+	// constant number of keys per message (Corollary 3.4).
+	var items []item
+	if w > 0 {
+		for j, bucket := range buckets {
+			for lo := 0; lo < len(bucket); lo += keysPerBundle {
+				hi := lo + keysPerBundle
+				if hi > len(bucket) {
+					hi = len(bucket)
+				}
+				words := make([]clique.Word, 0, 1+(hi-lo)*keyWords)
+				words = append(words, clique.Word(hi-lo))
+				for _, k := range bucket[lo:hi] {
+					words = append(words, encodeKey(k)...)
+				}
+				items = append(items, item{dst: group[j], words: words})
+			}
+		}
+	}
+	received, err := groupRouteUnknown(c, group, items, keyPrefix+"/exchange")
+	if err != nil {
+		return nil, fmt.Errorf("core: groupSort(%s) step6: %w", keyPrefix, err)
+	}
+
+	if w == 0 {
+		return &groupSortResult{}, nil
+	}
+
+	// Step 7 (local): sort the received keys; they form my bucket of the
+	// group-wide order.
+	var myBucket []Key
+	for _, it := range received {
+		if len(it.words) < 1 {
+			return nil, fmt.Errorf("core: groupSort(%s) step7: empty bundle", keyPrefix)
+		}
+		count := int(it.words[0])
+		if count < 0 || len(it.words) < 1+count*keyWords {
+			return nil, fmt.Errorf("core: groupSort(%s) step7: malformed bundle", keyPrefix)
+		}
+		for i := 0; i < count; i++ {
+			k, decErr := decodeKey(it.words[1+i*keyWords:])
+			if decErr != nil {
+				return nil, fmt.Errorf("core: groupSort(%s) step7: %w", keyPrefix, decErr)
+			}
+			myBucket = append(myBucket, k)
+		}
+	}
+	sortKeys(myBucket)
+
+	bucketSizes := make([]int, w)
+	for j := 0; j < w; j++ {
+		for a := 0; a < w; a++ {
+			bucketSizes[j] += allCounts[a][j]
+		}
+	}
+	if bucketSizes[myIdx] != len(myBucket) {
+		return nil, fmt.Errorf("core: groupSort(%s): node %d received %d keys, announced bucket size %d",
+			keyPrefix, c.ex.ID(), len(myBucket), bucketSizes[myIdx])
+	}
+	return &groupSortResult{myBucket: myBucket, bucketSizes: bucketSizes, delimiters: delims}, nil
+}

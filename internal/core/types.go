@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"congestedclique/internal/clique"
+)
+
+// Message is one unit of the Information Distribution Task (Problem 3.1):
+// node Src must deliver Payload to node Dst. Seq is the message's index in
+// the source's input; together (Src, Dst, Seq) order messages
+// lexicographically and make them distinguishable, as required by the paper.
+type Message struct {
+	Src     int
+	Dst     int
+	Seq     int
+	Payload clique.Word
+}
+
+// Less orders messages lexicographically by (Src, Dst, Seq), the global order
+// used by Problem 3.1.
+func (m Message) Less(o Message) bool {
+	if m.Src != o.Src {
+		return m.Src < o.Src
+	}
+	if m.Dst != o.Dst {
+		return m.Dst < o.Dst
+	}
+	return m.Seq < o.Seq
+}
+
+// messageWords is the wire size of an encoded Message.
+const messageWords = 4
+
+// encodeMessage packs a message into words: [dst, src, seq, payload].
+func encodeMessage(m Message) []clique.Word {
+	return []clique.Word{clique.Word(m.Dst), clique.Word(m.Src), clique.Word(m.Seq), m.Payload}
+}
+
+// decodeMessage unpacks a message encoded by encodeMessage.
+func decodeMessage(w []clique.Word) (Message, error) {
+	if len(w) < messageWords {
+		return Message{}, fmt.Errorf("core: message payload too short: %d words", len(w))
+	}
+	return Message{Dst: int(w[0]), Src: int(w[1]), Seq: int(w[2]), Payload: w[3]}, nil
+}
+
+// Key is one unit of the sorting problem (Problem 4.1). Keys are made
+// distinct by ordering them lexicographically by (Value, Origin, Seq), the
+// paper's footnote-5 convention, so duplicate values are handled uniformly.
+type Key struct {
+	Value  int64
+	Origin int
+	Seq    int
+}
+
+// Less orders keys by (Value, Origin, Seq).
+func (k Key) Less(o Key) bool {
+	if k.Value != o.Value {
+		return k.Value < o.Value
+	}
+	if k.Origin != o.Origin {
+		return k.Origin < o.Origin
+	}
+	return k.Seq < o.Seq
+}
+
+// keyWords is the wire size of an encoded Key.
+const keyWords = 3
+
+func encodeKey(k Key) []clique.Word {
+	return []clique.Word{k.Value, clique.Word(k.Origin), clique.Word(k.Seq)}
+}
+
+func decodeKey(w []clique.Word) (Key, error) {
+	if len(w) < keyWords {
+		return Key{}, fmt.Errorf("core: key payload too short: %d words", len(w))
+	}
+	return Key{Value: w[0], Origin: int(w[1]), Seq: int(w[2])}, nil
+}
+
+func sortKeys(ks []Key) {
+	sort.Slice(ks, func(i, j int) bool { return ks[i].Less(ks[j]) })
+}
+
+// SortKeySlice sorts keys in the global order used by the sorting problem
+// (ascending by value with the footnote-5 tie-break). It is exported for the
+// verification and baseline packages.
+func SortKeySlice(ks []Key) { sortKeys(ks) }
+
+// SortMessageSlice sorts messages in the lexicographic order of Problem 3.1.
+func SortMessageSlice(ms []Message) { sortMessages(ms) }
+
+func sortMessages(ms []Message) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Less(ms[j]) })
+}
+
+// comm is the execution context of one protocol instance: the Exchanger of
+// this physical node plus the (sorted) member list of the sub-clique the
+// instance runs on. All algorithm code addresses nodes by their local index
+// within the member list; relays for Corollary 3.3 are likewise drawn from
+// the member list, so an instance never touches edges with both endpoints
+// outside its members (the property that lets instances run concurrently).
+type comm struct {
+	ex      clique.Exchanger
+	members []int
+	local   map[int]int
+	me      int // local index of this node, or -1 if it is not a member
+	label   string
+}
+
+// newComm builds the context for an instance named label (labels scope the
+// deterministic shared-computation cache) with the given members. Members
+// must be sorted, distinct and valid node identifiers.
+func newComm(ex clique.Exchanger, label string, members []int) (*comm, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: instance %q has no members", label)
+	}
+	local := make(map[int]int, len(members))
+	for i, g := range members {
+		if g < 0 || g >= ex.N() {
+			return nil, fmt.Errorf("core: instance %q member %d out of range", label, g)
+		}
+		if i > 0 && members[i-1] >= g {
+			return nil, fmt.Errorf("core: instance %q members not sorted/distinct at index %d", label, i)
+		}
+		local[g] = i
+	}
+	me := -1
+	if idx, ok := local[ex.ID()]; ok {
+		me = idx
+	}
+	return &comm{ex: ex, members: members, local: local, me: me, label: label}, nil
+}
+
+// fullComm is the common case of an instance spanning the whole clique.
+func fullComm(ex clique.Exchanger, label string) *comm {
+	members := make([]int, ex.N())
+	for i := range members {
+		members[i] = i
+	}
+	c, err := newComm(ex, label, members)
+	if err != nil {
+		// Cannot happen: the member list is valid by construction.
+		panic(err)
+	}
+	return c
+}
+
+// size returns the number of members.
+func (c *comm) size() int { return len(c.members) }
+
+// isMember reports whether this node belongs to the instance.
+func (c *comm) isMember() bool { return c.me >= 0 }
+
+// global converts a local member index to a global node identifier.
+func (c *comm) global(local int) int { return c.members[local] }
+
+// localOf converts a global node identifier to a local index.
+func (c *comm) localOf(global int) (int, bool) {
+	idx, ok := c.local[global]
+	return idx, ok
+}
+
+// send queues a packet for the member with the given local index.
+func (c *comm) send(localTo int, p clique.Packet) {
+	c.ex.Send(c.members[localTo], p)
+}
+
+// exchange runs one round barrier and returns the received packets re-indexed
+// by local member index. Packets from non-members are ignored (well-formed
+// instances never produce them).
+func (c *comm) exchange() ([][]clique.Packet, error) {
+	inbox, err := c.ex.Exchange()
+	if err != nil {
+		return nil, fmt.Errorf("core: instance %q exchange: %w", c.label, err)
+	}
+	out := make([][]clique.Packet, c.size())
+	for from, packets := range inbox {
+		if len(packets) == 0 {
+			continue
+		}
+		idx, ok := c.local[from]
+		if !ok {
+			continue
+		}
+		out[idx] = packets
+	}
+	return out, nil
+}
+
+// shared runs a deterministic computation identically known to all members
+// and memoises it under a label-scoped key.
+func (c *comm) shared(key string, f func() interface{}) interface{} {
+	return c.ex.SharedCompute(c.label+"/"+key, f)
+}
+
+// grouping splits the members of a comm into consecutive groups of equal size
+// g: group i consists of local indices [i*g, (i+1)*g). The member count must
+// be divisible by g.
+type grouping struct {
+	groupSize int
+	numGroups int
+}
+
+func newGrouping(memberCount, groupSize int) (grouping, error) {
+	if groupSize <= 0 || memberCount%groupSize != 0 {
+		return grouping{}, fmt.Errorf("core: cannot split %d members into groups of %d", memberCount, groupSize)
+	}
+	return grouping{groupSize: groupSize, numGroups: memberCount / groupSize}, nil
+}
+
+// groupOf returns the group index of a local member index.
+func (g grouping) groupOf(local int) int { return local / g.groupSize }
+
+// indexInGroup returns the position of a local member index within its group.
+func (g grouping) indexInGroup(local int) int { return local % g.groupSize }
+
+// member returns the local index of the idx-th member of group grp.
+func (g grouping) member(grp, idx int) int { return grp*g.groupSize + idx }
+
+// isqrt returns the integer square root of n.
+func isqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// isPerfectSquare reports whether n is a perfect square.
+func isPerfectSquare(n int) bool {
+	s := isqrt(n)
+	return s*s == n
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,304 @@
+// Package experiments contains the measurement harness shared by
+// cmd/cliquebench and the repository-level benchmarks. Every measurement
+// verifies the protocol output before reporting numbers, so a reported round
+// count always corresponds to a correct execution.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"congestedclique/internal/baseline"
+	"congestedclique/internal/bipartite"
+	"congestedclique/internal/clique"
+	"congestedclique/internal/core"
+	"congestedclique/internal/verify"
+	"congestedclique/internal/workload"
+)
+
+// Measurement is the outcome of one verified protocol execution.
+type Measurement struct {
+	N               int
+	Load            int
+	Workload        string
+	Algorithm       string
+	Rounds          int
+	MaxEdgeWords    int
+	MaxEdgeMessages int
+	TotalWords      int64
+	StepsPerNode    int64
+	MemoryPerNode   int64
+}
+
+// RoutingAlgorithms lists the algorithm names accepted by MeasureRouting.
+func RoutingAlgorithms() []string {
+	return []string{"deterministic", "low-compute", "randomized", "naive-direct"}
+}
+
+// MeasureRouting runs one routing workload under the chosen algorithm,
+// verifies the delivery and reports the cost.
+func MeasureRouting(n, per int, pattern workload.RoutingPattern, algorithm string, seed int64) (*Measurement, error) {
+	inst, err := workload.NewRoutingInstance(n, per, pattern, seed)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := clique.New(n)
+	if err != nil {
+		return nil, err
+	}
+	results := make([][]core.Message, n)
+	err = nw.Run(func(nd *clique.Node) error {
+		var (
+			out  []core.Message
+			rErr error
+		)
+		switch algorithm {
+		case "deterministic":
+			out, rErr = core.Route(nd, inst.Msgs[nd.ID()])
+		case "low-compute":
+			out, rErr = core.LowComputeRoute(nd, inst.Msgs[nd.ID()])
+		case "randomized":
+			out, rErr = baseline.RandomizedRoute(nd, inst.Msgs[nd.ID()], seed)
+		case "naive-direct":
+			out, rErr = baseline.NaiveDirectRoute(nd, inst.Msgs[nd.ID()])
+		default:
+			rErr = fmt.Errorf("experiments: unknown routing algorithm %q", algorithm)
+		}
+		if rErr != nil {
+			return rErr
+		}
+		results[nd.ID()] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.Routing(inst.Msgs, results); err != nil {
+		return nil, fmt.Errorf("experiments: routing output invalid: %w", err)
+	}
+	return fromMetrics(n, per, string(pattern), algorithm, nw.Metrics()), nil
+}
+
+// MeasureSorting runs one sorting workload (deterministic Algorithm 4 or the
+// randomized sample-sort baseline), verifies the output and reports the cost.
+func MeasureSorting(n, per int, dist workload.KeyDistribution, algorithm string, seed int64) (*Measurement, error) {
+	inst, err := workload.NewSortingInstance(n, per, dist, seed)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := clique.New(n)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*core.SortResult, n)
+	err = nw.Run(func(nd *clique.Node) error {
+		var (
+			res  *core.SortResult
+			sErr error
+		)
+		switch algorithm {
+		case "deterministic":
+			res, sErr = core.Sort(nd, inst.Keys[nd.ID()])
+		case "randomized":
+			res, sErr = baseline.RandomizedSampleSort(nd, inst.Keys[nd.ID()], seed)
+		default:
+			sErr = fmt.Errorf("experiments: unknown sorting algorithm %q", algorithm)
+		}
+		if sErr != nil {
+			return sErr
+		}
+		results[nd.ID()] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.Sorting(inst.Keys, results); err != nil {
+		return nil, fmt.Errorf("experiments: sorting output invalid: %w", err)
+	}
+	return fromMetrics(n, per, string(dist), algorithm, nw.Metrics()), nil
+}
+
+// MeasureRank runs the Corollary 4.6 rank computation and verifies it.
+func MeasureRank(n, per int, dist workload.KeyDistribution, seed int64) (*Measurement, error) {
+	inst, err := workload.NewSortingInstance(n, per, dist, seed)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := clique.New(n)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*core.RankResult, n)
+	err = nw.Run(func(nd *clique.Node) error {
+		res, rErr := core.Rank(nd, inst.Keys[nd.ID()])
+		if rErr != nil {
+			return rErr
+		}
+		results[nd.ID()] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.Ranks(inst.Keys, results); err != nil {
+		return nil, fmt.Errorf("experiments: rank output invalid: %w", err)
+	}
+	return fromMetrics(n, per, string(dist), "rank", nw.Metrics()), nil
+}
+
+// MeasureSelect runs the selection corollary (median).
+func MeasureSelect(n, per int, dist workload.KeyDistribution, seed int64) (*Measurement, error) {
+	inst, err := workload.NewSortingInstance(n, per, dist, seed)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := clique.New(n)
+	if err != nil {
+		return nil, err
+	}
+	err = nw.Run(func(nd *clique.Node) error {
+		_, mErr := core.Median(nd, inst.Keys[nd.ID()])
+		return mErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromMetrics(n, per, string(dist), "select-median", nw.Metrics()), nil
+}
+
+// MeasureMode runs the mode corollary.
+func MeasureMode(n, per int, dist workload.KeyDistribution, seed int64) (*Measurement, error) {
+	inst, err := workload.NewSortingInstance(n, per, dist, seed)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := clique.New(n)
+	if err != nil {
+		return nil, err
+	}
+	err = nw.Run(func(nd *clique.Node) error {
+		_, mErr := core.Mode(nd, inst.Keys[nd.ID()])
+		return mErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromMetrics(n, per, string(dist), "mode", nw.Metrics()), nil
+}
+
+// MeasureSmallKeys runs the Section 6.3 counting protocol and verifies it.
+func MeasureSmallKeys(n, per, domain int, seed int64) (*Measurement, error) {
+	values, err := workload.NewSmallKeyInstance(n, per, domain, seed)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := clique.New(n)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*core.SmallKeyResult, n)
+	err = nw.Run(func(nd *clique.Node) error {
+		res, cErr := core.SmallKeyCount(nd, values[nd.ID()], domain)
+		if cErr != nil {
+			return cErr
+		}
+		results[nd.ID()] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.Histogram(values, results[0]); err != nil {
+		return nil, fmt.Errorf("experiments: histogram invalid: %w", err)
+	}
+	return fromMetrics(n, per, fmt.Sprintf("domain=%d", domain), "small-keys", nw.Metrics()), nil
+}
+
+func fromMetrics(n, per int, wl, algorithm string, m clique.Metrics) *Measurement {
+	return &Measurement{
+		N:               n,
+		Load:            per,
+		Workload:        wl,
+		Algorithm:       algorithm,
+		Rounds:          m.Rounds,
+		MaxEdgeWords:    m.MaxEdgeWords,
+		MaxEdgeMessages: m.MaxEdgeMessages,
+		TotalWords:      m.TotalWords,
+		StepsPerNode:    m.MaxStepsPerNode,
+		MemoryPerNode:   m.MaxMemoryWordsPerNode,
+	}
+}
+
+// ColoringMeasurement is the outcome of one edge-coloring micro-benchmark
+// (experiment E8).
+type ColoringMeasurement struct {
+	Size     int
+	Degree   int
+	Method   string
+	Colors   int
+	Duration time.Duration
+}
+
+// MeasureColoring times one coloring method ("exact", "greedy" or
+// "euler-expanded") on a pseudo-random d-regular demand matrix of the given
+// size and validates the result.
+func MeasureColoring(size, degree int, method string, seed int64) (*ColoringMeasurement, error) {
+	demand := workloadDemand(size, degree, seed)
+	start := time.Now()
+	var (
+		colors int
+		err    error
+	)
+	switch method {
+	case "exact":
+		var dc *bipartite.DemandColoring
+		dc, err = bipartite.ColorDemandMatrix(demand, bipartite.MaxRowColSum(demand))
+		if err == nil {
+			colors = dc.NumColors
+			err = dc.Validate(demand)
+		}
+	case "greedy":
+		var dc *bipartite.DemandColoring
+		dc, err = bipartite.ColorDemandGreedy(demand)
+		if err == nil {
+			colors = dc.NumColors
+			err = dc.Validate(demand)
+		}
+	case "exact-expanded":
+		var g *bipartite.Multigraph
+		g, err = bipartite.ExpandDemand(demand)
+		if err == nil {
+			var col *bipartite.Coloring
+			col, err = bipartite.ColorExact(g)
+			if err == nil {
+				colors = col.NumColors
+				err = col.Validate(g)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown coloring method %q", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &ColoringMeasurement{Size: size, Degree: degree, Method: method, Colors: colors, Duration: time.Since(start)}, nil
+}
+
+// workloadDemand builds a pseudo-random doubly-d-regular demand matrix by
+// overlaying d rotations.
+func workloadDemand(size, degree int, seed int64) [][]int {
+	demand := make([][]int, size)
+	for i := range demand {
+		demand[i] = make([]int, size)
+	}
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	for k := 0; k < degree; k++ {
+		state = state*2862933555777941757 + 3037000493
+		shift := int(state % uint64(size))
+		for i := 0; i < size; i++ {
+			demand[i][(i+shift)%size]++
+		}
+	}
+	return demand
+}

@@ -1,0 +1,45 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	t.Parallel()
+	tb := New("Example table", "n", "rounds", "claim")
+	tb.AddRow(16, 16, "<= 16")
+	tb.AddRow(1024, 16, "<= 16")
+	out := tb.String()
+	if !strings.Contains(out, "Example table") {
+		t.Fatal("caption missing")
+	}
+	if !strings.Contains(out, "1024") || !strings.Contains(out, "<= 16") {
+		t.Fatalf("row content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines (caption, header, separator, 2 rows), got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	t.Parallel()
+	tb := New("Caption", "a", "b")
+	tb.AddRow("x", 1)
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| x | 1 |") || !strings.Contains(md, "| --- | --- |") {
+		t.Fatalf("unexpected markdown:\n%s", md)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	t.Parallel()
+	tb := New("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("extra column dropped:\n%s", out)
+	}
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRoutingInstanceProperties(t *testing.T) {
+	t.Parallel()
+	for _, pattern := range RoutingPatterns() {
+		pattern := pattern
+		t.Run(string(pattern), func(t *testing.T) {
+			t.Parallel()
+			const n, per = 25, 25
+			inst, err := NewRoutingInstance(n, per, pattern, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inst.N != n || len(inst.Msgs) != n {
+				t.Fatalf("instance shape wrong: %d nodes", len(inst.Msgs))
+			}
+			for src, msgs := range inst.Msgs {
+				if len(msgs) > per {
+					t.Fatalf("node %d has %d messages, per=%d", src, len(msgs), per)
+				}
+				for i, m := range msgs {
+					if m.Src != src {
+						t.Fatalf("message %d of node %d has source %d", i, src, m.Src)
+					}
+					if m.Dst < 0 || m.Dst >= n {
+						t.Fatalf("message destination %d out of range", m.Dst)
+					}
+					if m.Seq != i {
+						t.Fatalf("message %d of node %d has seq %d", i, src, m.Seq)
+					}
+				}
+			}
+			if inst.TotalMessages() == 0 && pattern != RoutingRandomPartial {
+				t.Fatal("instance unexpectedly empty")
+			}
+			if inst.MaxLoad() > n && pattern == RoutingUniform {
+				t.Fatalf("uniform instance has load %d > n", inst.MaxLoad())
+			}
+		})
+	}
+}
+
+func TestRoutingInstanceDeterminism(t *testing.T) {
+	t.Parallel()
+	a, err := NewRoutingInstance(16, 16, RoutingUniform, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRoutingInstance(16, 16, RoutingUniform, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Msgs, b.Msgs) {
+		t.Fatal("same seed produced different instances")
+	}
+	c, err := NewRoutingInstance(16, 16, RoutingUniform, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Msgs, c.Msgs) {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestRoutingInstanceValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewRoutingInstance(0, 5, RoutingUniform, 1); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := NewRoutingInstance(4, -1, RoutingUniform, 1); err == nil {
+		t.Fatal("negative load accepted")
+	}
+	if _, err := NewRoutingInstance(4, 4, RoutingPattern("bogus"), 1); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
+
+func TestSortingInstanceProperties(t *testing.T) {
+	t.Parallel()
+	for _, dist := range KeyDistributions() {
+		dist := dist
+		t.Run(string(dist), func(t *testing.T) {
+			t.Parallel()
+			const n, per = 16, 16
+			inst, err := NewSortingInstance(n, per, dist, 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inst.TotalKeys() != n*per {
+				t.Fatalf("total keys %d, want %d", inst.TotalKeys(), n*per)
+			}
+			for i, ks := range inst.Keys {
+				for j, k := range ks {
+					if k.Origin != i || k.Seq != j {
+						t.Fatalf("key (%d,%d) has origin/seq (%d,%d)", i, j, k.Origin, k.Seq)
+					}
+				}
+			}
+		})
+	}
+	if _, err := NewSortingInstance(4, 4, KeyDistribution("bogus"), 1); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	if _, err := NewSortingInstance(-1, 4, KeysUniform, 1); err == nil {
+		t.Fatal("negative node count accepted")
+	}
+}
+
+func TestSmallKeyInstance(t *testing.T) {
+	t.Parallel()
+	values, err := NewSmallKeyInstance(32, 10, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 32 {
+		t.Fatalf("expected 32 nodes, got %d", len(values))
+	}
+	for i, vs := range values {
+		if len(vs) != 10 {
+			t.Fatalf("node %d has %d values", i, len(vs))
+		}
+		for _, v := range vs {
+			if v < 0 || v >= 3 {
+				t.Fatalf("value %d outside domain", v)
+			}
+		}
+	}
+	if _, err := NewSmallKeyInstance(4, 4, 0, 1); err == nil {
+		t.Fatal("zero domain accepted")
+	}
+}
+
+func TestPatternAndDistributionLists(t *testing.T) {
+	t.Parallel()
+	if len(RoutingPatterns()) < 5 {
+		t.Fatal("expected at least five routing patterns")
+	}
+	if len(KeyDistributions()) < 6 {
+		t.Fatal("expected at least six key distributions")
+	}
+	// Every listed pattern must be generatable.
+	for _, p := range RoutingPatterns() {
+		if _, err := NewRoutingInstance(9, 3, p, 1); err != nil {
+			t.Fatalf("pattern %s: %v", p, err)
+		}
+	}
+	for _, d := range KeyDistributions() {
+		if _, err := NewSortingInstance(9, 3, d, 1); err != nil {
+			t.Fatalf("distribution %s: %v", d, err)
+		}
+	}
+	_ = fmt.Sprintf("%d patterns", len(RoutingPatterns()))
+}

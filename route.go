@@ -1,0 +1,135 @@
+package congestedclique
+
+import (
+	"fmt"
+
+	"congestedclique/internal/baseline"
+	"congestedclique/internal/clique"
+	"congestedclique/internal/core"
+)
+
+// RouteResult is the outcome of one Information Distribution Task execution.
+type RouteResult struct {
+	// Delivered[i] lists the messages node i received, sorted by
+	// (Src, Dst, Seq).
+	Delivered [][]Message
+	// Stats describes the execution cost.
+	Stats Stats
+}
+
+// Route solves the Information Distribution Task (Problem 3.1) on a clique of
+// n nodes: msgs[i] are the messages originating at node i (at most n per
+// node, each destined to a node in [0, n)), and the result lists what every
+// node received. The default algorithm is the paper's deterministic 16-round
+// solution (Theorem 3.7); see WithAlgorithm for the 12-round low-computation
+// variant (Theorem 5.4) and the comparison baselines.
+func Route(n int, msgs [][]Message, opts ...Option) (*RouteResult, error) {
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateRoutingInstance(n, msgs); err != nil {
+		return nil, err
+	}
+
+	inputs := make([][]core.Message, n)
+	for i := 0; i < n && i < len(msgs); i++ {
+		for _, m := range msgs[i] {
+			inputs[i] = append(inputs[i], toCoreMessage(m))
+		}
+	}
+
+	nw, err := buildNetwork(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	outputs := make([][]core.Message, n)
+	runErr := nw.Run(func(nd *clique.Node) error {
+		var (
+			out  []core.Message
+			rErr error
+		)
+		switch cfg.algorithm {
+		case Deterministic:
+			out, rErr = core.Route(nd, inputs[nd.ID()])
+		case LowCompute:
+			out, rErr = core.LowComputeRoute(nd, inputs[nd.ID()])
+		case Randomized:
+			out, rErr = baseline.RandomizedRoute(nd, inputs[nd.ID()], cfg.seed)
+		case NaiveDirect:
+			out, rErr = baseline.NaiveDirectRoute(nd, inputs[nd.ID()])
+		default:
+			rErr = fmt.Errorf("congestedclique: unsupported algorithm %v", cfg.algorithm)
+		}
+		if rErr != nil {
+			return rErr
+		}
+		outputs[nd.ID()] = out
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res := &RouteResult{Delivered: make([][]Message, n), Stats: statsFromMetrics(nw.Metrics())}
+	for i, out := range outputs {
+		for _, m := range out {
+			res.Delivered[i] = append(res.Delivered[i], fromCoreMessage(m))
+		}
+	}
+	return res, nil
+}
+
+// validateRoutingInstance checks the Problem 3.1 preconditions.
+func validateRoutingInstance(n int, msgs [][]Message) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: need at least one node, got %d", ErrInvalidInstance, n)
+	}
+	if len(msgs) > n {
+		return fmt.Errorf("%w: %d input slots for %d nodes", ErrInvalidInstance, len(msgs), n)
+	}
+	recv := make([]int, n)
+	for src, ms := range msgs {
+		if len(ms) > n {
+			return fmt.Errorf("%w: node %d sends %d messages, Problem 3.1 allows at most n=%d", ErrInvalidInstance, src, len(ms), n)
+		}
+		seen := make(map[int]bool, len(ms))
+		for _, m := range ms {
+			if m.Src != src {
+				return fmt.Errorf("%w: message (%d->%d #%d) listed under node %d", ErrInvalidInstance, m.Src, m.Dst, m.Seq, src)
+			}
+			if m.Dst < 0 || m.Dst >= n {
+				return fmt.Errorf("%w: message destination %d out of range [0,%d)", ErrInvalidInstance, m.Dst, n)
+			}
+			if seen[m.Seq] {
+				return fmt.Errorf("%w: node %d has two messages with sequence number %d", ErrInvalidInstance, src, m.Seq)
+			}
+			seen[m.Seq] = true
+			recv[m.Dst]++
+		}
+	}
+	for dst, r := range recv {
+		if r > n {
+			return fmt.Errorf("%w: node %d would receive %d messages, Problem 3.1 allows at most n=%d", ErrInvalidInstance, dst, r, n)
+		}
+	}
+	return nil
+}
+
+// NewUniformMessages is a convenience constructor: it labels payloads[i][j]
+// as message j of node i destined to dsts[i][j], filling in Src and Seq.
+func NewUniformMessages(dsts [][]int, payloads [][]int64) ([][]Message, error) {
+	if len(dsts) != len(payloads) {
+		return nil, fmt.Errorf("%w: %d destination rows but %d payload rows", ErrInvalidInstance, len(dsts), len(payloads))
+	}
+	msgs := make([][]Message, len(dsts))
+	for i := range dsts {
+		if len(dsts[i]) != len(payloads[i]) {
+			return nil, fmt.Errorf("%w: node %d has %d destinations but %d payloads", ErrInvalidInstance, i, len(dsts[i]), len(payloads[i]))
+		}
+		for j := range dsts[i] {
+			msgs[i] = append(msgs[i], Message{Src: i, Dst: dsts[i][j], Seq: j, Payload: payloads[i][j]})
+		}
+	}
+	return msgs, nil
+}

@@ -1,0 +1,357 @@
+package congestedclique
+
+import (
+	"fmt"
+
+	"congestedclique/internal/baseline"
+	"congestedclique/internal/clique"
+	"congestedclique/internal/core"
+)
+
+// SortResult is the outcome of one sorting execution (Problem 4.1): node i's
+// batch holds the keys of global ranks [Starts[i], Starts[i]+len(Batches[i])).
+type SortResult struct {
+	// Batches[i] is node i's contiguous batch of the globally sorted order.
+	Batches [][]Key
+	// Starts[i] is the global rank of the first key of Batches[i].
+	Starts []int
+	// Total is the number of keys in the system.
+	Total int
+	// Stats describes the execution cost.
+	Stats Stats
+}
+
+// Sort sorts the values of a clique of n nodes: values[i] are node i's keys
+// (at most n per node). Node i's batch of the globally sorted sequence is
+// returned in Batches[i]. The default algorithm is the paper's 37-round
+// deterministic Algorithm 4 (Theorem 4.5); WithAlgorithm(Randomized) selects
+// the sample-sort baseline.
+func Sort(n int, values [][]int64, opts ...Option) (*SortResult, error) {
+	keys, err := keysFromValues(n, values)
+	if err != nil {
+		return nil, err
+	}
+	return SortKeys(n, keys, opts...)
+}
+
+// SortKeys is Sort for callers that already carry Key structures (for example
+// to preserve their own Origin/Seq bookkeeping).
+func SortKeys(n int, keys [][]Key, opts ...Option) (*SortResult, error) {
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateSortingInstance(n, keys); err != nil {
+		return nil, err
+	}
+	inputs := make([][]core.Key, n)
+	for i := 0; i < n && i < len(keys); i++ {
+		for _, k := range keys[i] {
+			inputs[i] = append(inputs[i], toCoreKey(k))
+		}
+	}
+
+	nw, err := buildNetwork(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*core.SortResult, n)
+	runErr := nw.Run(func(nd *clique.Node) error {
+		var (
+			res  *core.SortResult
+			sErr error
+		)
+		switch cfg.algorithm {
+		case Deterministic, LowCompute, NaiveDirect:
+			res, sErr = core.Sort(nd, inputs[nd.ID()])
+		case Randomized:
+			res, sErr = baseline.RandomizedSampleSort(nd, inputs[nd.ID()], cfg.seed)
+		default:
+			sErr = fmt.Errorf("congestedclique: unsupported algorithm %v", cfg.algorithm)
+		}
+		if sErr != nil {
+			return sErr
+		}
+		results[nd.ID()] = res
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	out := &SortResult{
+		Batches: make([][]Key, n),
+		Starts:  make([]int, n),
+		Stats:   statsFromMetrics(nw.Metrics()),
+	}
+	for i, res := range results {
+		out.Total = res.Total
+		out.Starts[i] = res.Start
+		for _, k := range res.Batch {
+			out.Batches[i] = append(out.Batches[i], fromCoreKey(k))
+		}
+	}
+	return out, nil
+}
+
+// RankResult is the outcome of the rank-in-union computation
+// (Corollary 4.6).
+type RankResult struct {
+	// Ranks[i][j] is the rank, among the distinct values present anywhere in
+	// the system, of values[i][j].
+	Ranks [][]int
+	// DistinctTotal is the number of distinct values in the system.
+	DistinctTotal int
+	// Stats describes the execution cost.
+	Stats Stats
+}
+
+// Rank computes, for every input value, its index in the sorted sequence of
+// distinct values present in the system; duplicate values share an index
+// (Corollary 4.6).
+func Rank(n int, values [][]int64, opts ...Option) (*RankResult, error) {
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := keysFromValues(n, values)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateSortingInstance(n, keys); err != nil {
+		return nil, err
+	}
+	inputs := make([][]core.Key, n)
+	for i := 0; i < n && i < len(keys); i++ {
+		for _, k := range keys[i] {
+			inputs[i] = append(inputs[i], toCoreKey(k))
+		}
+	}
+	nw, err := buildNetwork(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*core.RankResult, n)
+	runErr := nw.Run(func(nd *clique.Node) error {
+		res, rErr := core.Rank(nd, inputs[nd.ID()])
+		if rErr != nil {
+			return rErr
+		}
+		results[nd.ID()] = res
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	out := &RankResult{Ranks: make([][]int, n), Stats: statsFromMetrics(nw.Metrics())}
+	for i := 0; i < n; i++ {
+		out.DistinctTotal = results[i].DistinctTotal
+		if i < len(values) {
+			out.Ranks[i] = make([]int, len(values[i]))
+			for j := range values[i] {
+				out.Ranks[i][j] = results[i].Ranks[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// SelectKth returns the key of global rank k (0-based) among all input
+// values, together with the execution statistics.
+func SelectKth(n int, values [][]int64, k int, opts ...Option) (Key, Stats, error) {
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return Key{}, Stats{}, err
+	}
+	keys, err := keysFromValues(n, values)
+	if err != nil {
+		return Key{}, Stats{}, err
+	}
+	if err := validateSortingInstance(n, keys); err != nil {
+		return Key{}, Stats{}, err
+	}
+	inputs := coreKeys(n, keys)
+	nw, err := buildNetwork(n, cfg)
+	if err != nil {
+		return Key{}, Stats{}, err
+	}
+	picked := make([]core.Key, n)
+	runErr := nw.Run(func(nd *clique.Node) error {
+		res, sErr := core.Select(nd, inputs[nd.ID()], k)
+		if sErr != nil {
+			return sErr
+		}
+		picked[nd.ID()] = res
+		return nil
+	})
+	if runErr != nil {
+		return Key{}, Stats{}, runErr
+	}
+	return fromCoreKey(picked[0]), statsFromMetrics(nw.Metrics()), nil
+}
+
+// Median returns the lower median of all input values.
+func Median(n int, values [][]int64, opts ...Option) (Key, Stats, error) {
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return Key{}, Stats{}, err
+	}
+	keys, err := keysFromValues(n, values)
+	if err != nil {
+		return Key{}, Stats{}, err
+	}
+	if err := validateSortingInstance(n, keys); err != nil {
+		return Key{}, Stats{}, err
+	}
+	inputs := coreKeys(n, keys)
+	nw, err := buildNetwork(n, cfg)
+	if err != nil {
+		return Key{}, Stats{}, err
+	}
+	picked := make([]core.Key, n)
+	runErr := nw.Run(func(nd *clique.Node) error {
+		res, sErr := core.Median(nd, inputs[nd.ID()])
+		if sErr != nil {
+			return sErr
+		}
+		picked[nd.ID()] = res
+		return nil
+	})
+	if runErr != nil {
+		return Key{}, Stats{}, runErr
+	}
+	return fromCoreKey(picked[0]), statsFromMetrics(nw.Metrics()), nil
+}
+
+// ModeResult is the most frequent value and its multiplicity.
+type ModeResult struct {
+	Value int64
+	Count int
+	Stats Stats
+}
+
+// Mode returns the most frequent value among all inputs (smallest value wins
+// ties), computed by sorting plus one summary round.
+func Mode(n int, values [][]int64, opts ...Option) (*ModeResult, error) {
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := keysFromValues(n, values)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateSortingInstance(n, keys); err != nil {
+		return nil, err
+	}
+	inputs := coreKeys(n, keys)
+	nw, err := buildNetwork(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*core.ModeResult, n)
+	runErr := nw.Run(func(nd *clique.Node) error {
+		res, mErr := core.Mode(nd, inputs[nd.ID()])
+		if mErr != nil {
+			return mErr
+		}
+		results[nd.ID()] = res
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &ModeResult{Value: results[0].Value, Count: results[0].Count, Stats: statsFromMetrics(nw.Metrics())}, nil
+}
+
+// HistogramResult is the outcome of the Section 6.3 small-key counting
+// protocol: the exact global multiplicity of every value of the domain.
+type HistogramResult struct {
+	Counts []int64
+	Stats  Stats
+}
+
+// CountSmallKeys counts keys drawn from a small domain [0, domain) in two
+// rounds of single-word messages (Section 6.3). The domain must satisfy
+// domain * ceil(log2(n+1))^2 <= n.
+func CountSmallKeys(n int, values [][]int, domain int, opts ...Option) (*HistogramResult, error) {
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: need at least one node", ErrInvalidInstance)
+	}
+	if len(values) > n {
+		return nil, fmt.Errorf("%w: %d input slots for %d nodes", ErrInvalidInstance, len(values), n)
+	}
+	inputs := make([][]int, n)
+	for i := 0; i < n && i < len(values); i++ {
+		inputs[i] = values[i]
+	}
+	nw, err := buildNetwork(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*core.SmallKeyResult, n)
+	runErr := nw.Run(func(nd *clique.Node) error {
+		res, cErr := core.SmallKeyCount(nd, inputs[nd.ID()], domain)
+		if cErr != nil {
+			return cErr
+		}
+		results[nd.ID()] = res
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &HistogramResult{Counts: results[0].Counts, Stats: statsFromMetrics(nw.Metrics())}, nil
+}
+
+// keysFromValues attaches Origin/Seq labels to plain values.
+func keysFromValues(n int, values [][]int64) ([][]Key, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: need at least one node, got %d", ErrInvalidInstance, n)
+	}
+	if len(values) > n {
+		return nil, fmt.Errorf("%w: %d input slots for %d nodes", ErrInvalidInstance, len(values), n)
+	}
+	keys := make([][]Key, len(values))
+	for i, vs := range values {
+		for j, v := range vs {
+			keys[i] = append(keys[i], Key{Value: v, Origin: i, Seq: j})
+		}
+	}
+	return keys, nil
+}
+
+// validateSortingInstance checks the Problem 4.1 preconditions.
+func validateSortingInstance(n int, keys [][]Key) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: need at least one node, got %d", ErrInvalidInstance, n)
+	}
+	if len(keys) > n {
+		return fmt.Errorf("%w: %d input slots for %d nodes", ErrInvalidInstance, len(keys), n)
+	}
+	for i, ks := range keys {
+		if len(ks) > n {
+			return fmt.Errorf("%w: node %d holds %d keys, Problem 4.1 allows at most n=%d", ErrInvalidInstance, i, len(ks), n)
+		}
+		for _, k := range ks {
+			if k.Origin != i {
+				return fmt.Errorf("%w: node %d holds a key with origin %d", ErrInvalidInstance, i, k.Origin)
+			}
+		}
+	}
+	return nil
+}
+
+func coreKeys(n int, keys [][]Key) [][]core.Key {
+	inputs := make([][]core.Key, n)
+	for i := 0; i < n && i < len(keys); i++ {
+		for _, k := range keys[i] {
+			inputs[i] = append(inputs[i], toCoreKey(k))
+		}
+	}
+	return inputs
+}
