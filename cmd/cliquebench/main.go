@@ -5,7 +5,9 @@
 // paper's claimed bound.
 //
 // The default sizes finish in well under a minute; -max-n raises the largest
-// clique size, and -markdown switches the output to markdown tables.
+// clique size, -markdown switches the output to markdown tables, and
+// -json FILE additionally writes every table to FILE as a JSON document (the
+// format CI uploads as its benchmark artifact).
 package main
 
 import (
@@ -19,7 +21,10 @@ import (
 	"congestedclique/internal/workload"
 )
 
-var markdown bool
+var (
+	markdown  bool
+	collected []*tables.Table
+)
 
 func main() {
 	log.SetFlags(0)
@@ -30,6 +35,7 @@ func main() {
 }
 
 func emit(t *tables.Table) {
+	collected = append(collected, t)
 	if markdown {
 		fmt.Println(t.Markdown())
 		return
@@ -39,8 +45,9 @@ func emit(t *tables.Table) {
 
 func run() error {
 	var (
-		maxN = flag.Int("max-n", 256, "largest clique size to measure")
-		seed = flag.Int64("seed", 1, "workload seed")
+		maxN     = flag.Int("max-n", 256, "largest clique size to measure")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		jsonPath = flag.String("json", "", "also write all tables to this file as JSON")
 	)
 	flag.BoolVar(&markdown, "markdown", false, "emit markdown tables")
 	flag.Parse()
@@ -82,6 +89,23 @@ func run() error {
 	}
 	if err := e8Coloring(*seed); err != nil {
 		return fmt.Errorf("E8: %w", err)
+	}
+	if *jsonPath != "" {
+		doc := &tables.Document{
+			Tool: "cliquebench",
+			Args: map[string]string{
+				"max-n": fmt.Sprint(*maxN),
+				"seed":  fmt.Sprint(*seed),
+			},
+			Tables: collected,
+		}
+		data, err := doc.JSON()
+		if err != nil {
+			return fmt.Errorf("render json: %w", err)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *jsonPath, err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module congestedclique
+
+go 1.24

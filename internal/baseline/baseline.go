@@ -111,7 +111,9 @@ func RandomizedRoute(ex clique.Exchanger, msgs []core.Message, seed int64) ([]co
 			if dst < 0 || dst >= n {
 				return nil, fmt.Errorf("baseline: relayed destination %d out of range", dst)
 			}
-			byDst[dst] = append(byDst[dst], p)
+			// Cloned: these packets are re-sent up to `rounds` barriers later,
+			// beyond the engine's payload grace window (clique.PayloadGraceRounds).
+			byDst[dst] = append(byDst[dst], p.Clone())
 			if len(byDst[dst]) > myMax {
 				myMax = len(byDst[dst])
 			}
@@ -256,7 +258,9 @@ func RandomizedSampleSort(ex clique.Exchanger, keys []core.Key, seed int64) (*co
 				continue
 			}
 			dst := int(p[0])
-			byDst[dst] = append(byDst[dst], p)
+			// Cloned: these packets are re-sent up to `rounds` barriers later,
+			// beyond the engine's payload grace window (clique.PayloadGraceRounds).
+			byDst[dst] = append(byDst[dst], p.Clone())
 			if len(byDst[dst]) > myMax {
 				myMax = len(byDst[dst])
 			}

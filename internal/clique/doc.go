@@ -7,13 +7,34 @@
 // of O(log n) bits along each of its n-1 incident edges (nodes also "send to
 // themselves" for uniformity). The package simulates this model in-process:
 //
-//   - one goroutine per node executes the node program,
+//   - one goroutine per node executes the node program (Network.Run), or n
+//     logical nodes are multiplexed onto a bounded pool of k worker
+//     goroutines (Network.RunRounds with WithWorkers) for very large cliques,
 //   - Exchange() is the synchronous round barrier,
 //   - messages are slices of 64-bit words; the O(log n)-bit budget of the
 //     model corresponds to a small constant number of words per directed edge
 //     per round, which the engine records (and can enforce strictly),
 //   - per-round metrics capture message counts, word counts and the maximum
 //     load on any directed edge, the observables the paper's bounds speak to.
+//
+// # Execution engine
+//
+// The engine is a sharded two-phase design built for scale. During the
+// compute phase each node appends to a private outbox with no synchronisation
+// at all. Arriving at the barrier is a single atomic add on a packed
+// (live, arrived) counter; the arrival that equalises the two halves is
+// elected the round's deliverer and runs the delivery phase while every other
+// live node is parked on the current generation's channel — so delivery holds
+// no lock, and no lock is ever contended while nodes compute. Per-edge and
+// per-node loads are accounted in dense scratch slices (O(1) per packet, no
+// hashing), payloads are copied into per-receiver arenas reused round over
+// round, and sender-side buffers (for example the Mux's tagged packets) are
+// recycled through a sync.Pool, so a steady-state round allocates nothing
+// beyond the generation channel.
+//
+// Executions are deterministic: delivery scans senders in ascending id order
+// and node programs see identical inboxes and metrics on every run of the
+// same workload, for every worker count.
 //
 // Node programs are written against the Exchanger interface so that the same
 // algorithm code can run either directly on a physical Node or on a virtual

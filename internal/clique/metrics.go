@@ -19,6 +19,9 @@ type RoundStats struct {
 	// MaxNodeRecvWords is the maximum number of words received by any single
 	// node in the round.
 	MaxNodeRecvWords int
+	// Dropped is the number of packets addressed to nodes whose program had
+	// already returned when the round was delivered.
+	Dropped int
 }
 
 // Metrics aggregates the observable cost of a protocol execution. These are
@@ -62,6 +65,7 @@ func (m *Metrics) merge(rs RoundStats) {
 	if rs.MaxEdgeMessages > m.MaxEdgeMessages {
 		m.MaxEdgeMessages = rs.MaxEdgeMessages
 	}
+	m.DroppedToDeparted += rs.Dropped
 }
 
 // clone returns a deep copy so callers cannot mutate engine state.

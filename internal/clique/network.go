@@ -3,7 +3,9 @@ package clique
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrBandwidthExceeded is wrapped by the error returned when a strict edge
@@ -42,32 +44,122 @@ type Exchanger interface {
 	SharedCompute(key string, f func() interface{}) interface{}
 }
 
+// generation is one epoch of the round barrier. Nodes that arrive before the
+// round is complete park on done; the round's deliverer closes it after
+// swapping outboxes into inboxes, which both wakes the waiters and publishes
+// (in the memory-model sense) everything the delivery phase wrote.
+type generation struct {
+	done chan struct{}
+}
+
+// failure boxes the first engine-level error so it can live in an
+// atomic.Pointer.
+type failure struct{ err error }
+
+// inboxSeg is one contiguous run of a receiver's header arena holding the
+// packets of a single sender (worker-pool mode only).
+type inboxSeg struct {
+	from       int32
+	start, end int32
+}
+
+// activeOne is the increment of the live-node half of Network.state.
+const activeOne = uint64(1) << 32
+
+// payloadRingDepth is the number of per-receiver payload arenas cycled
+// through by delivery. Words received in round r are only overwritten when
+// round r+payloadRingDepth is delivered, so received payloads stay readable
+// for payloadGraceRounds further barriers — enough for the paper's
+// constant-round primitives (for example Corollary 3.4: two announcement
+// rounds before re-sending received words) to re-send received words without
+// cloning. Retention beyond the grace window requires Packet.Clone.
+const payloadRingDepth = 4
+
+// PayloadGraceRounds is the number of additional Exchange calls a received
+// packet's words are guaranteed to stay valid for (see payloadRingDepth).
+const PayloadGraceRounds = payloadRingDepth - 1
+
+func stateParts(s uint64) (active, arrived uint32) {
+	return uint32(s >> 32), uint32(s)
+}
+
 // Network is an in-process simulation of a congested clique of n nodes.
+//
+// The execution engine is a sharded two-phase design. During the compute
+// phase every node appends to a private outbox with no synchronisation at
+// all. At the barrier a node publishes its outbox into its own slot and
+// arrives with a single atomic add on state, which packs the number of live
+// nodes (high 32 bits) and the number of arrived nodes (low 32 bits); the
+// arrival that makes the two halves equal elects that goroutine the round's
+// deliverer. Delivery therefore runs while every other live node is parked on
+// the current generation's channel, so it swaps outboxes into inboxes and
+// computes the round statistics without holding any lock, and no lock is ever
+// held, contended or otherwise, while a node computes.
+//
+// Delivery copies payload words into per-receiver arenas cycled on a
+// payloadRingDepth-round ring (so received words stay valid for
+// PayloadGraceRounds further barriers and can be re-sent without cloning),
+// and tracks per-edge load in dense per-node scratch slices: O(1) per packet
+// with no hashing and no per-round allocation in steady state.
 type Network struct {
 	n   int
 	cfg config
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	started bool
-	active  int
-	arrived int
-	round   int
-	failed  error
+	started atomic.Bool
 
-	// outboxes[i] holds the packets queued by node i in the current round.
+	state atomic.Uint64
+	gen   atomic.Pointer[generation]
+	round atomic.Int64
+	fail  atomic.Pointer[failure]
+
+	// outboxes[i] is published by node i when it arrives at the barrier and
+	// consumed (and nilled) by the deliverer.
 	outboxes [][]pendingPacket
-	// inboxes[i] is what node i received in the round that just completed.
-	inboxes []Inbox
-	// departed[i] reports that node i's program has returned.
+	// inboxes[i] is set by the deliverer iff node i received traffic this
+	// round; the owner consumes and nils it after the barrier.
+	inboxes  []Inbox
 	departed []bool
 
-	// scratch buffers reused by the delivery step.
-	recvWords []int
-	edgeWords map[edge]int
-	edgeMsgs  map[edge]int
+	// Per-receiver delivery buffers, reused round over round. backbone[t] is
+	// the Inbox handed to node t and hdrArena[t] holds the packet headers;
+	// both are retired (cleared or resliced, keeping capacity) by the owning
+	// node when it next arrives at the barrier. wordArena[r%payloadRingDepth][t]
+	// holds the payload words copied for node t in round r; the ring keeps
+	// received words valid for PayloadGraceRounds further barriers. Growth is
+	// append-only, so views created before a reallocation stay valid.
+	backbone  []Inbox
+	hdrArena  [][]Packet
+	wordArena [payloadRingDepth][][]Word
 
-	metrics Metrics
+	// Deliverer scratch, indexed densely by node id. destWords/destMsgs hold
+	// the per-edge load of the sender currently being scanned (reset via
+	// edgeTouch); recvWords, lastFrom and segStart hold per-receiver state for
+	// the whole round (reset via recvTouch).
+	destWords []int
+	destMsgs  []int
+	recvWords []int
+	lastFrom  []int32
+	segStart  []int32
+	edgeTouch []int32
+	recvTouch []int32
+	// setFrom[t] lists the backbone entries populated for receiver t this
+	// round, so retire clears O(traffic) entries instead of all n.
+	setFrom [][]int32
+
+	// Worker-pool mode (RunRounds). An inbox there is only alive during one
+	// step call, so instead of a persistent n-entry backbone per receiver
+	// (Θ(n²) memory), delivery records per-receiver segment lists and each
+	// worker materialises them into its own scratch backbone just for the
+	// step call: O(traffic + workers·n) memory. segs is non-nil exactly in
+	// worker-pool mode.
+	segs [][]inboxSeg
+
+	// sem, when non-nil, bounds the number of concurrently computing node
+	// goroutines in Run (see WithWorkers).
+	sem chan struct{}
+
+	metricsMu sync.Mutex
+	metrics   Metrics
 
 	sharedMu sync.Mutex
 	shared   map[string]interface{}
@@ -76,8 +168,6 @@ type Network struct {
 	steps   map[int]int64
 	memory  map[int]int64
 }
-
-type edge struct{ from, to int }
 
 // New creates a congested clique with n >= 1 nodes.
 func New(n int, opts ...Option) (*Network, error) {
@@ -93,18 +183,28 @@ func New(n int, opts ...Option) (*Network, error) {
 	nw := &Network{
 		n:         n,
 		cfg:       cfg,
-		active:    0,
 		outboxes:  make([][]pendingPacket, n),
 		inboxes:   make([]Inbox, n),
 		departed:  make([]bool, n),
+		backbone:  make([]Inbox, n),
+		hdrArena:  make([][]Packet, n),
+		destWords: make([]int, n),
+		destMsgs:  make([]int, n),
 		recvWords: make([]int, n),
-		edgeWords: make(map[edge]int),
-		edgeMsgs:  make(map[edge]int),
+		lastFrom:  make([]int32, n),
+		segStart:  make([]int32, n),
+		setFrom:   make([][]int32, n),
 		shared:    make(map[string]interface{}),
 		steps:     make(map[int]int64),
 		memory:    make(map[int]int64),
 	}
-	nw.cond = sync.NewCond(&nw.mu)
+	for p := range nw.wordArena {
+		nw.wordArena[p] = make([][]Word, n)
+	}
+	for i := range nw.lastFrom {
+		nw.lastFrom[i] = -1
+	}
+	nw.gen.Store(&generation{done: make(chan struct{})})
 	return nw, nil
 }
 
@@ -114,9 +214,9 @@ func (nw *Network) N() int { return nw.n }
 // Metrics returns a copy of the execution metrics collected so far. It is
 // normally called after Run has returned.
 func (nw *Network) Metrics() Metrics {
-	nw.mu.Lock()
+	nw.metricsMu.Lock()
 	m := nw.metrics.clone()
-	nw.mu.Unlock()
+	nw.metricsMu.Unlock()
 
 	nw.stepsMu.Lock()
 	for _, s := range nw.steps {
@@ -134,11 +234,7 @@ func (nw *Network) Metrics() Metrics {
 }
 
 // Rounds returns the number of completed rounds.
-func (nw *Network) Rounds() int {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.round
-}
+func (nw *Network) Rounds() int { return int(nw.round.Load()) }
 
 // StepsPerNode returns the self-reported computation steps of every node.
 func (nw *Network) StepsPerNode() map[int]int64 {
@@ -152,18 +248,30 @@ func (nw *Network) StepsPerNode() map[int]int64 {
 }
 
 // Run executes program once per node, each in its own goroutine, and waits
-// for all of them to return. It returns the first error produced by any node
-// program, a bandwidth violation, or nil. Run may only be called once per
-// Network.
+// for all of them to return. Run may only be called once per Network (this
+// also covers RunRounds).
+//
+// Error reporting is deterministic: if any node program returns an error (or
+// panics, which is converted to an error), Run returns the error of the
+// lowest-numbered failing node, regardless of the temporal order in which
+// nodes failed. An engine-level failure (such as a strict edge-budget
+// violation) is returned only if no node program reported an error itself.
+//
+// When WithWorkers(k) is set with 0 < k < n, at most k node goroutines
+// compute concurrently; nodes parked at the round barrier release their slot.
+// All n goroutines still exist (the blocking Exchange API requires a stack
+// per node); use RunRounds to run n logical nodes on k goroutines.
 func (nw *Network) Run(program func(*Node) error) error {
-	nw.mu.Lock()
-	if nw.started {
-		nw.mu.Unlock()
+	if !nw.started.CompareAndSwap(false, true) {
 		return errors.New("clique: Network.Run called twice")
 	}
-	nw.started = true
-	nw.active = nw.n
-	nw.mu.Unlock()
+	nw.state.Store(uint64(nw.n) << 32)
+	if k := nw.cfg.workers; k > 0 && k < nw.n {
+		nw.sem = make(chan struct{}, k)
+		for i := 0; i < k; i++ {
+			nw.sem <- struct{}{}
+		}
+	}
 
 	errs := make([]error, nw.n)
 	var wg sync.WaitGroup
@@ -172,6 +280,12 @@ func (nw *Network) Run(program func(*Node) error) error {
 		go func(id int) {
 			defer wg.Done()
 			nd := &Node{nw: nw, id: id}
+			if nw.sem != nil {
+				<-nw.sem
+				// A node outside the barrier always holds its compute slot, so
+				// the unconditional release below is balanced.
+				defer func() { nw.sem <- struct{}{} }()
+			}
 			defer nw.leave(nd)
 			defer func() {
 				if r := recover(); r != nil {
@@ -182,17 +296,179 @@ func (nw *Network) Run(program func(*Node) error) error {
 		}(i)
 	}
 	wg.Wait()
+	return nw.firstError(errs)
+}
 
-	nw.mu.Lock()
-	failed := nw.failed
-	nw.mu.Unlock()
-
+// firstError implements the documented deterministic error rule: lowest
+// failing node id first, engine failure only if no program failed.
+func (nw *Network) firstError(errs []error) error {
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
-	return failed
+	if f := nw.fail.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// StepFunc is one node's program in the engine-driven scheduling mode of
+// RunRounds. It is invoked once per round; inbox holds what the node received
+// at the end of the previous round (nil in round 0) and is only valid for the
+// duration of the call. Packets queued with nd.Send during the call are
+// delivered at the end of the round. Returning done = true retires the node:
+// its final sends are still delivered to nodes that remain active, but the
+// retired node itself can no longer receive — packets addressed to it in its
+// final round or later are dropped (and counted in DroppedToDeparted), since
+// there is no future step call to hand them to. If every remaining node
+// retires in the same round, that round's sends are discarded without
+// delivery or accounting (mirroring the blocking API, where packets queued
+// by a program that returns without exchanging are never published).
+type StepFunc func(nd *Node, round int, inbox Inbox) (done bool, err error)
+
+// RunRounds executes step for every node in synchronous rounds on a bounded
+// pool of k worker goroutines (WithWorkers; defaults to GOMAXPROCS), instead
+// of one goroutine per node as Run does. This is the scheduler to use for
+// very large cliques: n >= 10^4 logical nodes run on a handful of goroutines
+// with no parked stacks. Within a round each worker sweeps a contiguous shard
+// of nodes; delivery and metrics are identical to Run, and executions are
+// deterministic for any worker count.
+//
+// Error reporting follows the same rule as Run: the lowest failing node id
+// wins; an engine-level failure is returned only if no step failed. Node
+// methods other than Exchange work as usual inside step; Exchange returns an
+// error because the engine itself drives the barrier.
+func (nw *Network) RunRounds(step StepFunc) error {
+	if !nw.started.CompareAndSwap(false, true) {
+		return errors.New("clique: Network.Run called twice")
+	}
+	k := nw.cfg.workers
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	if k > nw.n {
+		k = nw.n
+	}
+
+	nodes := make([]*Node, nw.n)
+	for i := range nodes {
+		nodes[i] = &Node{nw: nw, id: i, stepMode: true}
+	}
+	errs := make([]error, nw.n)
+	nw.segs = make([][]inboxSeg, nw.n) // switches delivery to segment mode
+
+	type ack struct {
+		left   int
+		failed bool
+	}
+	starts := make([]chan int, k)
+	acks := make(chan ack, k)
+	var workers sync.WaitGroup
+	for w := 0; w < k; w++ {
+		starts[w] = make(chan int, 1)
+		lo, hi := w*nw.n/k, (w+1)*nw.n/k
+		workers.Add(1)
+		go func(startCh chan int, lo, hi int) {
+			defer workers.Done()
+			// scratch holds the materialised inbox of the node currently
+			// stepping; entries are cleared again right after the step call.
+			scratch := make(Inbox, nw.n)
+			for round := range startCh {
+				var a ack
+				for id := lo; id < hi; id++ {
+					nd := nodes[id]
+					if nd.departed {
+						continue
+					}
+					var inbox Inbox
+					if segs := nw.segs[id]; len(segs) > 0 {
+						ha := nw.hdrArena[id]
+						for _, s := range segs {
+							scratch[s.from] = ha[s.start:s.end:s.end]
+						}
+						inbox = scratch
+					}
+					if nd.reclaim != nil {
+						nd.pending = nd.reclaim[:0]
+						nd.reclaim = nil
+					}
+					done, err := runStep(step, nd, round, inbox)
+					if segs := nw.segs[id]; len(segs) > 0 {
+						for _, s := range segs {
+							scratch[s.from] = nil
+						}
+						nw.segs[id] = segs[:0]
+					}
+					nd.retire()
+					nd.reclaim = nd.pending
+					nw.outboxes[id] = nd.pending
+					nd.pending = nil
+					nd.round++
+					if err != nil {
+						errs[id] = err
+						a.failed = true
+						done = true
+					}
+					if done {
+						nd.departed = true
+						nw.departed[id] = true
+						a.left++
+					}
+				}
+				acks <- a
+			}
+		}(starts[w], lo, hi)
+	}
+
+	remaining := nw.n
+	for round := 0; remaining > 0; round++ {
+		for _, ch := range starts {
+			ch <- round
+		}
+		anyFailed := false
+		for range starts {
+			a := <-acks
+			remaining -= a.left
+			anyFailed = anyFailed || a.failed
+		}
+		if anyFailed {
+			break
+		}
+		if remaining == 0 {
+			// The final sends have no live receivers left; there is nothing
+			// to deliver or account.
+			break
+		}
+		nw.deliverRound()
+		if nw.fail.Load() != nil {
+			break
+		}
+	}
+	for _, ch := range starts {
+		close(ch)
+	}
+	workers.Wait()
+
+	nw.stepsMu.Lock()
+	for _, nd := range nodes {
+		nw.steps[nd.id] = nd.steps
+		nw.memory[nd.id] = nd.memory
+	}
+	nw.stepsMu.Unlock()
+
+	return nw.firstError(errs)
+}
+
+// runStep invokes step with panic recovery, so one node's panic surfaces as
+// that node's error instead of tearing down the whole process.
+func runStep(step StepFunc, nd *Node, round int, inbox Inbox) (done bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			done, err = true, fmt.Errorf("clique: node %d panicked in round %d: %v", nd.id, round, r)
+		}
+	}()
+	return step(nd, round, inbox)
 }
 
 // Node is one physical node of the clique. A Node must only be used from the
@@ -200,9 +476,11 @@ func (nw *Network) Run(program func(*Node) error) error {
 type Node struct {
 	nw       *Network
 	id       int
-	pending  []pendingPacket
 	round    int
 	departed bool
+	stepMode bool
+	pending  []pendingPacket
+	reclaim  []pendingPacket
 	steps    int64
 	memory   int64
 }
@@ -218,7 +496,10 @@ func (nd *Node) N() int { return nd.nw.n }
 // Round returns the number of rounds this node has completed.
 func (nd *Node) Round() int { return nd.round }
 
-// Send queues a packet for node to; it is delivered at the next Exchange.
+// Send queues a packet for node to; it is delivered at the next barrier. The
+// engine copies the payload during delivery, so the caller may reuse or
+// recycle data after its next Exchange returns, and a packet received this
+// round may be forwarded verbatim without cloning.
 func (nd *Node) Send(to int, data Packet) {
 	if to < 0 || to >= nd.nw.n {
 		panic(fmt.Sprintf("clique: node %d sent to invalid destination %d (n=%d)", nd.id, to, nd.nw.n))
@@ -274,135 +555,213 @@ func (nd *Node) SharedCompute(key string, f func() interface{}) interface{} {
 	return v
 }
 
-// Exchange implements the synchronous round barrier.
+// retire recycles the receive buffers handed out with this node's previous
+// inbox. The node owns its slots until it arrives at the barrier, so no
+// synchronisation is needed. Only the word arena about to be written this
+// round is resliced, which is what keeps recently received payloads valid
+// for PayloadGraceRounds barriers (same-round forwarding and the
+// constant-round re-send patterns of the primitives).
+func (nd *Node) retire() {
+	nw := nd.nw
+	if bb := nw.backbone[nd.id]; bb != nil {
+		for _, f := range nw.setFrom[nd.id] {
+			bb[f] = nil
+		}
+		nw.setFrom[nd.id] = nw.setFrom[nd.id][:0]
+	}
+	nw.hdrArena[nd.id] = nw.hdrArena[nd.id][:0]
+	p := nd.round % payloadRingDepth
+	nw.wordArena[p][nd.id] = nw.wordArena[p][nd.id][:0]
+}
+
+// Exchange implements the synchronous round barrier (see the Network type
+// documentation for the two-phase design). The returned Inbox and the packets
+// inside it are engine-owned: they are valid until this node's next Exchange
+// call, at which point their buffers are recycled.
 func (nd *Node) Exchange() (Inbox, error) {
 	nw := nd.nw
-	nw.mu.Lock()
-	if nw.failed != nil {
-		err := nw.failed
-		nw.mu.Unlock()
-		return nil, err
+	if nd.stepMode {
+		return nil, errors.New("clique: Exchange is driven by the engine in RunRounds mode")
+	}
+	if f := nw.fail.Load(); f != nil {
+		return nil, f.err
 	}
 	if nd.departed {
-		nw.mu.Unlock()
 		return nil, errors.New("clique: Exchange called after node program returned")
 	}
 
-	// Publish this node's outbox.
-	nw.outboxes[nd.id] = nd.pending
+	nd.retire()
+
+	// Publish the outbox; the slot is not read until every node has arrived.
+	published := nd.pending
+	nw.outboxes[nd.id] = published
 	nd.pending = nil
 
-	generation := nw.round
-	nw.arrived++
-	if nw.arrived == nw.active {
-		nw.deliverLocked()
-	} else {
-		for nw.round == generation && nw.failed == nil {
-			nw.cond.Wait()
-		}
+	// The generation must be loaded before arriving: the round cannot turn
+	// over before our arrival is counted, so g is this round's epoch.
+	g := nw.gen.Load()
+	if nw.sem != nil {
+		nw.sem <- struct{}{} // release the compute slot while parked
 	}
-	if nw.failed != nil {
-		err := nw.failed
-		nw.mu.Unlock()
-		return nil, err
+	active, arrived := stateParts(nw.state.Add(1))
+	if arrived == active {
+		if nw.fail.Load() == nil {
+			nw.deliver(g)
+		} else {
+			close(g.done) // free stragglers; the run is already failed
+		}
+	} else {
+		<-g.done
+	}
+	if nw.sem != nil {
+		<-nw.sem
+	}
+
+	if f := nw.fail.Load(); f != nil {
+		return nil, f.err
 	}
 	inbox := nw.inboxes[nd.id]
 	nw.inboxes[nd.id] = nil
-	nw.mu.Unlock()
-
+	nd.pending = published[:0]
 	nd.round++
 	return inbox, nil
 }
 
 // leave removes a node from the barrier once its program has returned. If the
-// node was the last one every other active node was waiting on, the round is
-// completed on its behalf.
+// node was the last one every other live node was waiting on, the round is
+// completed (or, after a failure, the barrier released) on its behalf.
 func (nw *Network) leave(nd *Node) {
 	nw.stepsMu.Lock()
 	nw.steps[nd.id] = nd.steps
 	nw.memory[nd.id] = nd.memory
 	nw.stepsMu.Unlock()
 
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
 	if nd.departed {
 		return
 	}
 	nd.departed = true
 	nw.departed[nd.id] = true
-	nw.active--
-	if nw.active > 0 && nw.arrived == nw.active && nw.failed == nil {
-		nw.deliverLocked()
-	}
-	if nw.active == 0 {
-		nw.cond.Broadcast()
+
+	g := nw.gen.Load()
+	active, arrived := stateParts(nw.state.Add(^activeOne + 1))
+	if active > 0 && arrived == active {
+		if nw.fail.Load() == nil {
+			nw.deliver(g)
+		} else {
+			close(g.done)
+		}
 	}
 }
 
-// deliverLocked completes the current round: it moves every queued packet
-// into the destination inbox, computes the round statistics, and wakes up all
-// waiting nodes. Callers must hold nw.mu.
-func (nw *Network) deliverLocked() {
-	stats := RoundStats{}
-	for i := range nw.recvWords {
-		nw.recvWords[i] = 0
-	}
-	clear(nw.edgeWords)
-	clear(nw.edgeMsgs)
+// deliver completes the current round and advances the barrier: delivery,
+// arrival reset, generation swap, wake-up. It runs on exactly one goroutine
+// per round while every other live node is parked, so plain loads and stores
+// are safe; the closing of g.done publishes everything written here.
+func (nw *Network) deliver(g *generation) {
+	nw.deliverRound()
+	nw.state.Store(nw.state.Load() >> 32 << 32)
+	nw.gen.Store(&generation{done: make(chan struct{})})
+	close(g.done)
+}
+
+// deliverRound swaps every published outbox into the destination inboxes and
+// folds the round statistics into the metrics. Per-edge and per-node loads
+// are tracked in dense scratch slices — O(1) per packet, no hashing — and
+// payloads are copied into per-receiver arenas that are reused round over
+// round, so a steady-state round allocates nothing.
+func (nw *Network) deliverRound() {
+	round := int(nw.round.Load())
+	arena := nw.wordArena[round%payloadRingDepth]
+	var stats RoundStats
+	var worstFrom, worstTo int
 
 	for from := 0; from < nw.n; from++ {
 		out := nw.outboxes[from]
 		if len(out) == 0 {
 			continue
 		}
+		nw.outboxes[from] = nil
 		sentWords := 0
 		for _, pp := range out {
-			if nw.departed[pp.to] {
-				nw.metrics.DroppedToDeparted++
+			to := pp.to
+			if nw.departed[to] {
+				stats.Dropped++
 				continue
 			}
-			if nw.inboxes[pp.to] == nil {
-				nw.inboxes[pp.to] = make(Inbox, nw.n)
-			}
-			nw.inboxes[pp.to][from] = append(nw.inboxes[pp.to][from], pp.data)
-
 			w := len(pp.data)
+
+			// Copy the payload into the receiver's word arena and append the
+			// header to its header arena. Growth is append-only, so views
+			// created before a reallocation keep reading valid memory.
+			wa := arena[to]
+			pos := len(wa)
+			wa = append(wa, pp.data...)
+			arena[to] = wa
+			data := wa[pos : pos+w : pos+w]
+
+			if nw.lastFrom[to] == -1 { // first packet for `to` this round
+				nw.recvTouch = append(nw.recvTouch, int32(to))
+				if nw.segs == nil {
+					if nw.backbone[to] == nil {
+						nw.backbone[to] = make(Inbox, nw.n)
+					}
+					nw.inboxes[to] = nw.backbone[to]
+				}
+			}
+			// Senders are scanned in ascending order, so the packets of one
+			// sender form a contiguous segment of the receiver's header arena;
+			// a sender change closes the previous segment.
+			if nw.lastFrom[to] != int32(from) {
+				nw.flushSegment(to)
+				nw.lastFrom[to] = int32(from)
+				nw.segStart[to] = int32(len(nw.hdrArena[to]))
+			}
+			nw.hdrArena[to] = append(nw.hdrArena[to], data)
+
+			if nw.destWords[to] == 0 && nw.destMsgs[to] == 0 {
+				nw.edgeTouch = append(nw.edgeTouch, int32(to))
+			}
+			nw.destWords[to] += w
+			nw.destMsgs[to]++
+			nw.recvWords[to] += w
+			sentWords += w
 			stats.Messages++
 			stats.Words += w
-			sentWords += w
-			nw.recvWords[pp.to] += w
-			e := edge{from: from, to: pp.to}
-			nw.edgeWords[e] += w
-			nw.edgeMsgs[e]++
 		}
 		if sentWords > stats.MaxNodeSentWords {
 			stats.MaxNodeSentWords = sentWords
 		}
-		nw.outboxes[from] = nil
+		for _, t := range nw.edgeTouch {
+			if w := nw.destWords[t]; w > stats.MaxEdgeWords {
+				stats.MaxEdgeWords = w
+				worstFrom, worstTo = from, int(t)
+			}
+			if c := nw.destMsgs[t]; c > stats.MaxEdgeMessages {
+				stats.MaxEdgeMessages = c
+			}
+			nw.destWords[t] = 0
+			nw.destMsgs[t] = 0
+		}
+		nw.edgeTouch = nw.edgeTouch[:0]
 	}
-	for _, w := range nw.recvWords {
-		if w > stats.MaxNodeRecvWords {
+
+	for _, t := range nw.recvTouch {
+		nw.flushSegment(int(t))
+		nw.lastFrom[t] = -1
+		if w := nw.recvWords[t]; w > stats.MaxNodeRecvWords {
 			stats.MaxNodeRecvWords = w
 		}
+		nw.recvWords[t] = 0
 	}
-	var worstEdge edge
-	for e, w := range nw.edgeWords {
-		if w > stats.MaxEdgeWords {
-			stats.MaxEdgeWords = w
-			worstEdge = e
-		}
-	}
-	for _, c := range nw.edgeMsgs {
-		if c > stats.MaxEdgeMessages {
-			stats.MaxEdgeMessages = c
-		}
-	}
+	nw.recvTouch = nw.recvTouch[:0]
 
 	if nw.cfg.maxWordsPerEdge > 0 && stats.MaxEdgeWords > nw.cfg.maxWordsPerEdge {
-		nw.failed = fmt.Errorf("clique: round %d: edge %d->%d carried %d words, budget %d: %w",
-			nw.round, worstEdge.from, worstEdge.to, stats.MaxEdgeWords, nw.cfg.maxWordsPerEdge, ErrBandwidthExceeded)
+		nw.fail.CompareAndSwap(nil, &failure{err: fmt.Errorf(
+			"clique: round %d: edge %d->%d carried %d words, budget %d: %w",
+			round, worstFrom, worstTo, stats.MaxEdgeWords, nw.cfg.maxWordsPerEdge, ErrBandwidthExceeded)})
 	}
 
+	nw.metricsMu.Lock()
 	if nw.cfg.recordPerRound {
 		nw.metrics.merge(stats)
 	} else {
@@ -410,8 +769,24 @@ func (nw *Network) deliverLocked() {
 		nw.metrics.merge(stats)
 		nw.metrics.PerRound = saved
 	}
+	nw.metricsMu.Unlock()
 
-	nw.round++
-	nw.arrived = 0
-	nw.cond.Broadcast()
+	nw.round.Store(int64(round + 1))
+}
+
+// flushSegment closes the receiver's current header-arena segment, exposing
+// it as the inbox entry of the sender that produced it (directly in the
+// receiver's backbone, or as a segment record in worker-pool mode).
+func (nw *Network) flushSegment(to int) {
+	lf := nw.lastFrom[to]
+	if lf < 0 {
+		return
+	}
+	ha := nw.hdrArena[to]
+	if nw.segs != nil {
+		nw.segs[to] = append(nw.segs[to], inboxSeg{from: lf, start: nw.segStart[to], end: int32(len(ha))})
+		return
+	}
+	nw.backbone[to][lf] = ha[nw.segStart[to]:len(ha):len(ha)]
+	nw.setFrom[to] = append(nw.setFrom[to], lf)
 }

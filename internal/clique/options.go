@@ -17,6 +17,11 @@ type config struct {
 	// recordPerRound controls whether Metrics.PerRound is populated. Disabling
 	// it saves memory for very long executions.
 	recordPerRound bool
+	// workers bounds scheduling concurrency. For Network.RunRounds it is the
+	// size of the worker pool that n logical nodes are multiplexed onto
+	// (0 = GOMAXPROCS). For Network.Run it bounds, when 0 < workers < n, how
+	// many node goroutines compute concurrently.
+	workers int
 }
 
 func defaultConfig() config {
@@ -24,6 +29,7 @@ func defaultConfig() config {
 		maxWordsPerEdge: 0,
 		sharedCache:     true,
 		recordPerRound:  true,
+		workers:         0,
 	}
 }
 
@@ -39,6 +45,22 @@ func WithStrictEdgeBudget(words int) Option {
 			return fmt.Errorf("clique: strict edge budget must be positive, got %d", words)
 		}
 		c.maxWordsPerEdge = words
+		return nil
+	}
+}
+
+// WithWorkers bounds scheduling concurrency to k goroutines. With RunRounds,
+// the n logical nodes are multiplexed onto a pool of k workers (k = 0 picks
+// GOMAXPROCS), so very large cliques run without one parked goroutine per
+// node. With the blocking Run API, 0 < k < n additionally bounds how many of
+// the n node goroutines compute at once; nodes parked at the round barrier
+// do not count. Executions are deterministic for every choice of k.
+func WithWorkers(k int) Option {
+	return func(c *config) error {
+		if k < 0 {
+			return fmt.Errorf("clique: worker count must be non-negative, got %d", k)
+		}
+		c.workers = k
 		return nil
 	}
 }

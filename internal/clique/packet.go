@@ -1,5 +1,7 @@
 package clique
 
+import "sync"
+
 // Word is the unit of message payload. The congested-clique model allows a
 // constant number of integers that are polynomially bounded in n per message;
 // a Word holds one such integer.
@@ -8,11 +10,22 @@ type Word = int64
 // Packet is a single message sent along one directed edge in one round. Its
 // length must stay bounded by a constant (independent of n) for an algorithm
 // to respect the O(log n) bits-per-edge budget of the model.
+//
+// Lifetimes: the engine copies sent payloads during delivery, so a sender may
+// reuse its buffer as soon as its next Exchange returns. Received packets are
+// engine-owned views into per-receiver arenas. The Inbox structure and the
+// packet headers stay valid until the receiver's next Exchange call; the
+// payload words stay valid for PayloadGraceRounds further barriers, so a
+// received packet may be forwarded verbatim within that window (this covers
+// the paper's constant-round primitives, which re-send received words after
+// at most two intervening announcement rounds). Callers that retain packet
+// contents beyond the grace window must Clone them.
 type Packet []Word
 
 // Clone returns an independent copy of the packet. Packets received from
-// Exchange may share backing storage with the engine, so callers that retain
-// packet contents across rounds should clone them.
+// Exchange share backing storage with the engine (see the Packet lifetime
+// rules), so callers that retain packet contents across rounds must clone
+// them.
 func (p Packet) Clone() Packet {
 	if p == nil {
 		return nil
@@ -27,6 +40,31 @@ func (p Packet) Clone() Packet {
 type pendingPacket struct {
 	to   int
 	data Packet
+}
+
+// wordBufPool recycles word buffers used to build packet payloads whose
+// lifetime ends at a known barrier (the engine copies payloads during
+// delivery, so a sender-side buffer is free once the sender's Exchange has
+// returned). The Mux carves all of a round's tagged packets out of one pooled
+// buffer, so steady-state virtual rounds allocate nothing.
+var wordBufPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]Word, 0, 256)
+		return &b
+	},
+}
+
+// acquireWords returns an empty word buffer from the pool.
+func acquireWords() *[]Word {
+	b := wordBufPool.Get().(*[]Word)
+	*b = (*b)[:0]
+	return b
+}
+
+// releaseWords returns a buffer to the pool. The caller must not touch any
+// memory carved from it afterwards.
+func releaseWords(b *[]Word) {
+	wordBufPool.Put(b)
 }
 
 // Inbox holds everything a node received in one round, indexed by sender.

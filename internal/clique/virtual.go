@@ -3,6 +3,7 @@ package clique
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -18,6 +19,11 @@ import (
 // (two square sub-instances plus the 6-round boundary procedure run in
 // parallel) and by the sorting pipeline (piggybacking the bucket-size
 // aggregation on the Step-6 routing rounds).
+//
+// Allocation behaviour: all tagged payloads of one physical round are carved
+// out of a single pooled word buffer (released once the engine has copied
+// them at the barrier), and the demultiplexed per-instance inboxes are
+// recycled round over round, so steady-state virtual rounds allocate nothing.
 type Mux struct {
 	nd Exchanger
 
@@ -29,10 +35,16 @@ type Mux struct {
 	failed  error
 	// pending accumulates tagged packets queued by all instances this round.
 	pending []pendingPacket
+	// tagBuf is the pooled buffer the round's tagged payloads are carved
+	// from. Growth is append-only, so earlier carved views stay valid when
+	// the backing array is reallocated.
+	tagBuf *[]Word
 	// inboxes[instance] is the demultiplexed inbox of the round that just
 	// completed.
 	inboxes map[int]Inbox
 	vnodes  map[int]*VNode
+	// boxFree recycles instance inboxes retired by VNode.Exchange.
+	boxFree []Inbox
 }
 
 // NewMux wraps a physical (or itself virtual) node. Instances are registered
@@ -69,17 +81,23 @@ func (m *Mux) Instance(id int) (*VNode, error) {
 // Run is a convenience helper: it registers one instance per program (with
 // instance identifiers equal to the map keys), runs each program in its own
 // goroutine on its virtual node, and waits for all of them. It returns the
-// first error.
+// error of the lowest-numbered failing slot, mirroring Network.Run's
+// deterministic error rule.
 func (m *Mux) Run(programs map[int]func(Exchanger) error) error {
 	vnodes := make(map[int]*VNode, len(programs))
 	ids := make([]int, 0, len(programs))
 	for id := range programs {
+		ids = append(ids, id)
+	}
+	// Sorted so that the first-failing-slot scan below is the lowest failing
+	// instance id, independent of map iteration order.
+	sort.Ints(ids)
+	for _, id := range ids {
 		vn, err := m.Instance(id)
 		if err != nil {
 			return err
 		}
 		vnodes[id] = vn
-		ids = append(ids, id)
 	}
 	errs := make([]error, len(ids))
 	var wg sync.WaitGroup
@@ -117,6 +135,9 @@ type VNode struct {
 	instance int
 	round    int
 	closed   bool
+	// prevBox is the inbox handed out last round, recycled at the next
+	// Exchange.
+	prevBox Inbox
 }
 
 var _ Exchanger = (*VNode)(nil)
@@ -142,13 +163,25 @@ func (v *VNode) SharedCompute(key string, f func() interface{}) interface{} {
 }
 
 // Send queues a packet for delivery within this instance. The packet is
-// tagged with the instance identifier (one extra word on the wire).
+// tagged with the instance identifier (one extra word on the wire); the
+// tagged copy is carved from a pooled buffer that is released once the
+// engine has copied the round's payloads at the physical barrier.
 func (v *VNode) Send(to int, data Packet) {
-	tagged := make(Packet, 0, len(data)+1)
-	tagged = append(tagged, Word(v.instance))
-	tagged = append(tagged, data...)
+	if to < 0 || to >= v.N() {
+		panic(fmt.Sprintf("clique: instance %d on node %d sent to invalid destination %d (n=%d)",
+			v.instance, v.ID(), to, v.N()))
+	}
 	m := v.mux
 	m.mu.Lock()
+	if m.tagBuf == nil {
+		m.tagBuf = acquireWords()
+	}
+	buf := *m.tagBuf
+	pos := len(buf)
+	buf = append(buf, Word(v.instance))
+	buf = append(buf, data...)
+	*m.tagBuf = buf
+	tagged := buf[pos:len(buf):len(buf)]
 	m.pending = append(m.pending, pendingPacket{to: to, data: tagged})
 	m.mu.Unlock()
 }
@@ -156,7 +189,8 @@ func (v *VNode) Send(to int, data Packet) {
 // Exchange advances this instance by one round. It blocks until every other
 // active instance on the same physical node has also reached its barrier;
 // the last instance to arrive performs the physical exchange and
-// demultiplexes the received packets by instance tag.
+// demultiplexes the received packets by instance tag. The returned Inbox is
+// engine-owned and valid until this instance's next Exchange call.
 func (v *VNode) Exchange() (Inbox, error) {
 	m := v.mux
 	m.mu.Lock()
@@ -168,6 +202,12 @@ func (v *VNode) Exchange() (Inbox, error) {
 		err := m.failed
 		m.mu.Unlock()
 		return nil, err
+	}
+	// Retire last round's inbox into the recycle list.
+	if v.prevBox != nil {
+		clear(v.prevBox)
+		m.boxFree = append(m.boxFree, v.prevBox)
+		v.prevBox = nil
 	}
 	generation := m.round
 	m.arrived++
@@ -185,12 +225,13 @@ func (v *VNode) Exchange() (Inbox, error) {
 	}
 	inbox := m.inboxes[v.instance]
 	delete(m.inboxes, v.instance)
+	if inbox == nil {
+		inbox = m.getBoxLocked()
+	}
 	m.mu.Unlock()
 
 	v.round++
-	if inbox == nil {
-		inbox = make(Inbox, v.N())
-	}
+	v.prevBox = inbox
 	return inbox, nil
 }
 
@@ -215,6 +256,18 @@ func (v *VNode) Close() {
 	}
 }
 
+// getBoxLocked returns a cleared instance inbox, recycled if possible.
+// Callers must hold m.mu.
+func (m *Mux) getBoxLocked() Inbox {
+	if k := len(m.boxFree); k > 0 {
+		box := m.boxFree[k-1]
+		m.boxFree[k-1] = nil
+		m.boxFree = m.boxFree[:k-1]
+		return box
+	}
+	return make(Inbox, m.nd.N())
+}
+
 // deliverLocked performs one physical exchange on behalf of all active
 // instances and distributes the result. Callers must hold m.mu.
 //
@@ -226,16 +279,21 @@ func (m *Mux) deliverLocked() {
 	for _, pp := range m.pending {
 		m.nd.Send(pp.to, pp.data)
 	}
-	m.pending = nil
+	m.pending = m.pending[:0]
 
 	inbox, err := m.nd.Exchange()
+	// The engine has copied all payloads at the barrier, so the round's
+	// tagged-packet buffer can be recycled even on error.
+	if m.tagBuf != nil {
+		releaseWords(m.tagBuf)
+		m.tagBuf = nil
+	}
 	if err != nil {
 		m.failed = err
 		m.cond.Broadcast()
 		return
 	}
 
-	n := m.nd.N()
 	for from, packets := range inbox {
 		for _, p := range packets {
 			if len(p) == 0 {
@@ -244,7 +302,7 @@ func (m *Mux) deliverLocked() {
 			instance := int(p[0])
 			box, ok := m.inboxes[instance]
 			if !ok {
-				box = make(Inbox, n)
+				box = m.getBoxLocked()
 				m.inboxes[instance] = box
 			}
 			box[from] = append(box[from], p[1:])

@@ -1,17 +1,20 @@
 // Package tables renders the experiment results as aligned text tables, the
-// format recorded in EXPERIMENTS.md and printed by cmd/cliquebench.
+// format recorded in EXPERIMENTS.md and printed by cmd/cliquebench, with
+// optional markdown and JSON renderings (the latter feeds the CI benchmark
+// artifact).
 package tables
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
 
 // Table is a simple column-aligned text table with a caption.
 type Table struct {
-	Caption string
-	Header  []string
-	Rows    [][]string
+	Caption string     `json:"caption"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
 }
 
 // New creates a table with the given caption and column headers.
@@ -73,6 +76,22 @@ func (t *Table) String() string {
 		writeRow(r)
 	}
 	return b.String()
+}
+
+// Document is a JSON-serialisable bundle of tables plus provenance, the
+// schema of the benchmark artifacts uploaded by CI (BENCH_ci.json).
+type Document struct {
+	// Tool identifies the producer (e.g. "cliquebench").
+	Tool string `json:"tool"`
+	// Args records the relevant producer configuration (flag values).
+	Args map[string]string `json:"args,omitempty"`
+	// Tables holds every emitted table in emission order.
+	Tables []*Table `json:"tables"`
+}
+
+// JSON renders the document as indented JSON.
+func (d *Document) JSON() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
 }
 
 // Markdown renders the table as a GitHub-flavoured markdown table.

@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -41,5 +42,31 @@ func TestTableRaggedRows(t *testing.T) {
 	out := tb.String()
 	if !strings.Contains(out, "extra") {
 		t.Fatalf("extra column dropped:\n%s", out)
+	}
+}
+
+func TestDocumentJSON(t *testing.T) {
+	t.Parallel()
+	tb := New("Caption", "a", "b")
+	tb.AddRow("x", 1)
+	doc := &Document{
+		Tool:   "cliquebench",
+		Args:   map[string]string{"max-n": "25"},
+		Tables: []*Table{tb},
+	}
+	data, err := doc.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "cliquebench" || back.Args["max-n"] != "25" {
+		t.Fatalf("round trip lost provenance: %+v", back)
+	}
+	if len(back.Tables) != 1 || back.Tables[0].Caption != "Caption" ||
+		len(back.Tables[0].Rows) != 1 || back.Tables[0].Rows[0][1] != "1" {
+		t.Fatalf("round trip lost table content: %+v", back.Tables)
 	}
 }
