@@ -1,0 +1,70 @@
+package congestedclique
+
+// Protocol-layer end-to-end benchmarks: one full Route respectively Sort
+// execution per iteration, with allocations reported. These are the numbers
+// tracked by BENCH_protocol.json (cmd/cliquebench -protocol-json) and guarded
+// against regression by cmd/benchguard in CI.
+
+import (
+	"fmt"
+	"testing"
+
+	"congestedclique/internal/workload"
+)
+
+// benchProtocolSizes are the clique sizes the protocol benchmarks run at.
+var benchProtocolSizes = []int{64, 256, 1024}
+
+// benchRouteWorkload is the deterministic all-to-all instance: every node
+// sends one message to every node (the paper's full-load Problem 3.1). The
+// definition is shared with cliquebench -protocol-json so the recorded
+// before/after numbers always measure the same workload.
+func benchRouteWorkload(n int) [][]Message {
+	msgs, err := NewUniformMessages(workload.ProtocolBenchRoute(n))
+	if err != nil {
+		panic(err)
+	}
+	return msgs
+}
+
+// benchSortWorkload is the deterministic full-load sorting instance (shared
+// with cliquebench -protocol-json, see benchRouteWorkload).
+func benchSortWorkload(n int) [][]int64 {
+	return workload.ProtocolBenchSortValues(n)
+}
+
+func BenchmarkRoute(b *testing.B) {
+	for _, n := range benchProtocolSizes {
+		msgs := benchRouteWorkload(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Route(n, msgs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Rounds > 16 {
+					b.Fatalf("measured %d rounds, Theorem 3.7 claims <= 16", res.Stats.Rounds)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSort(b *testing.B) {
+	for _, n := range benchProtocolSizes {
+		values := benchSortWorkload(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Sort(n, values)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Rounds > 37 {
+					b.Fatalf("measured %d rounds, Theorem 4.5 claims <= 37", res.Stats.Rounds)
+				}
+			}
+		})
+	}
+}

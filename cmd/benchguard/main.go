@@ -1,0 +1,87 @@
+// Command benchguard compares the allocs/op of a `go test -bench -benchmem`
+// run (read from stdin) against a committed baseline and fails when any
+// benchmark regresses by more than the allowed factor. CI pipes the protocol
+// benchmarks through it so the zero-allocation property of the flat-frame
+// layer cannot silently rot:
+//
+//	go test -run '^$' -bench '^(BenchmarkRoute|BenchmarkSort)$' -benchmem -benchtime 1x . | \
+//	    go run ./cmd/benchguard -baseline bench_protocol_baseline.json
+//
+// Only allocs/op are guarded: they are deterministic per environment, unlike
+// ns/op on shared CI runners.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Baseline maps a benchmark name (e.g. "BenchmarkRoute/n=256") to its
+// recorded allocs/op.
+type Baseline struct {
+	Note        string           `json:"note"`
+	AllocsPerOp map[string]int64 `json:"allocs_per_op"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+func main() {
+	log.SetFlags(0)
+	baselinePath := flag.String("baseline", "bench_protocol_baseline.json", "committed baseline file")
+	factor := flag.Float64("factor", 2.0, "maximum allowed allocs/op regression factor")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatalf("benchguard: read baseline: %v", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("benchguard: parse baseline: %v", err)
+	}
+
+	seen := 0
+	failed := 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the benchmark output through
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		allocs, err := strconv.ParseInt(m[4], 10, 64)
+		if err != nil {
+			continue
+		}
+		want, ok := base.AllocsPerOp[name]
+		if !ok {
+			continue
+		}
+		seen++
+		limit := int64(float64(want) * *factor)
+		if allocs > limit {
+			failed++
+			log.Printf("benchguard: %s regressed: %d allocs/op, baseline %d (limit %d)", name, allocs, want, limit)
+		} else {
+			log.Printf("benchguard: %s ok: %d allocs/op (baseline %d, limit %d)", name, allocs, want, limit)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchguard: read stdin: %v", err)
+	}
+	if seen == 0 {
+		log.Fatal("benchguard: no baselined benchmarks found in input")
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -45,12 +45,18 @@ func emit(t *tables.Table) {
 
 func run() error {
 	var (
-		maxN     = flag.Int("max-n", 256, "largest clique size to measure")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		jsonPath = flag.String("json", "", "also write all tables to this file as JSON")
+		maxN         = flag.Int("max-n", 256, "largest clique size to measure")
+		seed         = flag.Int64("seed", 1, "workload seed")
+		jsonPath     = flag.String("json", "", "also write all tables to this file as JSON")
+		protocolJSON = flag.String("protocol-json", "", "run the end-to-end Route/Sort protocol benchmarks and write them to this file (skips the experiment tables)")
+		protocolMaxN = flag.Int("protocol-max-n", 1024, "largest clique size for -protocol-json")
 	)
 	flag.BoolVar(&markdown, "markdown", false, "emit markdown tables")
 	flag.Parse()
+
+	if *protocolJSON != "" {
+		return runProtocolBench(*protocolJSON, *protocolMaxN)
+	}
 
 	sizes := []int{16, 25, 49, 64, 100, 144, 196, 256, 324, 400, 529, 625, 784, 1024}
 	nonSquares := []int{12, 20, 40, 90, 150, 200, 300, 500}

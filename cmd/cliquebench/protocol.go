@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	cc "congestedclique"
+
+	"congestedclique/internal/workload"
+)
+
+// Pre-refactor reference numbers for the flat-frame protocol layer, measured
+// on the per-parcel implementation (PR 1 engine + string-keyed protocol
+// layer) with `go test -bench -benchmem` on the CI reference machine. They
+// are embedded so every regenerated BENCH_protocol.json carries the
+// before/after comparison that motivated the frame layer.
+var protocolBaseline = []ProtocolBench{
+	{Name: "BenchmarkRoute/n=64", N: 64, NsPerOp: 20770276, AllocsPerOp: 151883, BytesPerOp: 17739576},
+	{Name: "BenchmarkRoute/n=256", N: 256, NsPerOp: 367117909, AllocsPerOp: 1988717, BytesPerOp: 293504144},
+	{Name: "BenchmarkRoute/n=1024", N: 1024, NsPerOp: 7037644654, AllocsPerOp: 28560944, BytesPerOp: 5281926424},
+	{Name: "BenchmarkSort/n=64", N: 64, NsPerOp: 64200003, AllocsPerOp: 326622, BytesPerOp: 35341052},
+	{Name: "BenchmarkSort/n=256", N: 256, NsPerOp: 850540255, AllocsPerOp: 4273698, BytesPerOp: 569370288},
+	{Name: "BenchmarkSort/n=1024", N: 1024, NsPerOp: 15590759332, AllocsPerOp: 61979523, BytesPerOp: 10170009872},
+}
+
+// ProtocolBench is one end-to-end protocol measurement: a full Route or Sort
+// execution per op, allocations included.
+type ProtocolBench struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Iterations  int     `json:"iterations,omitempty"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Rounds      int     `json:"rounds,omitempty"`
+	MaxEdgeW    int     `json:"max_edge_words,omitempty"`
+	SpeedupVs   float64 `json:"speedup_vs_baseline,omitempty"`
+	AllocRatio  float64 `json:"alloc_reduction_vs_baseline,omitempty"`
+}
+
+// ProtocolDoc is the schema of BENCH_protocol.json.
+type ProtocolDoc struct {
+	Tool     string          `json:"tool"`
+	Schema   string          `json:"schema"`
+	MaxN     int             `json:"max_n"`
+	Measured []ProtocolBench `json:"measured"`
+	// PreRefactorBaseline is the recorded per-parcel implementation the
+	// flat-frame layer is compared against (see protocolBaseline).
+	PreRefactorBaseline []ProtocolBench `json:"pre_refactor_baseline"`
+}
+
+// protocolRouteWorkload builds the shared deterministic full-load routing
+// instance (workload.ProtocolBenchRoute) — the same workload BenchmarkRoute
+// and the stats-invariant goldens measure.
+func protocolRouteWorkload(n int) [][]cc.Message {
+	msgs, err := cc.NewUniformMessages(workload.ProtocolBenchRoute(n))
+	if err != nil {
+		panic(err)
+	}
+	return msgs
+}
+
+func protocolSortWorkload(n int) [][]int64 {
+	return workload.ProtocolBenchSortValues(n)
+}
+
+// measureProtocol runs op iters times and reports wall time and allocation
+// figures per op.
+func measureProtocol(name string, n, iters int, op func() (cc.Stats, error)) (ProtocolBench, error) {
+	// One warm-up op primes the engine and protocol buffer pools, matching
+	// the steady state a long-running service sees.
+	stats, err := op()
+	if err != nil {
+		return ProtocolBench{}, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := op(); err != nil {
+			return ProtocolBench{}, err
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return ProtocolBench{
+		Name:        name,
+		N:           n,
+		Iterations:  iters,
+		NsPerOp:     wall.Nanoseconds() / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		Rounds:      stats.Rounds,
+		MaxEdgeW:    stats.MaxEdgeWords,
+	}, nil
+}
+
+// runProtocolBench measures the end-to-end Route and Sort pipelines at every
+// size up to maxN and writes BENCH_protocol.json.
+func runProtocolBench(path string, maxN int) error {
+	sizes := []int{64, 256, 1024}
+	var measured []ProtocolBench
+	for _, n := range sizes {
+		if n > maxN {
+			continue
+		}
+		iters := 3
+		if n >= 1024 {
+			iters = 1
+		}
+		msgs := protocolRouteWorkload(n)
+		rb, err := measureProtocol(fmt.Sprintf("BenchmarkRoute/n=%d", n), n, iters, func() (cc.Stats, error) {
+			res, err := cc.Route(n, msgs)
+			if err != nil {
+				return cc.Stats{}, err
+			}
+			return res.Stats, nil
+		})
+		if err != nil {
+			return fmt.Errorf("route n=%d: %w", n, err)
+		}
+		measured = append(measured, rb)
+
+		values := protocolSortWorkload(n)
+		sb, err := measureProtocol(fmt.Sprintf("BenchmarkSort/n=%d", n), n, iters, func() (cc.Stats, error) {
+			res, err := cc.Sort(n, values)
+			if err != nil {
+				return cc.Stats{}, err
+			}
+			return res.Stats, nil
+		})
+		if err != nil {
+			return fmt.Errorf("sort n=%d: %w", n, err)
+		}
+		measured = append(measured, sb)
+	}
+
+	baseByName := make(map[string]ProtocolBench, len(protocolBaseline))
+	for _, b := range protocolBaseline {
+		baseByName[b.Name] = b
+	}
+	for i := range measured {
+		if base, ok := baseByName[measured[i].Name]; ok && measured[i].NsPerOp > 0 && measured[i].AllocsPerOp > 0 {
+			measured[i].SpeedupVs = float64(base.NsPerOp) / float64(measured[i].NsPerOp)
+			measured[i].AllocRatio = float64(base.AllocsPerOp) / float64(measured[i].AllocsPerOp)
+		}
+	}
+
+	doc := ProtocolDoc{
+		Tool:                "cliquebench -protocol-json",
+		Schema:              "congestedclique/bench-protocol/v1",
+		MaxN:                maxN,
+		Measured:            measured,
+		PreRefactorBaseline: protocolBaseline,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

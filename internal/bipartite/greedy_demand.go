@@ -26,11 +26,16 @@ func uniformDemandColoring(demand [][]int) *DemandColoring {
 	if u == 0 {
 		return nil
 	}
+	// Three flat backing arrays instead of 1+n+n^2 allocations: the routing
+	// layer builds one of these per announcement step per group.
 	runs := make([][][]ColorRun, n)
+	cells := make([][]ColorRun, n*n)
+	backing := make([]ColorRun, n*n)
 	for i := range runs {
-		runs[i] = make([][]ColorRun, n)
+		runs[i] = cells[i*n : (i+1)*n : (i+1)*n]
 		for j := range runs[i] {
-			runs[i][j] = []ColorRun{{Start: ((i + j) % n) * u, Len: u}}
+			backing[i*n+j] = ColorRun{Start: ((i + j) % n) * u, Len: u}
+			runs[i][j] = backing[i*n+j : i*n+j+1 : i*n+j+1]
 		}
 	}
 	return &DemandColoring{NumColors: n * u, Runs: runs}

@@ -19,7 +19,8 @@ type RoundStats struct {
 	// MaxNodeRecvWords is the maximum number of words received by any single
 	// node in the round.
 	MaxNodeRecvWords int
-	// Dropped is the number of packets addressed to nodes whose program had
+	// Dropped is the number of logical messages (frames count as their
+	// message count, see SendFramed) addressed to nodes whose program had
 	// already returned when the round was delivered.
 	Dropped int
 }
@@ -48,8 +49,9 @@ type Metrics struct {
 	// MaxMemoryWordsPerNode is the maximum self-reported resident word count
 	// over all nodes (see Node.ReportMemory). Zero unless instrumented.
 	MaxMemoryWordsPerNode int64
-	// DroppedToDeparted counts packets addressed to nodes whose program had
-	// already returned. Well-formed protocols never produce such packets.
+	// DroppedToDeparted counts logical messages addressed to nodes whose
+	// program had already returned. Well-formed protocols never produce such
+	// messages.
 	DroppedToDeparted int
 }
 

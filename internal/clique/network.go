@@ -27,6 +27,16 @@ type Exchanger interface {
 	// Sending to oneself is allowed (and used by the algorithms to keep the
 	// presentation uniform, matching the paper's convention).
 	Send(to int, data Packet)
+	// SendFramed queues one physical packet that carries count logical model
+	// messages totalling modelWords payload words. The engine delivers all
+	// len(data) words but charges only modelWords (plus any per-message
+	// overhead the transport itself adds, such as the Mux instance tag)
+	// against the per-edge accounting, and counts count messages. This is the
+	// accounting hook of the flat-frame protocol layer: a frame's few words
+	// of length bookkeeping are simulator framing, not model traffic, so
+	// batching must not change Stats.MaxEdgeWords. Send(to, data) is
+	// equivalent to SendFramed(to, data, 1, len(data)).
+	SendFramed(to int, data Packet, count, modelWords int)
 	// Exchange blocks until every active node has reached the barrier, then
 	// returns everything this node received in the round, indexed by sender.
 	Exchange() (Inbox, error)
@@ -42,6 +52,19 @@ type Exchanger interface {
 	// same (deterministic) value; the cache only removes redundant
 	// recomputation in the simulator, it does not communicate.
 	SharedCompute(key string, f func() interface{}) interface{}
+	// SharedComputeKeyed is SharedCompute with a structured key, so protocol
+	// round loops can address the cache without building strings.
+	SharedComputeKeyed(key SharedKey, f func() interface{}) interface{}
+}
+
+// SharedKey identifies one shared deterministic computation without string
+// formatting: Label scopes the protocol instance, Path encodes the
+// algorithm's call path as packed step codes, and Group discriminates
+// concurrent groups of the same step (-1 when the step is instance-wide).
+type SharedKey struct {
+	Label string
+	Path  uint64
+	Group int32
 }
 
 // generation is one epoch of the round barrier. Nodes that arrive before the
@@ -65,6 +88,15 @@ type inboxSeg struct {
 
 // activeOne is the increment of the live-node half of Network.state.
 const activeOne = uint64(1) << 32
+
+// recvScratch is the per-receiver round state of the deliverer: the sender
+// of the receiver's currently open header-arena segment, the segment start,
+// and the words received so far this round.
+type recvScratch struct {
+	lastFrom int32
+	segStart int32
+	words    int32
+}
 
 // payloadRingDepth is the number of per-receiver payload arenas cycled
 // through by delivery. Words received in round r are only overwritten when
@@ -105,6 +137,10 @@ type Network struct {
 	n   int
 	cfg config
 
+	// buffers is the pooled delivery state backing the slices below; it is
+	// returned to the pool when Run/RunRounds completes.
+	buffers *netBuffers
+
 	started atomic.Bool
 
 	state atomic.Uint64
@@ -119,6 +155,11 @@ type Network struct {
 	// round; the owner consumes and nils it after the barrier.
 	inboxes  []Inbox
 	departed []bool
+	// flat[i] is published by node i alongside its outbox: true when the node
+	// called ExchangeFlat for this round, making delivery write its traffic
+	// as flat [from, len, payload...] records into the word arena instead of
+	// building an Inbox (no header arena, no backbone, no segment tracking).
+	flat []bool
 
 	// Per-receiver delivery buffers, reused round over round. backbone[t] is
 	// the Inbox handed to node t and hdrArena[t] holds the packet headers;
@@ -131,15 +172,13 @@ type Network struct {
 	hdrArena  [][]Packet
 	wordArena [payloadRingDepth][][]Word
 
-	// Deliverer scratch, indexed densely by node id. destWords/destMsgs hold
-	// the per-edge load of the sender currently being scanned (reset via
-	// edgeTouch); recvWords, lastFrom and segStart hold per-receiver state for
-	// the whole round (reset via recvTouch).
-	destWords []int
-	destMsgs  []int
-	recvWords []int
-	lastFrom  []int32
-	segStart  []int32
+	// Deliverer scratch, indexed densely by node id. destLoad packs the
+	// per-edge (words, messages) load of the sender currently being scanned
+	// (reset via edgeTouch); recv packs the per-receiver round state into one
+	// cache line per receiver (reset via recvTouch) — the delivery loop's
+	// per-packet cost is dominated by these random accesses.
+	destLoad  []uint64
+	recv      []recvScratch
 	edgeTouch []int32
 	recvTouch []int32
 	// setFrom[t] lists the backbone entries populated for receiver t this
@@ -163,10 +202,101 @@ type Network struct {
 
 	sharedMu sync.Mutex
 	shared   map[string]interface{}
+	sharedK  map[SharedKey]interface{}
 
 	stepsMu sync.Mutex
 	steps   map[int]int64
 	memory  map[int]int64
+}
+
+// netBuffers is the recyclable delivery state of a Network. One Network is
+// built per protocol call in the public API, so the per-receiver arenas —
+// the dominant allocation of a fresh Network — are pooled across instances.
+// Recycling is what makes the documented packet lifetime end at Run's
+// return: once Run has returned, a new Network may reuse the arenas.
+type netBuffers struct {
+	n         int
+	outboxes  [][]pendingPacket
+	inboxes   []Inbox
+	departed  []bool
+	flat      []bool
+	backbone  []Inbox
+	hdrArena  [][]Packet
+	wordArena [payloadRingDepth][][]Word
+	recv      []recvScratch
+	destLoad  []uint64
+	edgeTouch []int32
+	recvTouch []int32
+	setFrom   [][]int32
+}
+
+var netBufPool = sync.Pool{New: func() interface{} { return new(netBuffers) }}
+
+// acquireNetBuffers returns a buffer set for n nodes, reallocating the dense
+// arrays only when the pooled set is too small.
+func acquireNetBuffers(n int) *netBuffers {
+	b := netBufPool.Get().(*netBuffers)
+	if b.n < n {
+		b.outboxes = make([][]pendingPacket, n)
+		b.inboxes = make([]Inbox, n)
+		b.departed = make([]bool, n)
+		b.flat = make([]bool, n)
+		b.backbone = make([]Inbox, n)
+		b.hdrArena = make([][]Packet, n)
+		for p := range b.wordArena {
+			b.wordArena[p] = make([][]Word, n)
+		}
+		b.recv = make([]recvScratch, n)
+		b.destLoad = make([]uint64, n)
+		b.setFrom = make([][]int32, n)
+		b.n = n
+	}
+	for i := 0; i < n; i++ {
+		b.recv[i].lastFrom = -1
+		b.recv[i].words = 0
+		b.departed[i] = false
+		b.flat[i] = false
+		b.destLoad[i] = 0
+		b.outboxes[i] = nil
+		b.inboxes[i] = nil
+		// Inner backbones are sized for the network that created them; one
+		// inherited from a smaller network must not be indexed by a larger
+		// one (delivery would index backbone[to][from] out of range).
+		if len(b.backbone[i]) < n {
+			b.backbone[i] = nil
+		}
+	}
+	return b
+}
+
+// releaseBuffers cleans the delivery state left over from the final rounds
+// (whose inboxes were never retired by the departed nodes) and returns it to
+// the pool. After this point any packet views previously handed out may be
+// overwritten by a future Network.
+func (nw *Network) releaseBuffers() {
+	b := nw.buffers
+	if b == nil {
+		return
+	}
+	nw.buffers = nil
+	n := nw.n
+	for t := 0; t < n; t++ {
+		if bb := b.backbone[t]; bb != nil {
+			for _, f := range b.setFrom[t] {
+				bb[f] = nil
+			}
+			b.setFrom[t] = b.setFrom[t][:0]
+		}
+		b.hdrArena[t] = b.hdrArena[t][:0]
+		for p := range b.wordArena {
+			if b.wordArena[p][t] != nil {
+				b.wordArena[p][t] = b.wordArena[p][t][:0]
+			}
+		}
+	}
+	b.edgeTouch = nw.edgeTouch[:0]
+	b.recvTouch = nw.recvTouch[:0]
+	netBufPool.Put(b)
 }
 
 // New creates a congested clique with n >= 1 nodes.
@@ -180,29 +310,27 @@ func New(n int, opts ...Option) (*Network, error) {
 			return nil, err
 		}
 	}
+	b := acquireNetBuffers(n)
 	nw := &Network{
 		n:         n,
 		cfg:       cfg,
-		outboxes:  make([][]pendingPacket, n),
-		inboxes:   make([]Inbox, n),
-		departed:  make([]bool, n),
-		backbone:  make([]Inbox, n),
-		hdrArena:  make([][]Packet, n),
-		destWords: make([]int, n),
-		destMsgs:  make([]int, n),
-		recvWords: make([]int, n),
-		lastFrom:  make([]int32, n),
-		segStart:  make([]int32, n),
-		setFrom:   make([][]int32, n),
+		buffers:   b,
+		outboxes:  b.outboxes,
+		inboxes:   b.inboxes,
+		departed:  b.departed,
+		flat:      b.flat,
+		backbone:  b.backbone,
+		hdrArena:  b.hdrArena,
+		wordArena: b.wordArena,
+		recv:      b.recv,
+		destLoad:  b.destLoad,
+		edgeTouch: b.edgeTouch,
+		recvTouch: b.recvTouch,
+		setFrom:   b.setFrom,
 		shared:    make(map[string]interface{}),
+		sharedK:   make(map[SharedKey]interface{}),
 		steps:     make(map[int]int64),
 		memory:    make(map[int]int64),
-	}
-	for p := range nw.wordArena {
-		nw.wordArena[p] = make([][]Word, n)
-	}
-	for i := range nw.lastFrom {
-		nw.lastFrom[i] = -1
 	}
 	nw.gen.Store(&generation{done: make(chan struct{})})
 	return nw, nil
@@ -296,6 +424,7 @@ func (nw *Network) Run(program func(*Node) error) error {
 		}(i)
 	}
 	wg.Wait()
+	nw.releaseBuffers()
 	return nw.firstError(errs)
 }
 
@@ -457,6 +586,7 @@ func (nw *Network) RunRounds(step StepFunc) error {
 	}
 	nw.stepsMu.Unlock()
 
+	nw.releaseBuffers()
 	return nw.firstError(errs)
 }
 
@@ -504,7 +634,22 @@ func (nd *Node) Send(to int, data Packet) {
 	if to < 0 || to >= nd.nw.n {
 		panic(fmt.Sprintf("clique: node %d sent to invalid destination %d (n=%d)", nd.id, to, nd.nw.n))
 	}
-	nd.pending = append(nd.pending, pendingPacket{to: to, data: data})
+	nd.pending = append(nd.pending, pendingPacket{to: to, data: data, count: 1, model: int32(len(data))})
+}
+
+// SendFramed queues one physical packet carrying count logical messages with
+// a total model cost of modelWords words (see Exchanger).
+func (nd *Node) SendFramed(to int, data Packet, count, modelWords int) {
+	if to < 0 || to >= nd.nw.n {
+		panic(fmt.Sprintf("clique: node %d sent to invalid destination %d (n=%d)", nd.id, to, nd.nw.n))
+	}
+	// The model cost may exceed len(data): stacked transports (nested Mux
+	// layers) charge per-message tag overhead that the frame carries only
+	// once physically.
+	if count < 1 || modelWords < 0 {
+		panic(fmt.Sprintf("clique: node %d framed send with count %d, model %d", nd.id, count, modelWords))
+	}
+	nd.pending = append(nd.pending, pendingPacket{to: to, data: data, count: int32(count), model: int32(modelWords)})
 }
 
 // Broadcast queues the same packet for every node, including the sender.
@@ -555,6 +700,32 @@ func (nd *Node) SharedCompute(key string, f func() interface{}) interface{} {
 	return v
 }
 
+// SharedComputeKeyed memoises a deterministic computation under a structured
+// key (see Exchanger).
+func (nd *Node) SharedComputeKeyed(key SharedKey, f func() interface{}) interface{} {
+	if !nd.nw.cfg.sharedCache {
+		return f()
+	}
+	nw := nd.nw
+	nw.sharedMu.Lock()
+	if v, ok := nw.sharedK[key]; ok {
+		nw.sharedMu.Unlock()
+		return v
+	}
+	nw.sharedMu.Unlock()
+	// Compute outside the lock: colorings can be expensive and the value is
+	// deterministic, so racing computations produce identical results.
+	v := f()
+	nw.sharedMu.Lock()
+	if prev, ok := nw.sharedK[key]; ok {
+		v = prev
+	} else {
+		nw.sharedK[key] = v
+	}
+	nw.sharedMu.Unlock()
+	return v
+}
+
 // retire recycles the receive buffers handed out with this node's previous
 // inbox. The node owns its slots until it arrives at the barrier, so no
 // synchronisation is needed. Only the word arena about to be written this
@@ -579,22 +750,57 @@ func (nd *Node) retire() {
 // inside it are engine-owned: they are valid until this node's next Exchange
 // call, at which point their buffers are recycled.
 func (nd *Node) Exchange() (Inbox, error) {
+	if err := nd.exchangeBarrier(false); err != nil {
+		return nil, err
+	}
+	inbox := nd.nw.inboxes[nd.id]
+	nd.nw.inboxes[nd.id] = nil
+	return inbox, nil
+}
+
+// FlatInbox is the flat receive representation of one round: a sequence of
+// [from, len, payload...] records, one per physical packet, in ascending
+// sender order. The words are engine-owned views into the receive arena and
+// follow the same lifetime rules as Inbox packets (valid until the node's
+// next exchange, payloads for PayloadGraceRounds further barriers).
+type FlatInbox []Word
+
+// ExchangeFlat is Exchange for receivers that want the round's traffic as a
+// FlatInbox. Skipping the Inbox assembly (header arena, backbone, segment
+// tracking) makes delivery one append per packet; it is the receive path of
+// the flat-frame protocol layer, which decodes the records directly.
+func (nd *Node) ExchangeFlat() (FlatInbox, error) {
+	// The round the packets were delivered in is nd.round before
+	// exchangeBarrier increments it.
+	slot := nd.round % payloadRingDepth
+	if err := nd.exchangeBarrier(true); err != nil {
+		return nil, err
+	}
+	return FlatInbox(nd.nw.wordArena[slot][nd.id]), nil
+}
+
+// exchangeBarrier publishes the node's outbox and receive mode, arrives at
+// the round barrier (delivering the round if it is the last arrival), and
+// returns once the round has turned over.
+func (nd *Node) exchangeBarrier(flat bool) error {
 	nw := nd.nw
 	if nd.stepMode {
-		return nil, errors.New("clique: Exchange is driven by the engine in RunRounds mode")
+		return errors.New("clique: Exchange is driven by the engine in RunRounds mode")
 	}
 	if f := nw.fail.Load(); f != nil {
-		return nil, f.err
+		return f.err
 	}
 	if nd.departed {
-		return nil, errors.New("clique: Exchange called after node program returned")
+		return errors.New("clique: Exchange called after node program returned")
 	}
 
 	nd.retire()
 
-	// Publish the outbox; the slot is not read until every node has arrived.
+	// Publish the outbox and receive mode; the slots are not read until
+	// every node has arrived.
 	published := nd.pending
 	nw.outboxes[nd.id] = published
+	nw.flat[nd.id] = flat
 	nd.pending = nil
 
 	// The generation must be loaded before arriving: the round cannot turn
@@ -618,13 +824,11 @@ func (nd *Node) Exchange() (Inbox, error) {
 	}
 
 	if f := nw.fail.Load(); f != nil {
-		return nil, f.err
+		return f.err
 	}
-	inbox := nw.inboxes[nd.id]
-	nw.inboxes[nd.id] = nil
 	nd.pending = published[:0]
 	nd.round++
-	return inbox, nil
+	return nil
 }
 
 // leave removes a node from the barrier once its program has returned. If the
@@ -658,6 +862,19 @@ func (nw *Network) leave(nd *Node) {
 // per round while every other live node is parked, so plain loads and stores
 // are safe; the closing of g.done publishes everything written here.
 func (nw *Network) deliver(g *generation) {
+	// A delivery panic must not strand the nodes parked on this generation:
+	// convert it to an engine failure, turn the barrier over and wake
+	// everyone (they will observe the failure), then re-panic so the
+	// deliverer's own node reports the error through the usual recovery.
+	defer func() {
+		if r := recover(); r != nil {
+			nw.fail.CompareAndSwap(nil, &failure{err: fmt.Errorf("clique: delivery panicked: %v", r)})
+			nw.state.Store(nw.state.Load() >> 32 << 32)
+			nw.gen.Store(&generation{done: make(chan struct{})})
+			close(g.done)
+			panic(r)
+		}
+	}()
 	nw.deliverRound()
 	nw.state.Store(nw.state.Load() >> 32 << 32)
 	nw.gen.Store(&generation{done: make(chan struct{})})
@@ -672,8 +889,25 @@ func (nw *Network) deliver(g *generation) {
 func (nw *Network) deliverRound() {
 	round := int(nw.round.Load())
 	arena := nw.wordArena[round%payloadRingDepth]
+	var prevArena [][]Word
+	if round > 0 {
+		prevArena = nw.wordArena[(round-1)%payloadRingDepth]
+	}
 	var stats RoundStats
 	var worstFrom, worstTo int
+
+	// Hoisted views of the dense scratch state: the per-packet loop below is
+	// the engine's hottest path and runs on a single goroutine per round, so
+	// keeping these in locals (written back at the end) saves a pointer chase
+	// per access.
+	departed := nw.departed
+	flat := nw.flat
+	recv := nw.recv
+	hdrArenas := nw.hdrArena
+	destLoad := nw.destLoad
+	edgeTouch := nw.edgeTouch
+	recvTouch := nw.recvTouch
+	segMode := nw.segs != nil
 
 	for from := 0; from < nw.n; from++ {
 		out := nw.outboxes[from]
@@ -682,78 +916,121 @@ func (nw *Network) deliverRound() {
 		}
 		nw.outboxes[from] = nil
 		sentWords := 0
-		for _, pp := range out {
+		for i := range out {
+			pp := &out[i]
 			to := pp.to
-			if nw.departed[to] {
-				stats.Dropped++
+			if departed[to] {
+				stats.Dropped += int(pp.count)
 				continue
 			}
-			w := len(pp.data)
+			// All statistics are kept in model currency: a framed packet counts
+			// as pp.count logical messages of pp.model total words, so batching
+			// logical messages into frames never changes the reported per-edge
+			// load (only the physically copied len(pp.data) words include the
+			// frame bookkeeping).
+			w := int(pp.model)
 
 			// Copy the payload into the receiver's word arena and append the
 			// header to its header arena. Growth is append-only, so views
-			// created before a reallocation keep reading valid memory.
+			// created before a reallocation keep reading valid memory. A ring
+			// slot touched for the first time is presized from the previous
+			// round's volume, skipping the geometric growth re-runs in the
+			// first payloadRingDepth rounds.
 			wa := arena[to]
+			if wa == nil && prevArena != nil {
+				if prev := len(prevArena[to]); prev > 0 {
+					wa = make([]Word, 0, prev+prev/4)
+				}
+			}
+
+			rs := &recv[to]
+			if flat[to] {
+				// Flat receiver: one [from, len, payload...] record appended
+				// to the word arena is the entire delivery — no header arena,
+				// no backbone, no segments.
+				wa = append(wa, Word(from), Word(len(pp.data)))
+				wa = append(wa, pp.data...)
+				arena[to] = wa
+				if rs.lastFrom == -1 {
+					recvTouch = append(recvTouch, int32(to))
+					rs.lastFrom = -2 // touched, but no open segment
+				}
+				if destLoad[to] == 0 {
+					edgeTouch = append(edgeTouch, int32(to))
+				}
+				destLoad[to] += uint64(w)<<32 | uint64(uint32(pp.count))
+				rs.words += int32(w)
+				sentWords += w
+				stats.Messages += int(pp.count)
+				stats.Words += w
+				continue
+			}
+
 			pos := len(wa)
 			wa = append(wa, pp.data...)
 			arena[to] = wa
-			data := wa[pos : pos+w : pos+w]
-
-			if nw.lastFrom[to] == -1 { // first packet for `to` this round
-				nw.recvTouch = append(nw.recvTouch, int32(to))
-				if nw.segs == nil {
-					if nw.backbone[to] == nil {
-						nw.backbone[to] = make(Inbox, nw.n)
-					}
-					nw.inboxes[to] = nw.backbone[to]
-				}
-			}
+			data := wa[pos:len(wa):len(wa)]
+			ha := hdrArenas[to]
 			// Senders are scanned in ascending order, so the packets of one
 			// sender form a contiguous segment of the receiver's header arena;
 			// a sender change closes the previous segment.
-			if nw.lastFrom[to] != int32(from) {
-				nw.flushSegment(to)
-				nw.lastFrom[to] = int32(from)
-				nw.segStart[to] = int32(len(nw.hdrArena[to]))
+			if rs.lastFrom != int32(from) {
+				if rs.lastFrom == -1 { // first packet for `to` this round
+					recvTouch = append(recvTouch, int32(to))
+					if !segMode {
+						if nw.backbone[to] == nil {
+							nw.backbone[to] = make(Inbox, nw.n)
+						}
+						nw.inboxes[to] = nw.backbone[to]
+					}
+				} else if segMode {
+					nw.segs[to] = append(nw.segs[to], inboxSeg{from: rs.lastFrom, start: rs.segStart, end: int32(len(ha))})
+				} else {
+					nw.backbone[to][rs.lastFrom] = ha[rs.segStart:len(ha):len(ha)]
+					nw.setFrom[to] = append(nw.setFrom[to], rs.lastFrom)
+				}
+				rs.lastFrom = int32(from)
+				rs.segStart = int32(len(ha))
 			}
-			nw.hdrArena[to] = append(nw.hdrArena[to], data)
+			hdrArenas[to] = append(ha, data)
 
-			if nw.destWords[to] == 0 && nw.destMsgs[to] == 0 {
-				nw.edgeTouch = append(nw.edgeTouch, int32(to))
+			if destLoad[to] == 0 {
+				edgeTouch = append(edgeTouch, int32(to))
 			}
-			nw.destWords[to] += w
-			nw.destMsgs[to]++
-			nw.recvWords[to] += w
+			destLoad[to] += uint64(w)<<32 | uint64(uint32(pp.count))
+			rs.words += int32(w)
 			sentWords += w
-			stats.Messages++
+			stats.Messages += int(pp.count)
 			stats.Words += w
 		}
 		if sentWords > stats.MaxNodeSentWords {
 			stats.MaxNodeSentWords = sentWords
 		}
-		for _, t := range nw.edgeTouch {
-			if w := nw.destWords[t]; w > stats.MaxEdgeWords {
+		for _, t := range edgeTouch {
+			load := destLoad[t]
+			if w := int(load >> 32); w > stats.MaxEdgeWords {
 				stats.MaxEdgeWords = w
 				worstFrom, worstTo = from, int(t)
 			}
-			if c := nw.destMsgs[t]; c > stats.MaxEdgeMessages {
+			if c := int(uint32(load)); c > stats.MaxEdgeMessages {
 				stats.MaxEdgeMessages = c
 			}
-			nw.destWords[t] = 0
-			nw.destMsgs[t] = 0
+			destLoad[t] = 0
 		}
-		nw.edgeTouch = nw.edgeTouch[:0]
+		edgeTouch = edgeTouch[:0]
 	}
+	nw.edgeTouch = edgeTouch
 
-	for _, t := range nw.recvTouch {
+	for _, t := range recvTouch {
 		nw.flushSegment(int(t))
-		nw.lastFrom[t] = -1
-		if w := nw.recvWords[t]; w > stats.MaxNodeRecvWords {
+		rs := &recv[t]
+		rs.lastFrom = -1
+		if w := int(rs.words); w > stats.MaxNodeRecvWords {
 			stats.MaxNodeRecvWords = w
 		}
-		nw.recvWords[t] = 0
+		rs.words = 0
 	}
-	nw.recvTouch = nw.recvTouch[:0]
+	nw.recvTouch = recvTouch[:0]
 
 	if nw.cfg.maxWordsPerEdge > 0 && stats.MaxEdgeWords > nw.cfg.maxWordsPerEdge {
 		nw.fail.CompareAndSwap(nil, &failure{err: fmt.Errorf(
@@ -778,15 +1055,15 @@ func (nw *Network) deliverRound() {
 // it as the inbox entry of the sender that produced it (directly in the
 // receiver's backbone, or as a segment record in worker-pool mode).
 func (nw *Network) flushSegment(to int) {
-	lf := nw.lastFrom[to]
+	lf := nw.recv[to].lastFrom
 	if lf < 0 {
 		return
 	}
 	ha := nw.hdrArena[to]
 	if nw.segs != nil {
-		nw.segs[to] = append(nw.segs[to], inboxSeg{from: lf, start: nw.segStart[to], end: int32(len(ha))})
+		nw.segs[to] = append(nw.segs[to], inboxSeg{from: lf, start: nw.recv[to].segStart, end: int32(len(ha))})
 		return
 	}
-	nw.backbone[to][lf] = ha[nw.segStart[to]:len(ha):len(ha)]
+	nw.backbone[to][lf] = ha[nw.recv[to].segStart:len(ha):len(ha)]
 	nw.setFrom[to] = append(nw.setFrom[to], lf)
 }

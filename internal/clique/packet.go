@@ -19,7 +19,10 @@ type Word = int64
 // received packet may be forwarded verbatim within that window (this covers
 // the paper's constant-round primitives, which re-send received words after
 // at most two intervening announcement rounds). Callers that retain packet
-// contents beyond the grace window must Clone them.
+// contents beyond the grace window must Clone them. All received views
+// expire, at the latest, when Run or RunRounds returns: the engine's
+// delivery buffers are pooled across Network instances, so a future Network
+// may recycle them — node programs must copy anything that outlives the run.
 type Packet []Word
 
 // Clone returns an independent copy of the packet. Packets received from
@@ -36,10 +39,15 @@ func (p Packet) Clone() Packet {
 }
 
 // pendingPacket is a packet queued by a node for delivery at the next round
-// barrier.
+// barrier. count and model carry the frame accounting (see Node.SendFramed):
+// a plain Send queues one logical message whose model cost is its length,
+// while a framed send coalesces count logical messages whose model cost
+// excludes the frame's bookkeeping words.
 type pendingPacket struct {
-	to   int
-	data Packet
+	to    int
+	data  Packet
+	count int32
+	model int32
 }
 
 // wordBufPool recycles word buffers used to build packet payloads whose

@@ -162,14 +162,32 @@ func (v *VNode) SharedCompute(key string, f func() interface{}) interface{} {
 	return v.mux.nd.SharedCompute(key, f)
 }
 
+// SharedComputeKeyed delegates to the physical node.
+func (v *VNode) SharedComputeKeyed(key SharedKey, f func() interface{}) interface{} {
+	return v.mux.nd.SharedComputeKeyed(key, f)
+}
+
 // Send queues a packet for delivery within this instance. The packet is
 // tagged with the instance identifier (one extra word on the wire); the
 // tagged copy is carved from a pooled buffer that is released once the
 // engine has copied the round's payloads at the physical barrier.
 func (v *VNode) Send(to int, data Packet) {
+	v.SendFramed(to, data, 1, len(data))
+}
+
+// SendFramed queues one physical packet carrying count logical messages (see
+// Exchanger). The instance tag the Mux adds is per-message overhead in the
+// unbatched model, so the accounted cost forwarded to the physical node is
+// modelWords plus one tag word per logical message — exactly what count
+// individually tagged packets would have cost.
+func (v *VNode) SendFramed(to int, data Packet, count, modelWords int) {
 	if to < 0 || to >= v.N() {
 		panic(fmt.Sprintf("clique: instance %d on node %d sent to invalid destination %d (n=%d)",
 			v.instance, v.ID(), to, v.N()))
+	}
+	if count < 1 || modelWords < 0 {
+		panic(fmt.Sprintf("clique: instance %d on node %d framed send with count %d, model %d",
+			v.instance, v.ID(), count, modelWords))
 	}
 	m := v.mux
 	m.mu.Lock()
@@ -182,7 +200,7 @@ func (v *VNode) Send(to int, data Packet) {
 	buf = append(buf, data...)
 	*m.tagBuf = buf
 	tagged := buf[pos:len(buf):len(buf)]
-	m.pending = append(m.pending, pendingPacket{to: to, data: tagged})
+	m.pending = append(m.pending, pendingPacket{to: to, data: tagged, count: int32(count), model: int32(modelWords + count)})
 	m.mu.Unlock()
 }
 
@@ -277,7 +295,7 @@ func (m *Mux) getBoxLocked() Inbox {
 // the Mux barrier (m.arrived == m.active) or closed.
 func (m *Mux) deliverLocked() {
 	for _, pp := range m.pending {
-		m.nd.Send(pp.to, pp.data)
+		m.nd.SendFramed(pp.to, pp.data, int(pp.count), int(pp.model))
 	}
 	m.pending = m.pending[:0]
 

@@ -19,4 +19,58 @@
 // are implemented once and reused by every algorithm, exactly as in the
 // paper. All schedule computations (edge colorings of demand matrices) are
 // deterministic, so nodes agree on them without communication.
+//
+// # Flat-frame wire format
+//
+// All communication goes through the comm type's flat-frame pipeline: every
+// logical model message a node sends to one neighbor in one round is staged
+// into a per-instance log and flushed as a single physical packet per busy
+// edge, the frame
+//
+//	[count, len_1, msg_1 words..., ..., len_count, msg_count words...]
+//
+// The count and len_i words are simulator bookkeeping, not model traffic:
+// frames are handed to the engine with SendFramed(count, Σ len_i), so all
+// engine statistics (Stats.MaxEdgeWords, MaxEdgeMessages, TotalMessages,
+// TotalWords, the strict bandwidth budget) are identical to sending the
+// count messages as individual packets. Batching is an encoding, never an
+// algorithmic change — the stats_invariants tests in the root package pin
+// this against goldens captured from the per-parcel implementation.
+//
+// On physical nodes the receive side uses the engine's flat inbox
+// (clique.Node.ExchangeFlat): delivery hands the round's traffic as raw
+// [from, len, payload...] records which comm.exchange decodes in one sweep.
+// Virtual nodes (clique.Mux instances) fall back to the boxed Inbox path.
+//
+// # Arena ownership and lifetime rules
+//
+// Three kinds of memory back the words protocol code touches; retaining a
+// decoded slice beyond its window is a bug:
+//
+//   - Engine receive memory. Messages decoded from an exchange (rxBuf views,
+//     relayRoute items, announceFixed payloads, spreadBroadcast packets)
+//     point into the engine's receive arena. They are valid for
+//     clique.PayloadGraceRounds further barriers of the instance that
+//     received them; every constant-round primitive re-stages or decodes
+//     them within that window. Concurrently multiplexed instances keep
+//     advancing the physical barrier, so a sub-instance that finishes early
+//     must not hand engine-backed views upward.
+//
+//   - Instance arena memory. comm.arenaAppend/arenaHeld copy words into the
+//     instance-owned arena. Views stay valid across appends (growth is
+//     append-only) until comm.release hands the arena to the pool; arenaReset
+//     truncates it at pipeline points where no views are live. Parcels
+//     returned by routeParcels are arena-backed for exactly this reason:
+//     they outlive the engine's grace window, and the comm's creator
+//     consumes them before releasing the comm.
+//
+//   - Staging memory. The staging log and frame buffer are recycled every
+//     round; the engine copies frame contents at the barrier, so nothing may
+//     retain them across an exchange.
+//
+// comm.release returns all of it to a process-wide pool; it is only legal
+// once the instance's results have been copied into caller-owned values.
+// Sub-instances whose arena-backed parcels flow upward (the V1/V2/corner
+// routers of Theorem 3.7's decomposition) are never released and fall to the
+// garbage collector instead.
 package core

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"congestedclique/internal/clique"
+)
+
+// This file implements the flat-frame wire layer: all logical model messages
+// a node sends to one neighbor in one round are coalesced into a single
+// physical packet (a frame), so the engine handles one packet per busy edge
+// per round instead of one per message.
+//
+// Wire layout of a frame:
+//
+//	[count, len_1, msg_1 words..., len_2, msg_2 words..., ..., len_count, msg_count words...]
+//
+// count and the len_i are simulator bookkeeping, not model traffic: the
+// frame is sent with clique.Exchanger.SendFramed(count, Σ len_i), so the
+// per-edge word accounting (Stats.MaxEdgeWords, the O(log n)-bits-per-edge
+// budget, strict bandwidth checks) charges exactly what count individually
+// sent packets of the same contents would have cost.
+//
+// Ownership and lifetime rules:
+//
+//   - Frames are assembled by comm.flushFrames from the comm's staging log;
+//     both buffers are owned by the comm and recycled every round. The
+//     engine copies the words at the barrier, so staging is allocation free
+//     in steady state.
+//   - Decoded messages ([]clique.Word views produced by appendFrameMessages)
+//     point into the engine's receive arena. They stay valid for
+//     clique.PayloadGraceRounds further barriers of the instance; protocol
+//     code must consume or copy them within that window (every constant-round
+//     primitive in this package does).
+
+// appendFrameMessages decodes a frame and appends each logical message (as a
+// view into the frame's backing words) to dst. Truncated or otherwise
+// malformed frames are rejected with an error, never a panic.
+func appendFrameMessages(dst [][]clique.Word, frame clique.Packet) ([][]clique.Word, error) {
+	if len(frame) < 1 {
+		return dst, fmt.Errorf("core: empty frame")
+	}
+	count := int(frame[0])
+	if count < 0 || count > len(frame)-1 {
+		return dst, fmt.Errorf("core: frame claims %d messages in %d words", count, len(frame))
+	}
+	off := 1
+	for i := 0; i < count; i++ {
+		if off >= len(frame) {
+			return dst, fmt.Errorf("core: frame message %d/%d missing its length slot", i, count)
+		}
+		l := int(frame[off])
+		off++
+		if l < 0 || l > len(frame)-off {
+			return dst, fmt.Errorf("core: frame message %d/%d truncated (%d words claimed, %d left)", i, count, l, len(frame)-off)
+		}
+		dst = append(dst, frame[off:off+l:off+l])
+		off += l
+	}
+	if off != len(frame) {
+		return dst, fmt.Errorf("core: frame carries %d trailing words", len(frame)-off)
+	}
+	return dst, nil
+}
+
+// rxBuf is the decoded receive state of one comm round: the logical messages
+// of every received frame, flattened in ascending sender order. It is owned
+// by the comm and reused round over round; all slices are views into the
+// engine's receive arena (see the lifetime rules above).
+type rxBuf struct {
+	msgs  [][]clique.Word
+	start []int32 // msgs[start[s]:start[s+1]] are the messages of sender s
+}
+
+// all returns every received message in ascending sender order.
+func (r *rxBuf) all() [][]clique.Word { return r.msgs }
+
+// fromSender returns the messages received from the local sender index s.
+func (r *rxBuf) fromSender(s int) [][]clique.Word {
+	return r.msgs[r.start[s]:r.start[s+1]]
+}
+
+// single returns the unique message received from sender s, or nil if none
+// arrived. Protocols whose invariant is "at most one message per edge per
+// round" use it; a violation surfaces the first message.
+func (r *rxBuf) single(s int) []clique.Word {
+	ms := r.fromSender(s)
+	if len(ms) == 0 {
+		return nil
+	}
+	return ms[0]
+}

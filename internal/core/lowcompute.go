@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"congestedclique/internal/clique"
 )
@@ -33,6 +33,7 @@ import (
 // the O(n log n) claim can be checked experimentally (experiment E3).
 func LowComputeRoute(ex clique.Exchanger, msgs []Message) ([]Message, error) {
 	c := fullComm(ex, fmt.Sprintf("lowroute@r%d", ex.Round()))
+	defer c.release()
 	n := c.size()
 	if n == 1 {
 		return msgs, nil
@@ -45,9 +46,9 @@ func LowComputeRoute(ex clique.Exchanger, msgs []Message) ([]Message, error) {
 	}
 	parcels := make([]parcel, 0, len(msgs))
 	for _, m := range msgs {
-		parcels = append(parcels, parcel{Src: m.Src, Dst: m.Dst, Words: []clique.Word{clique.Word(m.Seq), m.Payload}})
+		parcels = append(parcels, parcel{Src: m.Src, Dst: m.Dst, Words: c.arenaAppend(clique.Word(m.Seq), m.Payload)})
 	}
-	received, err := lowComputeRouteParcels(c, parcels, "thm5.4")
+	received, err := lowComputeRouteParcels(c, parcels, rootStep("thm5.4"))
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +64,7 @@ func LowComputeRoute(ex clique.Exchanger, msgs []Message) ([]Message, error) {
 }
 
 // lowComputeRouteParcels is the 12-round schedule on a perfect-square comm.
-func lowComputeRouteParcels(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) {
+func lowComputeRouteParcels(c *comm, parcels []parcel, st step) ([]parcel, error) {
 	if err := validateParcels(c, parcels); err != nil {
 		return nil, err
 	}
@@ -80,11 +81,13 @@ func lowComputeRouteParcels(c *comm, parcels []parcel, keyPrefix string) ([]parc
 		groupMembers[i] = grp.member(myGroup, i)
 	}
 
-	load := make([]held, 0, len(parcels))
+	loadSlot := c.heldSlot()
+	load := *loadSlot
 	for _, p := range parcels {
 		dstLocal, _ := c.localOf(p.Dst)
 		load = append(load, held{dstLocal: dstLocal, src: p.Src, payload: p.Words})
 	}
+	*loadSlot = load
 	c.ex.CountSteps(len(load) + s*s)
 	c.ex.ReportMemory(len(load)*6 + s*s)
 
@@ -100,7 +103,7 @@ func lowComputeRouteParcels(c *comm, parcels []parcel, keyPrefix string) ([]parc
 		contributions[myGroup*s+b] = int64(v)
 	}
 	if _, err := aggregateAndBroadcast(c, contributions, func(slot int) int { return slot }, s*s); err != nil {
-		return nil, fmt.Errorf("%s totals: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s totals: %w", st.name, err)
 	}
 	c.ex.CountSteps(len(load) + s*s)
 
@@ -119,25 +122,25 @@ func lowComputeRouteParcels(c *comm, parcels []parcel, keyPrefix string) ([]parc
 
 	// (2 rounds) Oblivious round-robin redistribution within the set, keyed by
 	// intermediate set (Corollary 5.2).
-	load, err = roundRobinRedistribute(c, grp, load, func(h held) int { return h.interSet }, keyPrefix+"/rr-inter")
+	load, err = roundRobinRedistribute(c, grp, load, func(h held) int { return h.interSet }, st.name)
 	if err != nil {
-		return nil, fmt.Errorf("%s inter-set balancing: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s inter-set balancing: %w", st.name, err)
 	}
+	// The input parcels' payloads have been copied into frames and delivered;
+	// their arena storage is dead.
+	c.arenaReset()
 	c.ex.CountSteps(len(load))
 
 	// (1 round) Inter-set exchange: for each intermediate set, send one held
 	// message to each of its members (at most a constant number per edge
 	// because of the previous balancing).
-	byInter := make([][]held, s)
+	dealInter := make([]int, s)
 	for _, h := range load {
-		byInter[h.interSet] = append(byInter[h.interSet], h)
+		k := dealInter[h.interSet]
+		dealInter[h.interSet]++
+		c.sendHeld(grp.member(h.interSet, k%s), h)
 	}
-	for t := 0; t < s; t++ {
-		for k, h := range byInter[t] {
-			c.send(grp.member(t, k%s), clique.Packet(encodeHeldParcel(h)))
-		}
-	}
-	load, err = collectHeld(c, keyPrefix+" exchange")
+	load, err = collectHeld(c, st.name, "exchange")
 	if err != nil {
 		return nil, err
 	}
@@ -148,43 +151,43 @@ func lowComputeRouteParcels(c *comm, parcels []parcel, keyPrefix string) ([]parc
 
 	// (2 rounds) Oblivious round-robin redistribution keyed by the final
 	// destination set.
-	load, err = roundRobinRedistribute(c, grp, load, func(h held) int { return grp.groupOf(h.dstLocal) }, keyPrefix+"/rr-dst")
+	load, err = roundRobinRedistribute(c, grp, load, func(h held) int { return grp.groupOf(h.dstLocal) }, st.name)
 	if err != nil {
-		return nil, fmt.Errorf("%s destination balancing: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s destination balancing: %w", st.name, err)
 	}
 	c.ex.CountSteps(len(load))
 
 	// (1 round) Move every message to a member of its destination set, at most
 	// two per edge (Lemma 5.1).
-	byDst := make([][]held, s)
+	dealDst := make([]int, s)
 	for _, h := range load {
-		byDst[grp.groupOf(h.dstLocal)] = append(byDst[grp.groupOf(h.dstLocal)], h)
+		t := grp.groupOf(h.dstLocal)
+		k := dealDst[t]
+		dealDst[t]++
+		c.sendHeld(grp.member(t, k%s), h)
 	}
-	for t := 0; t < s; t++ {
-		for k, h := range byDst[t] {
-			c.send(grp.member(t, k%s), clique.Packet(encodeHeldParcel(h)))
-		}
-	}
-	load, err = collectHeld(c, keyPrefix+" step4")
+	load, err = collectHeld(c, st.name, "step4")
 	if err != nil {
 		return nil, err
 	}
 	c.ex.CountSteps(len(load))
 
 	// --- Step 5 (Corollary 3.4 with the greedy coloring), 4 rounds -----------
-	items := make([]item, 0, len(load))
+	itemsSlot := c.itemSlot()
+	items := *itemsSlot
 	for _, h := range load {
 		if grp.groupOf(h.dstLocal) != myGroup {
-			return nil, fmt.Errorf("%s step5: node %d holds a parcel for foreign set %d", keyPrefix, c.ex.ID(), grp.groupOf(h.dstLocal))
+			return nil, fmt.Errorf("%s step5: node %d holds a parcel for foreign set %d", st.name, c.ex.ID(), grp.groupOf(h.dstLocal))
 		}
-		items = append(items, item{dst: h.dstLocal, words: encodeHeldParcel(h)})
+		items = append(items, item{dst: h.dstLocal, words: c.arenaHeld(h)})
 	}
-	receivedItems, err := groupRouteUnknownColored(c, groupMembers, items, keyPrefix+"/s5", true)
+	*itemsSlot = items
+	receivedItems, err := groupRouteUnknownColored(c, groupMembers, items, st.sub("s5", kcLowS5), true)
 	if err != nil {
-		return nil, fmt.Errorf("%s step5: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s step5: %w", st.name, err)
 	}
 	c.ex.CountSteps(len(receivedItems))
-	return heldItemsToParcels(c, receivedItems, keyPrefix+" step5")
+	return heldItemsToParcels(c, receivedItems, "low-compute step5")
 }
 
 // roundRobinRedistribute is Lemma 5.1: every member of a set orders its held
@@ -194,33 +197,34 @@ func lowComputeRouteParcels(c *comm, parcels []parcel, keyPrefix string) ([]parc
 // does not depend on the message distribution), costs two rounds and O(load)
 // computation, and guarantees that afterwards every member holds at most
 // 2·load/s + s parcels of any class.
-func roundRobinRedistribute(c *comm, grp grouping, load []held, classOf func(held) int, keyPrefix string) ([]held, error) {
+func roundRobinRedistribute(c *comm, grp grouping, load []held, classOf func(held) int, context string) ([]held, error) {
 	m := c.size()
 	s := grp.groupSize
 
 	// Bucket-sort by class (O(load + s)).
-	sort.SliceStable(load, func(i, j int) bool { return classOf(load[i]) < classOf(load[j]) })
+	slices.SortStableFunc(load, func(a, b held) int { return classOf(a) - classOf(b) })
 
 	// Round 1: deal the j-th parcel to node j mod m.
 	for j, h := range load {
-		c.send(j%m, clique.Packet(encodeHeldParcel(h)))
+		c.sendHeld(j%m, h)
 	}
-	inbox, err := c.exchange()
+	rx, err := c.exchange()
 	if err != nil {
-		return nil, fmt.Errorf("%s deal: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s deal: %w", context, err)
 	}
 
 	// Round 2: forward everything received from the a-th member of set A to
 	// member (a + myID) mod s of set A.
-	for senderLocal, packets := range inbox {
-		if len(packets) == 0 {
+	for senderLocal := 0; senderLocal < c.size(); senderLocal++ {
+		msgs := rx.fromSender(senderLocal)
+		if len(msgs) == 0 {
 			continue
 		}
 		a := grp.indexInGroup(senderLocal)
 		target := grp.member(grp.groupOf(senderLocal), (a+c.me)%s)
-		for _, p := range packets {
-			c.send(target, p)
+		for _, p := range msgs {
+			c.send(target, p...)
 		}
 	}
-	return collectHeld(c, keyPrefix+" forward")
+	return collectHeld(c, context, "forward")
 }

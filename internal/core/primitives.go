@@ -9,7 +9,9 @@ import (
 
 // item is one routable unit handled by the communication primitives: a
 // destination (a local member index of the enclosing comm) plus a constant
-// number of payload words.
+// number of payload words. Items returned by the primitives borrow the
+// engine's receive arena: they are valid for clique.PayloadGraceRounds
+// further barriers and must be consumed or copied within that window.
 type item struct {
 	dst   int
 	words []clique.Word
@@ -35,61 +37,78 @@ type item struct {
 // to its destination in the second. When d exceeds the comm size (overloaded
 // instances), relays carry ceil(d/size) items per edge, which only increases
 // the constant number of words per edge.
-func relayRoute(c *comm, group []int, demand [][]int, mine []item, stepKey string) ([]item, error) {
-	return relayRouteColored(c, group, demand, mine, stepKey, false)
+func relayRoute(c *comm, group []int, demand [][]int, mine []item, st step) ([]item, error) {
+	return relayRouteColored(c, group, demand, mine, st, false)
 }
 
 // relayRouteColored is relayRoute with a choice of schedule coloring: the
 // exact König coloring (Theorem 3.2) or the greedy 2Δ-1 coloring of
 // footnote 3, which Section 5 uses to keep local computation near-linear at
 // the price of relays carrying up to two messages per edge.
-func relayRouteColored(c *comm, group []int, demand [][]int, mine []item, stepKey string, greedy bool) ([]item, error) {
+func relayRouteColored(c *comm, group []int, demand [][]int, mine []item, st step, greedy bool) ([]item, error) {
 	size := c.size()
 
 	if len(group) > 0 {
 		if len(mine) > 0 && c.me < 0 {
-			return nil, fmt.Errorf("core: relayRoute(%s): non-member holds items", stepKey)
+			return nil, fmt.Errorf("core: relayRoute(%s): non-member holds items", st.name)
 		}
+		pos := c.groupPositions(group)
+		defer c.releasePositions(group)
 		myIdx := -1
-		for i, g := range group {
-			if g == c.me {
-				myIdx = i
-				break
-			}
+		if c.me >= 0 {
+			myIdx = int(pos[c.me])
 		}
 		if myIdx < 0 {
-			return nil, fmt.Errorf("core: relayRoute(%s): node %d not in its own group", stepKey, c.ex.ID())
+			return nil, fmt.Errorf("core: relayRoute(%s): node %d not in its own group", st.name, c.ex.ID())
 		}
 		if len(demand) != len(group) {
-			return nil, fmt.Errorf("core: relayRoute(%s): demand has %d rows for group of %d", stepKey, len(demand), len(group))
+			return nil, fmt.Errorf("core: relayRoute(%s): demand has %d rows for group of %d", st.name, len(demand), len(group))
 		}
 
-		// Bucket my items by destination position within the group, keeping
-		// their given order; this defines the canonical unit order of each
-		// demand cell at the sender.
-		posInGroup := make(map[int]int, len(group))
-		for i, g := range group {
-			posInGroup[g] = i
-		}
-		buckets := make([][]item, len(group))
+		// Count my items per destination position within the group; their
+		// given order defines the canonical unit order of each demand cell at
+		// the sender.
+		counts := c.cursors(len(group))
 		for _, it := range mine {
-			b, ok := posInGroup[it.dst]
-			if !ok {
-				return nil, fmt.Errorf("core: relayRoute(%s): item destination %d outside group", stepKey, it.dst)
+			b := int32(-1)
+			if it.dst >= 0 && it.dst < size {
+				b = pos[it.dst]
 			}
-			buckets[b] = append(buckets[b], it)
+			if b < 0 {
+				return nil, fmt.Errorf("core: relayRoute(%s): item destination %d outside group", st.name, it.dst)
+			}
+			counts[b]++
 		}
-		for b := range buckets {
-			if len(buckets[b]) != demand[myIdx][b] {
+		for b := range counts {
+			if counts[b] != demand[myIdx][b] {
 				return nil, fmt.Errorf("core: relayRoute(%s): node %d holds %d items for group position %d, demand says %d",
-					stepKey, c.ex.ID(), len(buckets[b]), b, demand[myIdx][b])
+					st.name, c.ex.ID(), counts[b], b, demand[myIdx][b])
 			}
 		}
 
 		d := bipartite.MaxRowColSum(demand)
-		if d > 0 {
-			colKey := fmt.Sprintf("%s/grp%d", stepKey, group[0])
-			shared := c.shared(colKey, func() interface{} {
+		if u := uniformDemand(demand); u > 0 {
+			// Uniform demand (every announcement pattern): the König coloring
+			// degenerates to the Latin-square layout of
+			// bipartite.uniformDemandColoring — cell (i,j) owns the color
+			// block ((i+j) mod w)*u — so the relay of unit k is computed
+			// arithmetically, with no coloring object and no cache access.
+			// The colors are identical to the ones ColorDemandMatrix and
+			// ColorDemandGreedy would assign.
+			w := len(group)
+			clear(counts)
+			for _, it := range mine {
+				b := int(pos[it.dst])
+				k := counts[b]
+				counts[b]++
+				color := ((myIdx+b)%w)*u + k
+				c.stageOpen(color % size)
+				c.stageWords(clique.Word(it.dst))
+				c.stageWords(it.words...)
+				c.stageClose()
+			}
+		} else if d > 0 {
+			shared := c.shared(st.key.sub(kcColor), int32(group[0]), func() interface{} {
 				var dc *bipartite.DemandColoring
 				var err error
 				if greedy {
@@ -104,60 +123,78 @@ func relayRouteColored(c *comm, group []int, demand [][]int, mine []item, stepKe
 			})
 			dc, ok := shared.(*bipartite.DemandColoring)
 			if !ok {
-				return nil, fmt.Errorf("core: relayRoute(%s): coloring failed: %v", stepKey, shared)
+				return nil, fmt.Errorf("core: relayRoute(%s): coloring failed: %v", st.name, shared)
 			}
-			for b, bucket := range buckets {
-				for k, it := range bucket {
-					color, err := dc.ColorOfUnit(myIdx, b, k)
-					if err != nil {
-						return nil, fmt.Errorf("core: relayRoute(%s): %w", stepKey, err)
-					}
-					relay := color % size
-					packet := make(clique.Packet, 0, len(it.words)+1)
-					packet = append(packet, clique.Word(it.dst))
-					packet = append(packet, it.words...)
-					c.send(relay, packet)
+			// The counts slice doubles as the per-cell unit cursor now that
+			// the demand check is done.
+			clear(counts)
+			for _, it := range mine {
+				b := int(pos[it.dst])
+				k := counts[b]
+				counts[b]++
+				color, err := dc.ColorOfUnit(myIdx, b, k)
+				if err != nil {
+					return nil, fmt.Errorf("core: relayRoute(%s): %w", st.name, err)
 				}
+				c.stageOpen(color % size)
+				c.stageWords(clique.Word(it.dst))
+				c.stageWords(it.words...)
+				c.stageClose()
 			}
 		}
 	} else if len(mine) > 0 {
-		return nil, fmt.Errorf("core: relayRoute(%s): items passed without a group", stepKey)
+		return nil, fmt.Errorf("core: relayRoute(%s): items passed without a group", st.name)
 	}
 
 	// Round 1: items travel to their relays.
-	inbox, err := c.exchange()
+	rx, err := c.exchange()
 	if err != nil {
 		return nil, err
 	}
 
 	// Round 2: relays forward each item to its destination.
-	for _, packets := range inbox {
-		for _, p := range packets {
-			if len(p) == 0 {
-				continue
-			}
-			dst := int(p[0])
-			if dst < 0 || dst >= size {
-				return nil, fmt.Errorf("core: relayRoute(%s): relayed destination %d out of range", stepKey, dst)
-			}
-			c.send(dst, p)
+	for _, p := range rx.all() {
+		if len(p) == 0 {
+			continue
 		}
+		dst := int(p[0])
+		if dst < 0 || dst >= size {
+			return nil, fmt.Errorf("core: relayRoute(%s): relayed destination %d out of range", st.name, dst)
+		}
+		c.send(dst, p...)
 	}
-	inbox, err = c.exchange()
+	rx, err = c.exchange()
 	if err != nil {
 		return nil, err
 	}
 
-	var received []item
-	for _, packets := range inbox {
-		for _, p := range packets {
-			if len(p) == 0 {
-				continue
+	slot := c.itemSlot()
+	received := *slot
+	for _, p := range rx.all() {
+		if len(p) == 0 {
+			continue
+		}
+		received = append(received, item{dst: int(p[0]), words: p[1:]})
+	}
+	*slot = received
+	return received, nil
+}
+
+// uniformDemand returns u > 0 if every cell of the square demand matrix
+// holds exactly u, and 0 otherwise.
+func uniformDemand(demand [][]int) int {
+	u := demand[0][0]
+	if u <= 0 {
+		return 0
+	}
+	for _, row := range demand {
+		for _, v := range row {
+			if v != u {
+				return 0
 			}
-			received = append(received, item{dst: int(p[0]), words: p[1:].Clone()})
 		}
 	}
-	return received, nil
+	return u
 }
 
 // announceFixed implements the announcement pattern used throughout the
@@ -170,10 +207,11 @@ func relayRouteColored(c *comm, group []int, demand [][]int, mine []item, stepKe
 // pad with sentinel payloads when members have fewer real values. The return
 // value lists, for each group position a, the payloads announced by that
 // member (in unspecified order; payloads should carry their own indices when
-// order matters).
+// order matters). The returned word slices borrow the engine's receive arena
+// (see item).
 //
 // Non-members pass a nil group and act as relays.
-func announceFixed(c *comm, group []int, payloads [][]clique.Word, perMember int, stepKey string) ([][][]clique.Word, error) {
+func announceFixed(c *comm, group []int, payloads [][]clique.Word, perMember int, st step) ([][][]clique.Word, error) {
 	var mine []item
 	var demand [][]int
 	myIdx := -1
@@ -185,31 +223,34 @@ func announceFixed(c *comm, group []int, payloads [][]clique.Word, perMember int
 			}
 		}
 		if myIdx < 0 {
-			return nil, fmt.Errorf("core: announceFixed(%s): node %d not in its group", stepKey, c.ex.ID())
+			return nil, fmt.Errorf("core: announceFixed(%s): node %d not in its group", st.name, c.ex.ID())
 		}
 		if len(payloads) != perMember {
-			return nil, fmt.Errorf("core: announceFixed(%s): %d payloads, want %d", stepKey, len(payloads), perMember)
+			return nil, fmt.Errorf("core: announceFixed(%s): %d payloads, want %d", st.name, len(payloads), perMember)
 		}
 		w := len(group)
-		demand = make([][]int, w)
+		demand = makeIntMatrix(w, w)
 		for i := range demand {
-			demand[i] = make([]int, w)
 			for j := range demand[i] {
 				demand[i][j] = perMember
 			}
 		}
-		mine = make([]item, 0, w*perMember)
+		// Each announced item is [myIdx, payload...]; the copies live in the
+		// instance arena so no per-item allocation happens.
+		slot := c.itemSlot()
+		mine = *slot
 		for _, dst := range group {
 			for _, p := range payloads {
-				words := make([]clique.Word, 0, len(p)+1)
-				words = append(words, clique.Word(myIdx))
-				words = append(words, p...)
-				mine = append(mine, item{dst: dst, words: words})
+				mark := c.arenaMark()
+				c.arena = append(c.arena, clique.Word(myIdx))
+				c.arena = append(c.arena, p...)
+				mine = append(mine, item{dst: dst, words: c.arenaView(mark)})
 			}
 		}
+		*slot = mine
 	}
 
-	received, err := relayRoute(c, group, demand, mine, stepKey)
+	received, err := relayRoute(c, group, demand, mine, st)
 	if err != nil {
 		return nil, err
 	}
@@ -219,11 +260,11 @@ func announceFixed(c *comm, group []int, payloads [][]clique.Word, perMember int
 	out := make([][][]clique.Word, len(group))
 	for _, it := range received {
 		if len(it.words) < 1 {
-			return nil, fmt.Errorf("core: announceFixed(%s): malformed announcement", stepKey)
+			return nil, fmt.Errorf("core: announceFixed(%s): malformed announcement", st.name)
 		}
 		a := int(it.words[0])
 		if a < 0 || a >= len(group) {
-			return nil, fmt.Errorf("core: announceFixed(%s): announcement from invalid group position %d", stepKey, a)
+			return nil, fmt.Errorf("core: announceFixed(%s): announcement from invalid group position %d", st.name, a)
 		}
 		out[a] = append(out[a], it.words[1:])
 	}
@@ -234,33 +275,32 @@ func announceFixed(c *comm, group []int, payloads [][]clique.Word, perMember int
 // whole group (Algorithm 2 Step 3, Corollary 3.5, Corollary 3.4 phase 1, ...).
 // It returns all[a][t] = element t of the vector announced by group member a.
 // The vector length must be identical at all members.
-func announceIntVector(c *comm, group []int, vec []int, stepKey string) ([][]int, error) {
+func announceIntVector(c *comm, group []int, vec []int, st step) ([][]int, error) {
 	var payloads [][]clique.Word
 	perMember := 0
 	if len(group) > 0 {
 		perMember = len(vec)
 		payloads = make([][]clique.Word, 0, len(vec))
 		for t, v := range vec {
-			payloads = append(payloads, []clique.Word{clique.Word(t), clique.Word(v)})
+			payloads = append(payloads, c.arenaAppend(clique.Word(t), clique.Word(v)))
 		}
 	}
-	raw, err := announceFixed(c, group, payloads, perMember, stepKey)
+	raw, err := announceFixed(c, group, payloads, perMember, st)
 	if err != nil || len(group) == 0 {
 		return nil, err
 	}
-	all := make([][]int, len(group))
+	all := makeIntMatrix(len(group), len(vec))
 	for a := range all {
-		all[a] = make([]int, len(vec))
 		if len(raw[a]) != len(vec) {
-			return nil, fmt.Errorf("core: announceIntVector(%s): member %d announced %d values, want %d", stepKey, a, len(raw[a]), len(vec))
+			return nil, fmt.Errorf("core: announceIntVector(%s): member %d announced %d values, want %d", st.name, a, len(raw[a]), len(vec))
 		}
 		for _, p := range raw[a] {
 			if len(p) < 2 {
-				return nil, fmt.Errorf("core: announceIntVector(%s): malformed payload", stepKey)
+				return nil, fmt.Errorf("core: announceIntVector(%s): malformed payload", st.name)
 			}
 			t := int(p[0])
 			if t < 0 || t >= len(vec) {
-				return nil, fmt.Errorf("core: announceIntVector(%s): index %d out of range", stepKey, t)
+				return nil, fmt.Errorf("core: announceIntVector(%s): index %d out of range", st.name, t)
 			}
 			all[a][t] = int(p[1])
 		}
@@ -273,30 +313,32 @@ func announceIntVector(c *comm, group []int, vec []int, stepKey string) ([][]int
 // rounds announce the per-destination counts (uniform demand, Corollary 3.3),
 // which establishes the preconditions for delivering the items with another
 // invocation of Corollary 3.3.
-func groupRouteUnknown(c *comm, group []int, mine []item, stepKey string) ([]item, error) {
-	return groupRouteUnknownColored(c, group, mine, stepKey, false)
+func groupRouteUnknown(c *comm, group []int, mine []item, st step) ([]item, error) {
+	return groupRouteUnknownColored(c, group, mine, st, false)
 }
 
 // groupRouteUnknownColored is groupRouteUnknown with a choice of schedule
 // coloring (see relayRouteColored).
-func groupRouteUnknownColored(c *comm, group []int, mine []item, stepKey string, greedy bool) ([]item, error) {
+func groupRouteUnknownColored(c *comm, group []int, mine []item, st step, greedy bool) ([]item, error) {
 	w := len(group)
 	var vec []int
 	if w > 0 {
-		posInGroup := make(map[int]int, w)
-		for i, g := range group {
-			posInGroup[g] = i
-		}
+		pos := c.groupPositions(group)
 		vec = make([]int, w)
 		for _, it := range mine {
-			b, ok := posInGroup[it.dst]
-			if !ok {
-				return nil, fmt.Errorf("core: groupRouteUnknown(%s): destination %d outside group", stepKey, it.dst)
+			b := int32(-1)
+			if it.dst >= 0 && it.dst < c.size() {
+				b = pos[it.dst]
+			}
+			if b < 0 {
+				c.releasePositions(group)
+				return nil, fmt.Errorf("core: groupRouteUnknown(%s): destination %d outside group", st.name, it.dst)
 			}
 			vec[b]++
 		}
+		c.releasePositions(group)
 	}
-	counts, err := announceIntVector(c, group, vec, stepKey+"/announce")
+	counts, err := announceIntVector(c, group, vec, st.sub("announce", kcAnnounce))
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +346,7 @@ func groupRouteUnknownColored(c *comm, group []int, mine []item, stepKey string,
 	if w > 0 {
 		demand = counts
 	}
-	return relayRouteColored(c, group, demand, mine, stepKey+"/deliver", greedy)
+	return relayRouteColored(c, group, demand, mine, st.sub("deliver", kcDeliver), greedy)
 }
 
 // aggregateAndBroadcast makes slot sums globally known in two rounds: every
@@ -327,9 +369,9 @@ func aggregateAndBroadcast(c *comm, contributions map[int]int64, aggregatorOf fu
 		if slot < 0 || slot >= numSlots {
 			return nil, fmt.Errorf("core: aggregateAndBroadcast: slot %d out of range", slot)
 		}
-		c.send(aggregatorOf(slot), clique.Packet{clique.Word(slot), clique.Word(v)})
+		c.send(aggregatorOf(slot), clique.Word(slot), clique.Word(v))
 	}
-	inbox, err := c.exchange()
+	rx, err := c.exchange()
 	if err != nil {
 		return nil, err
 	}
@@ -341,41 +383,37 @@ func aggregateAndBroadcast(c *comm, contributions map[int]int64, aggregatorOf fu
 			sums[slot] = 0
 		}
 	}
-	for _, packets := range inbox {
-		for _, p := range packets {
-			if len(p) < 2 {
-				continue
-			}
-			slot := int(p[0])
-			if _, mine := sums[slot]; !mine {
-				return nil, fmt.Errorf("core: aggregateAndBroadcast: node %d received contribution for foreign slot %d", c.ex.ID(), slot)
-			}
-			sums[slot] += int64(p[1])
+	for _, p := range rx.all() {
+		if len(p) < 2 {
+			continue
 		}
+		slot := int(p[0])
+		if _, mine := sums[slot]; !mine {
+			return nil, fmt.Errorf("core: aggregateAndBroadcast: node %d received contribution for foreign slot %d", c.ex.ID(), slot)
+		}
+		sums[slot] += int64(p[1])
 	}
 	for slot, sum := range sums {
 		for to := 0; to < c.size(); to++ {
-			c.send(to, clique.Packet{clique.Word(slot), clique.Word(sum)})
+			c.send(to, clique.Word(slot), clique.Word(sum))
 		}
 	}
-	inbox, err = c.exchange()
+	rx, err = c.exchange()
 	if err != nil {
 		return nil, err
 	}
 	out := make([]int64, numSlots)
 	seen := make([]bool, numSlots)
-	for _, packets := range inbox {
-		for _, p := range packets {
-			if len(p) < 2 {
-				continue
-			}
-			slot := int(p[0])
-			if slot < 0 || slot >= numSlots {
-				return nil, fmt.Errorf("core: aggregateAndBroadcast: broadcast slot %d out of range", slot)
-			}
-			out[slot] = int64(p[1])
-			seen[slot] = true
+	for _, p := range rx.all() {
+		if len(p) < 2 {
+			continue
 		}
+		slot := int(p[0])
+		if slot < 0 || slot >= numSlots {
+			return nil, fmt.Errorf("core: aggregateAndBroadcast: broadcast slot %d out of range", slot)
+		}
+		out[slot] = int64(p[1])
+		seen[slot] = true
 	}
 	for slot, ok := range seen {
 		if !ok {
@@ -388,7 +426,8 @@ func aggregateAndBroadcast(c *comm, contributions map[int]int64, aggregatorOf fu
 // spreadBroadcast makes a set of slot payloads globally known in two rounds:
 // the holder of slot k sends it to member k mod size, which broadcasts it to
 // everyone. Exactly one member must hold each slot in 0..numSlots-1. This is
-// the delimiter announcement of Algorithm 4 Step 4.
+// the delimiter announcement of Algorithm 4 Step 4. The returned payloads
+// borrow the engine's receive arena (valid for the grace window).
 func spreadBroadcast(c *comm, held map[int]clique.Packet, numSlots int) (map[int]clique.Packet, error) {
 	if !c.isMember() {
 		return nil, fmt.Errorf("core: spreadBroadcast: node %d is not a member", c.ex.ID())
@@ -398,45 +437,41 @@ func spreadBroadcast(c *comm, held map[int]clique.Packet, numSlots int) (map[int
 		if slot < 0 || slot >= numSlots {
 			return nil, fmt.Errorf("core: spreadBroadcast: slot %d out of range", slot)
 		}
-		packet := make(clique.Packet, 0, len(payload)+1)
-		packet = append(packet, clique.Word(slot))
-		packet = append(packet, payload...)
-		c.send(slot%size, packet)
+		c.stageOpen(slot % size)
+		c.stageWords(clique.Word(slot))
+		c.stageWords(payload...)
+		c.stageClose()
 	}
-	inbox, err := c.exchange()
+	rx, err := c.exchange()
 	if err != nil {
 		return nil, err
 	}
-	for _, packets := range inbox {
-		for _, p := range packets {
-			if len(p) < 1 {
-				continue
-			}
-			slot := int(p[0])
-			if slot%size != c.me {
-				return nil, fmt.Errorf("core: spreadBroadcast: node %d relayed foreign slot %d", c.ex.ID(), slot)
-			}
-			for to := 0; to < size; to++ {
-				c.send(to, p)
-			}
+	for _, p := range rx.all() {
+		if len(p) < 1 {
+			continue
+		}
+		slot := int(p[0])
+		if slot%size != c.me {
+			return nil, fmt.Errorf("core: spreadBroadcast: node %d relayed foreign slot %d", c.ex.ID(), slot)
+		}
+		for to := 0; to < size; to++ {
+			c.send(to, p...)
 		}
 	}
-	inbox, err = c.exchange()
+	rx, err = c.exchange()
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[int]clique.Packet, numSlots)
-	for _, packets := range inbox {
-		for _, p := range packets {
-			if len(p) < 1 {
-				continue
-			}
-			slot := int(p[0])
-			if slot < 0 || slot >= numSlots {
-				return nil, fmt.Errorf("core: spreadBroadcast: broadcast slot %d out of range", slot)
-			}
-			out[slot] = p[1:].Clone()
+	for _, p := range rx.all() {
+		if len(p) < 1 {
+			continue
 		}
+		slot := int(p[0])
+		if slot < 0 || slot >= numSlots {
+			return nil, fmt.Errorf("core: spreadBroadcast: broadcast slot %d out of range", slot)
+		}
+		out[slot] = clique.Packet(p[1:])
 	}
 	// Slots nobody held simply stay absent; callers decide whether that is an
 	// error (the delimiter announcement of Algorithm 4 tolerates it when there
@@ -457,8 +492,9 @@ type balancePlan struct {
 
 // newBalancePlan builds the plan from counts[a][t] = number of class-t items
 // held by group member a. The matrix is squared up with zero rows/columns if
-// the number of classes differs from the group size.
-func newBalancePlan(c *comm, counts [][]int, w int, stepKey string) (*balancePlan, error) {
+// the number of classes differs from the group size. group discriminates
+// concurrent groups sharing the step key.
+func newBalancePlan(c *comm, counts [][]int, w int, st step, group int32) (*balancePlan, error) {
 	numClasses := 0
 	for _, row := range counts {
 		if len(row) > numClasses {
@@ -469,9 +505,8 @@ func newBalancePlan(c *comm, counts [][]int, w int, stepKey string) (*balancePla
 	if numClasses > dim {
 		dim = numClasses
 	}
-	square := make([][]int, dim)
+	square := makeIntMatrix(dim, dim)
 	for i := range square {
-		square[i] = make([]int, dim)
 		if i < len(counts) {
 			copy(square[i], counts[i])
 		}
@@ -480,7 +515,7 @@ func newBalancePlan(c *comm, counts [][]int, w int, stepKey string) (*balancePla
 	if d == 0 {
 		d = 1
 	}
-	shared := c.shared(stepKey, func() interface{} {
+	shared := c.shared(st.key, group, func() interface{} {
 		dc, err := bipartite.ColorDemandMatrix(square, d)
 		if err != nil {
 			return err
@@ -489,7 +524,7 @@ func newBalancePlan(c *comm, counts [][]int, w int, stepKey string) (*balancePla
 	})
 	dc, ok := shared.(*bipartite.DemandColoring)
 	if !ok {
-		return nil, fmt.Errorf("core: balance plan (%s): %v", stepKey, shared)
+		return nil, fmt.Errorf("core: balance plan (%s): %v", st.name, shared)
 	}
 	return &balancePlan{coloring: dc, w: w}, nil
 }
@@ -505,21 +540,42 @@ func (p *balancePlan) target(a, t, k int) (int, error) {
 }
 
 // moveDemand returns the member-to-member demand matrix induced by the plan,
-// which is what Corollary 3.3 needs to execute the redistribution.
+// which is what Corollary 3.3 needs to execute the redistribution. Instead
+// of resolving every unit's color individually (O(units) coloring lookups),
+// it walks each cell's color runs once: a run of consecutive colors spreads
+// over the residues modulo w in full cycles plus one extra for the first
+// span%w residues — the same arithmetic as countUnitsByResidue.
 func (p *balancePlan) moveDemand(counts [][]int) ([][]int, error) {
 	w := p.w
-	demand := make([][]int, w)
-	for i := range demand {
-		demand[i] = make([]int, w)
-	}
+	demand := makeIntMatrix(w, w)
 	for a := range counts {
 		for t := range counts[a] {
-			for k := 0; k < counts[a][t]; k++ {
-				b, err := p.target(a, t, k)
-				if err != nil {
-					return nil, err
+			n := counts[a][t]
+			if n == 0 {
+				continue
+			}
+			row := demand[a]
+			unit := 0
+			for _, run := range p.coloring.Runs[a][t] {
+				if unit >= n {
+					break
 				}
-				demand[a][b]++
+				span := run.Len
+				if span > n-unit {
+					span = n - unit
+				}
+				if full := span / w; full > 0 {
+					for b := 0; b < w; b++ {
+						row[b] += full
+					}
+				}
+				for k := 0; k < span%w; k++ {
+					row[(run.Start+k)%w]++
+				}
+				unit += span
+			}
+			if unit < n {
+				return nil, fmt.Errorf("core: balance plan cell (%d,%d) has only %d units, need %d", a, t, unit, n)
 			}
 		}
 	}

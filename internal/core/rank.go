@@ -29,6 +29,7 @@ func Rank(ex clique.Exchanger, myKeys []Key) (*RankResult, error) {
 		return nil, err
 	}
 	c := fullComm(ex, fmt.Sprintf("rank@r%d", ex.Round()))
+	defer c.release()
 	n := c.size()
 
 	// One broadcast round: batch length, first value, last value and distinct
@@ -46,9 +47,9 @@ func Rank(ex clique.Exchanger, myKeys []Key) (*RankResult, error) {
 		}
 	}
 	for to := 0; to < n; to++ {
-		c.send(to, clique.Packet{clique.Word(len(res.Batch)), first, last, clique.Word(distinct)})
+		c.send(to, clique.Word(len(res.Batch)), first, last, clique.Word(distinct))
 	}
-	inbox, err := c.exchange()
+	rx, err := c.exchange()
 	if err != nil {
 		return nil, fmt.Errorf("core: rank broadcast: %w", err)
 	}
@@ -60,8 +61,8 @@ func Rank(ex clique.Exchanger, myKeys []Key) (*RankResult, error) {
 	}
 	infos := make([]batchInfo, n)
 	for from := 0; from < n; from++ {
-		p := clique.Inbox(inbox).Single(from)
-		if p == nil || len(p) < 4 {
+		p := rx.single(from)
+		if len(p) < 4 {
 			return nil, fmt.Errorf("core: rank broadcast: missing info from node %d", from)
 		}
 		infos[from] = batchInfo{length: int(p[0]), first: p[1], last: p[2], distinct: int(p[3])}
@@ -91,6 +92,8 @@ func Rank(ex clique.Exchanger, myKeys []Key) (*RankResult, error) {
 
 	// Rank the keys of my batch and route (origin, seq, rank) back to the
 	// owners using the deterministic router.
+	rc := fullComm(ex, fmt.Sprintf("rankroute@r%d", ex.Round()))
+	defer rc.release()
 	parcels := make([]parcel, 0, len(res.Batch))
 	rank := startRank[c.me]
 	for i, k := range res.Batch {
@@ -100,11 +103,10 @@ func Rank(ex clique.Exchanger, myKeys []Key) (*RankResult, error) {
 		parcels = append(parcels, parcel{
 			Src:   ex.ID(),
 			Dst:   k.Origin,
-			Words: []clique.Word{clique.Word(k.Seq), clique.Word(rank)},
+			Words: rc.arenaAppend(clique.Word(k.Seq), clique.Word(rank)),
 		})
 	}
-	rc := fullComm(ex, fmt.Sprintf("rankroute@r%d", ex.Round()))
-	received, err := routeParcels(rc, parcels, "cor4.6")
+	received, err := routeParcels(rc, parcels, rootStep("cor4.6"))
 	if err != nil {
 		return nil, fmt.Errorf("core: rank routing: %w", err)
 	}
@@ -133,20 +135,19 @@ func Select(ex clique.Exchanger, myKeys []Key, k int) (Key, error) {
 		return Key{}, fmt.Errorf("core: selection rank %d out of range [0,%d)", k, res.Total)
 	}
 	c := fullComm(ex, fmt.Sprintf("select@r%d", ex.Round()))
+	defer c.release()
 	if k >= res.Start && k < res.Start+len(res.Batch) {
 		key := res.Batch[k-res.Start]
 		for to := 0; to < c.size(); to++ {
-			c.send(to, clique.Packet(encodeKey(key)))
+			c.send(to, key.Value, clique.Word(key.Origin), clique.Word(key.Seq))
 		}
 	}
-	inbox, err := c.exchange()
+	rx, err := c.exchange()
 	if err != nil {
 		return Key{}, fmt.Errorf("core: select broadcast: %w", err)
 	}
-	for _, packets := range inbox {
-		for _, p := range packets {
-			return decodeKey(p)
-		}
+	for _, p := range rx.all() {
+		return decodeKey(p)
 	}
 	return Key{}, fmt.Errorf("core: select: no node held rank %d", k)
 }
@@ -165,20 +166,19 @@ func Median(ex clique.Exchanger, myKeys []Key) (Key, error) {
 	}
 	k := (res.Total - 1) / 2
 	c := fullComm(ex, fmt.Sprintf("median@r%d", ex.Round()))
+	defer c.release()
 	if k >= res.Start && k < res.Start+len(res.Batch) {
 		key := res.Batch[k-res.Start]
 		for to := 0; to < c.size(); to++ {
-			c.send(to, clique.Packet(encodeKey(key)))
+			c.send(to, key.Value, clique.Word(key.Origin), clique.Word(key.Seq))
 		}
 	}
-	inbox, err := c.exchange()
+	rx, err := c.exchange()
 	if err != nil {
 		return Key{}, fmt.Errorf("core: median broadcast: %w", err)
 	}
-	for _, packets := range inbox {
-		for _, p := range packets {
-			return decodeKey(p)
-		}
+	for _, p := range rx.all() {
+		return decodeKey(p)
 	}
 	return Key{}, fmt.Errorf("core: median: no node held rank %d", k)
 }
@@ -201,6 +201,7 @@ func Mode(ex clique.Exchanger, myKeys []Key) (*ModeResult, error) {
 		return nil, err
 	}
 	c := fullComm(ex, fmt.Sprintf("mode@r%d", ex.Round()))
+	defer c.release()
 	n := c.size()
 
 	// Summarise my batch: prefix run, suffix run, best interior run.
@@ -253,13 +254,13 @@ func Mode(ex clique.Exchanger, myKeys []Key) (*ModeResult, error) {
 		hasMid = 1
 	}
 	for to := 0; to < n; to++ {
-		c.send(to, clique.Packet{
+		c.send(to,
 			clique.Word(s.length), s.firstValue, clique.Word(s.prefixLen),
 			s.lastValue, clique.Word(s.suffixLen), s.bestMidValue, clique.Word(s.bestMidCount),
 			covers, hasMid,
-		})
+		)
 	}
-	inbox, err := c.exchange()
+	rx, err := c.exchange()
 	if err != nil {
 		return nil, fmt.Errorf("core: mode broadcast: %w", err)
 	}
@@ -274,8 +275,8 @@ func Mode(ex clique.Exchanger, myKeys []Key) (*ModeResult, error) {
 	var runValue int64
 	runLen := 0
 	for from := 0; from < n; from++ {
-		p := clique.Inbox(inbox).Single(from)
-		if p == nil || len(p) < 9 {
+		p := rx.single(from)
+		if len(p) < 9 {
 			return nil, fmt.Errorf("core: mode broadcast: missing summary from node %d", from)
 		}
 		length := int(p[0])

@@ -12,6 +12,10 @@ import (
 // (both global node identifiers). The paper's messages of O(log n) bits are
 // parcels with a bounded number of words; the sorting pipeline reuses the
 // same machinery to move bundles of keys.
+//
+// Parcel payloads returned by routeParcels borrow instance-owned or
+// engine-owned memory (valid for the engine's payload grace window); callers
+// consume or copy them immediately.
 type parcel struct {
 	Src   int
 	Dst   int
@@ -32,11 +36,12 @@ type parcel struct {
 //     constant-factor increase in message size.
 func Route(ex clique.Exchanger, msgs []Message) ([]Message, error) {
 	c := fullComm(ex, fmt.Sprintf("route@r%d", ex.Round()))
+	defer c.release()
 	parcels := make([]parcel, 0, len(msgs))
 	for _, m := range msgs {
-		parcels = append(parcels, parcel{Src: m.Src, Dst: m.Dst, Words: []clique.Word{clique.Word(m.Seq), m.Payload}})
+		parcels = append(parcels, parcel{Src: m.Src, Dst: m.Dst, Words: c.arenaAppend(clique.Word(m.Seq), m.Payload)})
 	}
-	received, err := routeParcels(c, parcels, "thm3.7")
+	received, err := routeParcels(c, parcels, rootStep("thm3.7"))
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +64,7 @@ const routeTrivialThreshold = 9
 // routeParcels dispatches between the perfect-square algorithm, the
 // tiny-clique fallback and the general decomposition. Every member of the
 // comm must call it in the same round.
-func routeParcels(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) {
+func routeParcels(c *comm, parcels []parcel, st step) ([]parcel, error) {
 	if err := validateParcels(c, parcels); err != nil {
 		return nil, err
 	}
@@ -68,11 +73,11 @@ func routeParcels(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error)
 	case m == 1:
 		return parcels, nil
 	case m < routeTrivialThreshold:
-		return routeTiny(c, parcels, keyPrefix+"/tiny")
+		return routeTiny(c, parcels, st.sub("tiny", kcTiny))
 	case isPerfectSquare(m):
-		return routeSquare(c, parcels, keyPrefix+"/square")
+		return routeSquare(c, parcels, st.sub("square", kcSquare))
 	default:
-		return routeGeneral(c, parcels, keyPrefix+"/general")
+		return routeGeneral(c, parcels, st.sub("general", kcGeneral))
 	}
 }
 
@@ -94,19 +99,15 @@ func validateParcels(c *comm, parcels []parcel) error {
 // attaches to it: the destination as a local index of the enclosing comm and
 // the intermediate set assigned by the set-level coloring.
 //
-// Wire layout: [dstLocal, interSet, src, payload...].
+// Wire layout: [dstLocal, interSet, src, payload...]. The payload borrows
+// whatever buffer the parcel was decoded from (engine receive arena or
+// instance arena); every pipeline hop re-stages it into fresh frames within
+// the engine's grace window.
 type held struct {
 	dstLocal int
 	interSet int
 	src      int
 	payload  []clique.Word
-}
-
-func encodeHeldParcel(h held) []clique.Word {
-	out := make([]clique.Word, 0, 3+len(h.payload))
-	out = append(out, clique.Word(h.dstLocal), clique.Word(h.interSet), clique.Word(h.src))
-	out = append(out, h.payload...)
-	return out
 }
 
 func decodeHeldParcel(w []clique.Word, c *comm) (held, error) {
@@ -120,42 +121,48 @@ func decodeHeldParcel(w []clique.Word, c *comm) (held, error) {
 	return h, nil
 }
 
+// toParcel converts a delivered held parcel to the caller-facing form. The
+// payload is copied into the instance arena: delivered parcels must outlive
+// the engine's payload grace window (concurrently multiplexed instances may
+// keep completing rounds after this instance has finished, recycling the
+// engine's receive buffers), and the arena is stable for the lifetime of the
+// comm without per-parcel allocation.
 func (h held) toParcel(c *comm) parcel {
-	words := make([]clique.Word, len(h.payload))
-	copy(words, h.payload)
-	return parcel{Src: h.src, Dst: c.global(h.dstLocal), Words: words}
+	return parcel{Src: h.src, Dst: c.global(h.dstLocal), Words: c.arenaAppend(h.payload...)}
 }
 
 // routeTiny routes within a very small clique by treating all members as a
 // single group of Corollary 3.4 (4 rounds). The announcement volume is |W|^2
 // values, which is a constant because the clique size is bounded by
 // routeTrivialThreshold.
-func routeTiny(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) {
+func routeTiny(c *comm, parcels []parcel, st step) ([]parcel, error) {
 	group := make([]int, c.size())
 	for i := range group {
 		group[i] = i
 	}
-	items := make([]item, 0, len(parcels))
+	slot := c.itemSlot()
+	items := *slot
 	for _, p := range parcels {
 		dstLocal, _ := c.localOf(p.Dst)
-		items = append(items, item{dst: dstLocal, words: encodeHeldParcel(held{dstLocal: dstLocal, src: p.Src, payload: p.Words})})
+		items = append(items, item{dst: dstLocal, words: c.arenaHeld(held{dstLocal: dstLocal, src: p.Src, payload: p.Words})})
 	}
-	received, err := groupRouteUnknown(c, group, items, keyPrefix)
+	*slot = items
+	received, err := groupRouteUnknown(c, group, items, st)
 	if err != nil {
 		return nil, err
 	}
-	return heldItemsToParcels(c, received, keyPrefix)
+	return heldItemsToParcels(c, received, st.name)
 }
 
-func heldItemsToParcels(c *comm, items []item, keyPrefix string) ([]parcel, error) {
+func heldItemsToParcels(c *comm, items []item, context string) ([]parcel, error) {
 	out := make([]parcel, 0, len(items))
 	for _, it := range items {
 		h, err := decodeHeldParcel(it.words, c)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", keyPrefix, err)
+			return nil, fmt.Errorf("%s: %w", context, err)
 		}
 		if h.dstLocal != c.me {
-			return nil, fmt.Errorf("%s: node %d received parcel for node %d", keyPrefix, c.ex.ID(), c.global(h.dstLocal))
+			return nil, fmt.Errorf("%s: node %d received parcel for node %d", context, c.ex.ID(), c.global(h.dstLocal))
 		}
 		out = append(out, h.toParcel(c))
 	}
@@ -170,7 +177,7 @@ func heldItemsToParcels(c *comm, items []item, keyPrefix string) ([]parcel, erro
 //	Step 4                1 round    move parcels to their destination sets
 //	Step 5                4 rounds   deliver inside each destination set (Cor. 3.4)
 //	                     -- total 16 rounds (Theorem 3.7)
-func routeSquare(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) {
+func routeSquare(c *comm, parcels []parcel, st step) ([]parcel, error) {
 	m := c.size()
 	s := isqrt(m)
 	if s*s != m {
@@ -187,11 +194,13 @@ func routeSquare(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) 
 	}
 	myIdxInGroup := grp.indexInGroup(c.me)
 
-	load := make([]held, 0, len(parcels))
+	loadSlot := c.heldSlot()
+	load := *loadSlot
 	for _, p := range parcels {
 		dstLocal, _ := c.localOf(p.Dst)
 		load = append(load, held{dstLocal: dstLocal, src: p.Src, payload: p.Words})
 	}
+	*loadSlot = load
 
 	// ------------------------------------------------------------------
 	// Step 2 of Algorithm 1, implemented by Algorithm 2 (7 rounds).
@@ -209,11 +218,10 @@ func routeSquare(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) 
 	}
 	tFlat, err := aggregateAndBroadcast(c, contributions, func(slot int) int { return slot }, s*s)
 	if err != nil {
-		return nil, fmt.Errorf("%s step2.1: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s step2.1: %w", st.name, err)
 	}
-	setDemand := make([][]int, s)
+	setDemand := makeIntMatrix(s, s)
 	for a := 0; a < s; a++ {
-		setDemand[a] = make([]int, s)
 		for b := 0; b < s; b++ {
 			setDemand[a][b] = int(tFlat[a*s+b])
 		}
@@ -225,7 +233,7 @@ func routeSquare(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) 
 	dT := bipartite.MaxRowColSum(setDemand)
 	var setColoring *bipartite.DemandColoring
 	if dT > 0 {
-		shared := c.shared(keyPrefix+"/setcoloring", func() interface{} {
+		shared := c.shared(st.key.sub(kcSetColoring), -1, func() interface{} {
 			dc, colErr := bipartite.ColorDemandMatrix(setDemand, dT)
 			if colErr != nil {
 				return colErr
@@ -235,25 +243,22 @@ func routeSquare(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) 
 		var ok bool
 		setColoring, ok = shared.(*bipartite.DemandColoring)
 		if !ok {
-			return nil, fmt.Errorf("%s step2.2: set coloring failed: %v", keyPrefix, shared)
+			return nil, fmt.Errorf("%s step2.2: set coloring failed: %v", st.name, shared)
 		}
 	}
 
 	// Algorithm 2, Step 3 (2 rounds): inside every set, members announce how
 	// many parcels they hold per destination set, which pins down every
 	// parcel's position in the set-level order and hence its color.
-	perMemberCnt, err := announceIntVector(c, groupMembers, cntSet, keyPrefix+"/a2.announce")
+	perMemberCnt, err := announceIntVector(c, groupMembers, cntSet, st.sub("a2.announce", kcA2Announce))
 	if err != nil {
-		return nil, fmt.Errorf("%s step2.3: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s step2.3: %w", st.name, err)
 	}
 
 	// Algorithm 2, Step 4 (local): derive each parcel's intermediate set and
 	// compute the within-set balancing pattern so that afterwards every
 	// member holds (almost) the same number of parcels per intermediate set.
-	offsets := make([][]int, s) // offsets[a][b]: first unit index of member a in cell (myGroup,b)
-	for a := 0; a < s; a++ {
-		offsets[a] = make([]int, s)
-	}
+	offsets := makeIntMatrix(s, s) // offsets[a][b]: first unit index of member a in cell (myGroup,b)
 	for b := 0; b < s; b++ {
 		run := 0
 		for a := 0; a < s; a++ {
@@ -264,16 +269,15 @@ func routeSquare(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) 
 	// interCounts[a][t]: number of parcels of member a assigned to
 	// intermediate set t; computable by every group member from the shared
 	// coloring and the announced counts.
-	interCounts := make([][]int, s)
+	interCounts := makeIntMatrix(s, s)
+	byRes := make([]int, s)
 	for a := 0; a < s; a++ {
-		interCounts[a] = make([]int, s)
 		for b := 0; b < s; b++ {
 			if perMemberCnt[a][b] == 0 || setColoring == nil {
 				continue
 			}
-			byRes, resErr := countUnitsByResidue(setColoring, myGroup, b, offsets[a][b], offsets[a][b]+perMemberCnt[a][b], s)
-			if resErr != nil {
-				return nil, fmt.Errorf("%s step2.4: %w", keyPrefix, resErr)
+			if resErr := countUnitsByResidue(setColoring, myGroup, b, offsets[a][b], offsets[a][b]+perMemberCnt[a][b], s, byRes); resErr != nil {
+				return nil, fmt.Errorf("%s step2.4: %w", st.name, resErr)
 			}
 			for t := 0; t < s; t++ {
 				interCounts[a][t] += byRes[t]
@@ -292,53 +296,56 @@ func routeSquare(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) 
 		}
 		color, colErr := setColoring.ColorOfUnit(myGroup, b, unit)
 		if colErr != nil {
-			return nil, fmt.Errorf("%s step2.4: %w", keyPrefix, colErr)
+			return nil, fmt.Errorf("%s step2.4: %w", st.name, colErr)
 		}
 		load[i].interSet = color % s
 	}
-	plan2, err := newBalancePlan(c, interCounts, s, fmt.Sprintf("%s/a2.plan/grp%d", keyPrefix, myGroup))
+	plan2, err := newBalancePlan(c, interCounts, s, st.sub("a2.plan", kcA2Plan), int32(myGroup))
 	if err != nil {
-		return nil, fmt.Errorf("%s step2.4: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s step2.4: %w", st.name, err)
 	}
 	demand2, err := plan2.moveDemand(interCounts)
 	if err != nil {
-		return nil, fmt.Errorf("%s step2.4: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s step2.4: %w", st.name, err)
 	}
 
 	// Algorithm 2, Step 5 (2 rounds): execute the within-set redistribution.
 	classCursor := make([]int, s)
-	items2 := make([]item, 0, len(load))
+	items2Slot := c.itemSlot()
+	items2 := *items2Slot
 	for _, h := range load {
 		k := classCursor[h.interSet]
 		classCursor[h.interSet]++
 		target, tErr := plan2.target(myIdxInGroup, h.interSet, k)
 		if tErr != nil {
-			return nil, fmt.Errorf("%s step2.5: %w", keyPrefix, tErr)
+			return nil, fmt.Errorf("%s step2.5: %w", st.name, tErr)
 		}
-		items2 = append(items2, item{dst: grp.member(myGroup, target), words: encodeHeldParcel(h)})
+		items2 = append(items2, item{dst: grp.member(myGroup, target), words: c.arenaHeld(h)})
 	}
-	received2, err := relayRoute(c, groupMembers, demand2, items2, keyPrefix+"/a2.move")
+	*items2Slot = items2
+	received2, err := relayRoute(c, groupMembers, demand2, items2, st.sub("a2.move", kcA2Move))
 	if err != nil {
-		return nil, fmt.Errorf("%s step2.5: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s step2.5: %w", st.name, err)
 	}
 	load, err = decodeHeldItems(c, received2)
 	if err != nil {
-		return nil, fmt.Errorf("%s step2.5: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s step2.5: %w", st.name, err)
 	}
+	// All payloads encoded so far (the input parcels and the step-2.5 items)
+	// have been copied into frames and delivered; their arena storage is dead.
+	c.arenaReset()
 
 	// Algorithm 2, Step 6 (1 round): every member now holds (almost) the same
 	// number of parcels for each intermediate set and sends one of them to
-	// each of that set's members.
-	byInter := make([][]held, s)
+	// each of that set's members. Parcels of one intermediate set are dealt
+	// round-robin in held order, which matches the bucketed order.
+	dealCursor := make([]int, s)
 	for _, h := range load {
-		byInter[h.interSet] = append(byInter[h.interSet], h)
+		k := dealCursor[h.interSet]
+		dealCursor[h.interSet]++
+		c.sendHeld(grp.member(h.interSet, k%s), h)
 	}
-	for t := 0; t < s; t++ {
-		for k, h := range byInter[t] {
-			c.send(grp.member(t, k%s), clique.Packet(encodeHeldParcel(h)))
-		}
-	}
-	load, err = collectHeld(c, keyPrefix+" step2.6")
+	load, err = collectHeld(c, st.name, "step2.6")
 	if err != nil {
 		return nil, err
 	}
@@ -351,53 +358,54 @@ func routeSquare(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) 
 	for _, h := range load {
 		cnt3[grp.groupOf(h.dstLocal)]++
 	}
-	all3, err := announceIntVector(c, groupMembers, cnt3, keyPrefix+"/s3.announce")
+	all3, err := announceIntVector(c, groupMembers, cnt3, st.sub("s3.announce", kcS3Announce))
 	if err != nil {
-		return nil, fmt.Errorf("%s step3: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s step3: %w", st.name, err)
 	}
-	plan3, err := newBalancePlan(c, all3, s, fmt.Sprintf("%s/s3.plan/grp%d", keyPrefix, myGroup))
+	plan3, err := newBalancePlan(c, all3, s, st.sub("s3.plan", kcS3Plan), int32(myGroup))
 	if err != nil {
-		return nil, fmt.Errorf("%s step3: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s step3: %w", st.name, err)
 	}
 	demand3, err := plan3.moveDemand(all3)
 	if err != nil {
-		return nil, fmt.Errorf("%s step3: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s step3: %w", st.name, err)
 	}
 	cursor3 := make([]int, s)
-	items3 := make([]item, 0, len(load))
+	items3Slot := c.itemSlot()
+	items3 := *items3Slot
 	for _, h := range load {
 		cls := grp.groupOf(h.dstLocal)
 		k := cursor3[cls]
 		cursor3[cls]++
 		target, tErr := plan3.target(myIdxInGroup, cls, k)
 		if tErr != nil {
-			return nil, fmt.Errorf("%s step3: %w", keyPrefix, tErr)
+			return nil, fmt.Errorf("%s step3: %w", st.name, tErr)
 		}
-		items3 = append(items3, item{dst: grp.member(myGroup, target), words: encodeHeldParcel(h)})
+		items3 = append(items3, item{dst: grp.member(myGroup, target), words: c.arenaHeld(h)})
 	}
-	received3, err := relayRoute(c, groupMembers, demand3, items3, keyPrefix+"/s3.move")
+	*items3Slot = items3
+	received3, err := relayRoute(c, groupMembers, demand3, items3, st.sub("s3.move", kcS3Move))
 	if err != nil {
-		return nil, fmt.Errorf("%s step3: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s step3: %w", st.name, err)
 	}
 	load, err = decodeHeldItems(c, received3)
 	if err != nil {
-		return nil, fmt.Errorf("%s step3: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s step3: %w", st.name, err)
 	}
+	c.arenaReset()
 
 	// ------------------------------------------------------------------
 	// Step 4 of Algorithm 1 (1 round): every member sends, for each
 	// destination set, one of its parcels to each member of that set.
 	// ------------------------------------------------------------------
-	byDstSet := make([][]held, s)
+	deal4 := make([]int, s)
 	for _, h := range load {
-		byDstSet[grp.groupOf(h.dstLocal)] = append(byDstSet[grp.groupOf(h.dstLocal)], h)
+		t := grp.groupOf(h.dstLocal)
+		k := deal4[t]
+		deal4[t]++
+		c.sendHeld(grp.member(t, k%s), h)
 	}
-	for t := 0; t < s; t++ {
-		for k, h := range byDstSet[t] {
-			c.send(grp.member(t, k%s), clique.Packet(encodeHeldParcel(h)))
-		}
-	}
-	load, err = collectHeld(c, keyPrefix+" step4")
+	load, err = collectHeld(c, st.name, "step4")
 	if err != nil {
 		return nil, err
 	}
@@ -406,23 +414,27 @@ func routeSquare(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) 
 	// Step 5 of Algorithm 1 (4 rounds, Corollary 3.4): deliver inside every
 	// destination set.
 	// ------------------------------------------------------------------
-	items5 := make([]item, 0, len(load))
+	items5Slot := c.itemSlot()
+	items5 := *items5Slot
 	for _, h := range load {
 		if grp.groupOf(h.dstLocal) != myGroup {
-			return nil, fmt.Errorf("%s step5: node %d holds a parcel for foreign set %d", keyPrefix, c.ex.ID(), grp.groupOf(h.dstLocal))
+			return nil, fmt.Errorf("%s step5: node %d holds a parcel for foreign set %d", st.name, c.ex.ID(), grp.groupOf(h.dstLocal))
 		}
-		items5 = append(items5, item{dst: h.dstLocal, words: encodeHeldParcel(h)})
+		items5 = append(items5, item{dst: h.dstLocal, words: c.arenaHeld(h)})
 	}
-	received5, err := groupRouteUnknown(c, groupMembers, items5, keyPrefix+"/s5")
+	*items5Slot = items5
+	received5, err := groupRouteUnknown(c, groupMembers, items5, st.sub("s5", kcS5))
 	if err != nil {
-		return nil, fmt.Errorf("%s step5: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s step5: %w", st.name, err)
 	}
-	return heldItemsToParcels(c, received5, keyPrefix+" step5")
+	return heldItemsToParcels(c, received5, "step5")
 }
 
-// decodeHeldItems converts relay-routed items back to held parcels.
+// decodeHeldItems converts relay-routed items back to held parcels (into a
+// rotating scratch buffer of the comm).
 func decodeHeldItems(c *comm, items []item) ([]held, error) {
-	out := make([]held, 0, len(items))
+	slot := c.heldSlot()
+	out := *slot
 	for _, it := range items {
 		h, err := decodeHeldParcel(it.words, c)
 		if err != nil {
@@ -430,35 +442,38 @@ func decodeHeldItems(c *comm, items []item) ([]held, error) {
 		}
 		out = append(out, h)
 	}
+	*slot = out
 	return out, nil
 }
 
-// collectHeld performs one exchange and decodes every received packet as a
-// held parcel.
-func collectHeld(c *comm, context string) ([]held, error) {
-	inbox, err := c.exchange()
+// collectHeld performs one exchange and decodes every received message as a
+// held parcel (into a rotating scratch buffer of the comm).
+func collectHeld(c *comm, context, phase string) ([]held, error) {
+	rx, err := c.exchange()
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", context, err)
+		return nil, fmt.Errorf("%s %s: %w", context, phase, err)
 	}
-	var out []held
-	for _, packets := range inbox {
-		for _, p := range packets {
-			h, decErr := decodeHeldParcel(p, c)
-			if decErr != nil {
-				return nil, fmt.Errorf("%s: %w", context, decErr)
-			}
-			out = append(out, h)
+	slot := c.heldSlot()
+	out := *slot
+	for _, p := range rx.all() {
+		h, decErr := decodeHeldParcel(p, c)
+		if decErr != nil {
+			return nil, fmt.Errorf("%s %s: %w", context, phase, decErr)
 		}
+		out = append(out, h)
 	}
+	*slot = out
 	return out, nil
 }
 
-// countUnitsByResidue returns how many of the units [lo,hi) of cell
-// (row, col) receive a color congruent to t modulo s, for every t.
-func countUnitsByResidue(dc *bipartite.DemandColoring, row, col, lo, hi, s int) ([]int, error) {
-	out := make([]int, s)
+// countUnitsByResidue fills out[t] with how many of the units [lo,hi) of
+// cell (row, col) receive a color congruent to t modulo s. out must have
+// length s; it is a caller-owned scratch buffer so the s-by-s sweep of
+// Algorithm 2 Step 4 does not allocate per cell.
+func countUnitsByResidue(dc *bipartite.DemandColoring, row, col, lo, hi, s int, out []int) error {
+	clear(out)
 	if lo >= hi {
-		return out, nil
+		return nil
 	}
 	unit := 0
 	for _, run := range dc.Runs[row][col] {
@@ -485,7 +500,7 @@ func countUnitsByResidue(dc *bipartite.DemandColoring, row, col, lo, hi, s int) 
 		}
 	}
 	if unit < hi {
-		return nil, fmt.Errorf("core: cell (%d,%d) has only %d units, need %d", row, col, unit, hi)
+		return fmt.Errorf("core: cell (%d,%d) has only %d units, need %d", row, col, unit, hi)
 	}
-	return out, nil
+	return nil
 }

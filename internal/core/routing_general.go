@@ -20,7 +20,7 @@ import (
 // instances run concurrently on the virtual multiplexer, so the total round
 // count stays 16 while the per-edge load grows by a constant factor only —
 // exactly the trade-off stated in the proof of Theorem 3.7.
-func routeGeneral(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error) {
+func routeGeneral(c *comm, parcels []parcel, st step) ([]parcel, error) {
 	m := c.size()
 	s := isqrt(m)
 	square := s * s
@@ -61,7 +61,7 @@ func routeGeneral(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error)
 	mux := clique.NewMux(c.ex)
 	programs := map[int]func(clique.Exchanger) error{
 		instCorner: func(ex clique.Exchanger) error {
-			res, err := routeCorner(ex, c, r, square, corner, keyPrefix+"/corner")
+			res, err := routeCorner(ex, c, r, square, corner, st.sub("corner", kcCorner))
 			if err != nil {
 				return err
 			}
@@ -75,7 +75,7 @@ func routeGeneral(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error)
 			if err != nil {
 				return err
 			}
-			res, err := routeSquare(sub, parcels1, keyPrefix+"/v1")
+			res, err := routeSquare(sub, parcels1, st.sub("v1", kcV1))
 			if err != nil {
 				return err
 			}
@@ -89,7 +89,7 @@ func routeGeneral(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error)
 			if err != nil {
 				return err
 			}
-			res, err := routeSquare(sub, parcels2, keyPrefix+"/v2")
+			res, err := routeSquare(sub, parcels2, st.sub("v2", kcV2))
 			if err != nil {
 				return err
 			}
@@ -98,7 +98,7 @@ func routeGeneral(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error)
 		}
 	}
 	if err := mux.Run(programs); err != nil {
-		return nil, fmt.Errorf("%s: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s: %w", st.name, err)
 	}
 
 	out := make([]parcel, 0, len(out1)+len(out2)+len(outCorner))
@@ -118,20 +118,19 @@ func routeGeneral(c *comm, parcels []parcel, keyPrefix string) ([]parcel, error)
 //	Round 2: every node forwards the parcels it relays, one per member of the
 //	         corner set the parcel is destined to.
 //	Rounds 3-6: Corollary 3.4 delivers inside V1\V2 and V2\V1 concurrently.
-func routeCorner(ex clique.Exchanger, parent *comm, r, square int, corner []parcel, keyPrefix string) ([]parcel, error) {
-	sub := fullCommOn(ex, parent, keyPrefix)
+func routeCorner(ex clique.Exchanger, parent *comm, r, square int, corner []parcel, st step) ([]parcel, error) {
+	sub := fullCommOn(ex, parent, parent.label+"/corner")
 	m := sub.size()
 
 	// Round 1: spread my corner parcels across all nodes.
 	for j, p := range corner {
 		dstLocal, ok := sub.localOf(p.Dst)
 		if !ok {
-			return nil, fmt.Errorf("%s: destination %d not a member", keyPrefix, p.Dst)
+			return nil, fmt.Errorf("%s: destination %d not a member", st.name, p.Dst)
 		}
-		h := held{dstLocal: dstLocal, src: p.Src, payload: p.Words}
-		sub.send(j%m, clique.Packet(encodeHeldParcel(h)))
+		sub.sendHeld(j%m, held{dstLocal: dstLocal, src: p.Src, payload: p.Words})
 	}
-	relayLoad, err := collectHeld(sub, keyPrefix+" round1")
+	relayLoad, err := collectHeld(sub, st.name, "round1")
 	if err != nil {
 		return nil, err
 	}
@@ -139,24 +138,20 @@ func routeCorner(ex clique.Exchanger, parent *comm, r, square int, corner []parc
 	// Round 2: deal the relayed parcels round-robin over the members of the
 	// corner set they are destined to (V1\V2 occupies local indices [0,r),
 	// V2\V1 occupies [square, m)).
-	var toLeft, toRight []held
+	left, right := 0, 0
 	for _, h := range relayLoad {
 		switch {
 		case h.dstLocal < r:
-			toLeft = append(toLeft, h)
+			sub.sendHeld(left%r, h)
+			left++
 		case h.dstLocal >= square:
-			toRight = append(toRight, h)
+			sub.sendHeld(square+right%r, h)
+			right++
 		default:
-			return nil, fmt.Errorf("%s round2: corner parcel destined to overlap node %d", keyPrefix, h.dstLocal)
+			return nil, fmt.Errorf("%s round2: corner parcel destined to overlap node %d", st.name, h.dstLocal)
 		}
 	}
-	for k, h := range toLeft {
-		sub.send(k%r, clique.Packet(encodeHeldParcel(h)))
-	}
-	for k, h := range toRight {
-		sub.send(square+k%r, clique.Packet(encodeHeldParcel(h)))
-	}
-	dealt, err := collectHeld(sub, keyPrefix+" round2")
+	dealt, err := collectHeld(sub, st.name, "round2")
 	if err != nil {
 		return nil, err
 	}
@@ -175,27 +170,27 @@ func routeCorner(ex clique.Exchanger, parent *comm, r, square int, corner []parc
 			group[i] = square + i
 		}
 	}
-	items := make([]item, 0, len(dealt))
+	itemsSlot := sub.itemSlot()
+	items := *itemsSlot
 	for _, h := range dealt {
-		items = append(items, item{dst: h.dstLocal, words: encodeHeldParcel(h)})
+		items = append(items, item{dst: h.dstLocal, words: sub.arenaHeld(h)})
 	}
+	*itemsSlot = items
 	if len(items) > 0 && group == nil {
-		return nil, fmt.Errorf("%s round3: overlap node %d holds corner parcels", keyPrefix, sub.ex.ID())
+		return nil, fmt.Errorf("%s round3: overlap node %d holds corner parcels", st.name, sub.ex.ID())
 	}
-	received, err := groupRouteUnknown(sub, group, items, keyPrefix+"/deliver")
+	received, err := groupRouteUnknown(sub, group, items, st.sub("deliver", kcCornerDeliver))
 	if err != nil {
-		return nil, fmt.Errorf("%s rounds3-6: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s rounds3-6: %w", st.name, err)
 	}
-	return heldItemsToParcels(sub, received, keyPrefix+" deliver")
+	return heldItemsToParcels(sub, received, "corner deliver")
 }
 
 // fullCommOn rebuilds the parent's member universe on top of a (possibly
 // virtual) Exchanger. The member lists are identical, only the communication
 // surface differs.
 func fullCommOn(ex clique.Exchanger, parent *comm, label string) *comm {
-	members := make([]int, len(parent.members))
-	copy(members, parent.members)
-	c, err := newComm(ex, label, members)
+	c, err := newComm(ex, label, parent.members)
 	if err != nil {
 		// Cannot happen: the parent's member list is already validated.
 		panic(err)

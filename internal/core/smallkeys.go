@@ -88,6 +88,7 @@ func (r *SmallKeyResult) Mode() (int, int64, bool) {
 // "number of different keys is at most n / log^2 n" regime.
 func SmallKeyCount(ex clique.Exchanger, myValues []int, domain int) (*SmallKeyResult, error) {
 	c := fullComm(ex, fmt.Sprintf("smallkeys@r%d", ex.Round()))
+	defer c.release()
 	n := c.size()
 	if domain <= 0 {
 		return nil, fmt.Errorf("core: small-key domain must be positive, got %d", domain)
@@ -120,11 +121,11 @@ func SmallKeyCount(ex clique.Exchanger, myValues []int, domain int) (*SmallKeyRe
 		for i := 0; i < bits; i++ {
 			bit := (local[v] >> uint(i)) & 1
 			for j := 0; j < bits; j++ {
-				c.send(helper(v, i, j), clique.Packet{clique.Word(bit)})
+				c.send(helper(v, i, j), clique.Word(bit))
 			}
 		}
 	}
-	inbox, err := c.exchange()
+	rx, err := c.exchange()
 	if err != nil {
 		return nil, fmt.Errorf("core: small-key round 1: %w", err)
 	}
@@ -139,19 +140,17 @@ func SmallKeyCount(ex clique.Exchanger, myValues []int, domain int) (*SmallKeyRe
 	}
 	if myValue >= 0 {
 		var ones int64
-		for _, packets := range inbox {
-			for _, p := range packets {
-				if len(p) > 0 && p[0] == 1 {
-					ones++
-				}
+		for _, p := range rx.all() {
+			if len(p) > 0 && p[0] == 1 {
+				ones++
 			}
 		}
 		outBit := (ones >> uint(myAggBit)) & 1
 		for to := 0; to < n; to++ {
-			c.send(to, clique.Packet{clique.Word(outBit)})
+			c.send(to, clique.Word(outBit))
 		}
 	}
-	inbox, err = c.exchange()
+	rx, err = c.exchange()
 	if err != nil {
 		return nil, fmt.Errorf("core: small-key round 2: %w", err)
 	}
@@ -164,8 +163,8 @@ func SmallKeyCount(ex clique.Exchanger, myValues []int, domain int) (*SmallKeyRe
 		for i := 0; i < bits; i++ {
 			var ones int64
 			for j := 0; j < bits; j++ {
-				p := clique.Inbox(inbox).Single(helper(v, i, j))
-				if p == nil || len(p) < 1 {
+				p := rx.single(helper(v, i, j))
+				if len(p) < 1 {
 					return nil, fmt.Errorf("core: small-key round 2: missing bit from helper of (%d,%d,%d)", v, i, j)
 				}
 				if p[0] == 1 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"congestedclique/internal/clique"
@@ -40,6 +41,7 @@ const keysPerBundle = 2
 func Sort(ex clique.Exchanger, myKeys []Key) (*SortResult, error) {
 	label := fmt.Sprintf("sort@r%d", ex.Round())
 	c := fullComm(ex, label)
+	defer c.release()
 	n := c.size()
 	if len(myKeys) > n {
 		return nil, fmt.Errorf("core: node %d submitted %d keys, Problem 4.1 allows at most n=%d", ex.ID(), len(myKeys), n)
@@ -58,19 +60,19 @@ func Sort(ex clique.Exchanger, myKeys []Key) (*SortResult, error) {
 		// Tiny cliques: a single application of Algorithm 3 over the whole
 		// clique already sorts (the two-level structure of Algorithm 4 only
 		// matters asymptotically).
-		return sortTiny(c, myKeys, label)
+		return sortTiny(c, myKeys)
 	}
 	return sortLarge(c, myKeys, label)
 }
 
 // sortTiny sorts a small clique with one invocation of Algorithm 3 over the
 // whole member set, followed by the rank-balanced redistribution.
-func sortTiny(c *comm, myKeys []Key, keyPrefix string) (*SortResult, error) {
+func sortTiny(c *comm, myKeys []Key) (*SortResult, error) {
 	group := make([]int, c.size())
 	for i := range group {
 		group[i] = i
 	}
-	res, err := groupSort(c, group, myKeys, c.size(), keyPrefix+"/tiny")
+	res, err := groupSort(c, group, myKeys, c.size(), rootStep("alg3.tiny").sub("tiny", kcSortTiny))
 	if err != nil {
 		return nil, err
 	}
@@ -82,21 +84,19 @@ func sortTiny(c *comm, myKeys []Key, keyPrefix string) (*SortResult, error) {
 		}
 		total += sz
 	}
-	return dealByRank(c, res.myBucket, myOffset, total, keyPrefix+"/tiny.rank")
+	return dealByRank(c, res.myBucket, myOffset, total, "tiny.rank")
 }
 
 // sortLarge is Algorithm 4 proper.
-func sortLarge(c *comm, myKeys []Key, keyPrefix string) (*SortResult, error) {
+func sortLarge(c *comm, myKeys []Key, label string) (*SortResult, error) {
+	st := rootStep("alg4")
 	n := c.size()
 	s := isqrt(n) // group size (floor of sqrt(n))
 	numGroups := ceilDiv(n, s)
 	groupOf := func(local int) int { return local / s }
 	groupMembersOf := func(g int) []int {
 		lo := g * s
-		hi := lo + s
-		if hi > n {
-			hi = n
-		}
+		hi := min(lo+s, n)
 		members := make([]int, hi-lo)
 		for i := range members {
 			members[i] = lo + i
@@ -118,21 +118,19 @@ func sortLarge(c *comm, myKeys []Key, keyPrefix string) (*SortResult, error) {
 	// Step 2 (1 round): the i-th selected key goes to node i (all of which
 	// belong to the first group because at most s keys are selected).
 	for i, k := range selected {
-		c.send(i, clique.Packet(encodeKey(k)))
+		c.send(i, k.Value, clique.Word(k.Origin), clique.Word(k.Seq))
 	}
-	inbox, err := c.exchange()
+	rx, err := c.exchange()
 	if err != nil {
-		return nil, fmt.Errorf("%s step2: %w", keyPrefix, err)
+		return nil, fmt.Errorf("alg4 step2: %w", err)
 	}
 	var samples []Key
-	for _, packets := range inbox {
-		for _, p := range packets {
-			k, decErr := decodeKey(p)
-			if decErr != nil {
-				return nil, fmt.Errorf("%s step2: %w", keyPrefix, decErr)
-			}
-			samples = append(samples, k)
+	for _, p := range rx.all() {
+		k, decErr := decodeKey(p)
+		if decErr != nil {
+			return nil, fmt.Errorf("alg4 step2: %w", decErr)
 		}
+		samples = append(samples, k)
 	}
 
 	// Step 3 (8 rounds): Algorithm 3 sorts the samples within group 0; all
@@ -141,9 +139,9 @@ func sortLarge(c *comm, myKeys []Key, keyPrefix string) (*SortResult, error) {
 	if myGroup == 0 {
 		sampleGroup = groupMembersOf(0)
 	}
-	sampleSort, err := groupSort(c, sampleGroup, samples, n, keyPrefix+"/s3")
+	sampleSort, err := groupSort(c, sampleGroup, samples, n, st.sub("s3", kcSortS3))
 	if err != nil {
-		return nil, fmt.Errorf("%s step3: %w", keyPrefix, err)
+		return nil, fmt.Errorf("alg4 step3: %w", err)
 	}
 
 	// Step 4 (2 rounds): pick numGroups-1 delimiters (the g-quantiles of the
@@ -170,7 +168,7 @@ func sortLarge(c *comm, myKeys []Key, keyPrefix string) (*SortResult, error) {
 	}
 	delimPackets, err := spreadBroadcast(c, heldDelims, numGroups-1)
 	if err != nil {
-		return nil, fmt.Errorf("%s step4: %w", keyPrefix, err)
+		return nil, fmt.Errorf("alg4 step4: %w", err)
 	}
 	delims := make([]Key, 0, numGroups-1)
 	for k := 0; k < numGroups-1; k++ {
@@ -187,7 +185,7 @@ func sortLarge(c *comm, myKeys []Key, keyPrefix string) (*SortResult, error) {
 		}
 		k, decErr := decodeKey(p)
 		if decErr != nil {
-			return nil, fmt.Errorf("%s step4: %w", keyPrefix, decErr)
+			return nil, fmt.Errorf("alg4 step4: %w", decErr)
 		}
 		delims = append(delims, k)
 	}
@@ -209,9 +207,12 @@ func sortLarge(c *comm, myKeys []Key, keyPrefix string) (*SortResult, error) {
 	mux := clique.NewMux(c.ex)
 	err = mux.Run(map[int]func(clique.Exchanger) error{
 		1: func(ex clique.Exchanger) error {
-			sub := fullCommOn(ex, c, keyPrefix+"/s6")
+			sub := fullCommOn(ex, c, label+"/s6")
+			// routedKeys are value copies, so the sub-instance's buffers can
+			// go back to the pool as soon as the program ends.
+			defer sub.release()
 			parcels := buildBucketParcels(sub, buckets, groupMembersOf)
-			received, rErr := routeParcels(sub, parcels, keyPrefix+"/s6.route")
+			received, rErr := routeParcels(sub, parcels, st.sub("s6.route", kcSortS6))
 			if rErr != nil {
 				return rErr
 			}
@@ -219,7 +220,8 @@ func sortLarge(c *comm, myKeys []Key, keyPrefix string) (*SortResult, error) {
 			return rErr
 		},
 		2: func(ex clique.Exchanger) error {
-			sub := fullCommOn(ex, c, keyPrefix+"/s6agg")
+			sub := fullCommOn(ex, c, label+"/s6agg")
+			defer sub.release()
 			contributions := make(map[int]int64, numGroups)
 			for j, b := range buckets {
 				contributions[j] = int64(len(b))
@@ -233,14 +235,14 @@ func sortLarge(c *comm, myKeys []Key, keyPrefix string) (*SortResult, error) {
 		},
 	})
 	if err != nil {
-		return nil, fmt.Errorf("%s step6: %w", keyPrefix, err)
+		return nil, fmt.Errorf("alg4 step6: %w", err)
 	}
 
 	// Step 7 (8 rounds): Algorithm 3 inside every group concurrently sorts
 	// the keys of that group's bucket.
-	bucketSort, err := groupSort(c, myGroupMembers, routedKeys, 4*n, keyPrefix+"/s7")
+	bucketSort, err := groupSort(c, myGroupMembers, routedKeys, 4*n, st.sub("s7", kcSortS7))
 	if err != nil {
-		return nil, fmt.Errorf("%s step7: %w", keyPrefix, err)
+		return nil, fmt.Errorf("alg4 step7: %w", err)
 	}
 
 	// Step 8 (2 rounds): every node knows the global rank of each key it
@@ -259,7 +261,7 @@ func sortLarge(c *comm, myKeys []Key, keyPrefix string) (*SortResult, error) {
 			myStartRank += sz
 		}
 	}
-	return dealByRank(c, bucketSort.myBucket, myStartRank, total, keyPrefix+"/s8")
+	return dealByRank(c, bucketSort.myBucket, myStartRank, total, "alg4.s8")
 }
 
 // indexIn returns the position of x in the sorted slice members, or -1.
@@ -275,7 +277,8 @@ func indexIn(members []int, x int) int {
 // buildBucketParcels bundles the keys of every bucket into parcels addressed
 // to the members of the bucket's group, spreading each bucket evenly over the
 // group and rotating the start member by the sender's identifier so the
-// rounding excess does not pile up on the same member.
+// rounding excess does not pile up on the same member. The parcel payloads
+// live in the comm's arena.
 func buildBucketParcels(c *comm, buckets [][]Key, groupMembersOf func(int) []int) []parcel {
 	var parcels []parcel
 	for j, bucket := range buckets {
@@ -292,16 +295,13 @@ func buildBucketParcels(c *comm, buckets [][]Key, groupMembersOf func(int) []int
 		for slot, ks := range perMember {
 			dst := c.global(members[slot])
 			for lo := 0; lo < len(ks); lo += keysPerBundle {
-				hi := lo + keysPerBundle
-				if hi > len(ks) {
-					hi = len(ks)
-				}
-				words := make([]clique.Word, 0, 1+(hi-lo)*keyWords)
-				words = append(words, clique.Word(hi-lo))
+				hi := min(lo+keysPerBundle, len(ks))
+				mark := c.arenaMark()
+				c.arena = append(c.arena, clique.Word(hi-lo))
 				for _, k := range ks[lo:hi] {
-					words = append(words, encodeKey(k)...)
+					c.arena = append(c.arena, k.Value, clique.Word(k.Origin), clique.Word(k.Seq))
 				}
-				parcels = append(parcels, parcel{Src: c.ex.ID(), Dst: dst, Words: words})
+				parcels = append(parcels, parcel{Src: c.ex.ID(), Dst: dst, Words: c.arenaView(mark)})
 			}
 		}
 	}
@@ -331,13 +331,19 @@ func unbundleKeys(parcels []parcel) ([]Key, error) {
 	return keys, nil
 }
 
+// rankedKey pairs a key with its global rank during the final redistribution.
+type rankedKey struct {
+	rank int
+	key  Key
+}
+
 // dealByRank implements the final redistribution (Algorithm 3/4, Step 8):
 // this node holds a contiguous run of the globally sorted sequence starting
 // at global rank start; afterwards node i holds ranks [i*perNode,
 // (i+1)*perNode). Because every holder knows its keys' global ranks, two
 // rounds suffice: keys are dealt round-robin over all nodes (with their rank
 // attached) and every relay forwards each key to its final node.
-func dealByRank(c *comm, run []Key, start, total int, keyPrefix string) (*SortResult, error) {
+func dealByRank(c *comm, run []Key, start, total int, context string) (*SortResult, error) {
 	n := c.size()
 	perNode := ceilDiv(total, n)
 	if perNode == 0 {
@@ -345,80 +351,63 @@ func dealByRank(c *comm, run []Key, start, total int, keyPrefix string) (*SortRe
 	}
 
 	// Round 1: deal (rank,key) pairs, bundled, round-robin over all nodes.
-	type rankedKey struct {
-		rank int
-		key  Key
-	}
 	const bundle = keysPerBundle
 	packetIdx := 0
 	for lo := 0; lo < len(run); lo += bundle {
-		hi := lo + bundle
-		if hi > len(run) {
-			hi = len(run)
-		}
-		words := make([]clique.Word, 0, 1+(hi-lo)*(keyWords+1))
-		words = append(words, clique.Word(hi-lo))
+		hi := min(lo+bundle, len(run))
+		c.stageOpen((c.me + packetIdx) % n)
+		c.stageWords(clique.Word(hi - lo))
 		for t := lo; t < hi; t++ {
-			words = append(words, clique.Word(start+t))
-			words = append(words, encodeKey(run[t])...)
+			k := run[t]
+			c.stageWords(clique.Word(start+t), k.Value, clique.Word(k.Origin), clique.Word(k.Seq))
 		}
-		c.send((c.me+packetIdx)%n, clique.Packet(words))
+		c.stageClose()
 		packetIdx++
 	}
-	inbox, err := c.exchange()
+	rx, err := c.exchange()
 	if err != nil {
-		return nil, fmt.Errorf("%s deal: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s deal: %w", context, err)
 	}
 	var relayed []rankedKey
-	for _, packets := range inbox {
-		for _, p := range packets {
-			if len(p) < 1 {
-				continue
+	for _, p := range rx.all() {
+		if len(p) < 1 {
+			continue
+		}
+		count := int(p[0])
+		if count < 0 || len(p) < 1+count*(keyWords+1) {
+			return nil, fmt.Errorf("%s deal: malformed ranked bundle", context)
+		}
+		for i := 0; i < count; i++ {
+			base := 1 + i*(keyWords+1)
+			k, decErr := decodeKey(p[base+1:])
+			if decErr != nil {
+				return nil, fmt.Errorf("%s deal: %w", context, decErr)
 			}
-			count := int(p[0])
-			if count < 0 || len(p) < 1+count*(keyWords+1) {
-				return nil, fmt.Errorf("%s deal: malformed ranked bundle", keyPrefix)
-			}
-			for i := 0; i < count; i++ {
-				base := 1 + i*(keyWords+1)
-				k, decErr := decodeKey(p[base+1:])
-				if decErr != nil {
-					return nil, fmt.Errorf("%s deal: %w", keyPrefix, decErr)
-				}
-				relayed = append(relayed, rankedKey{rank: int(p[base]), key: k})
-			}
+			relayed = append(relayed, rankedKey{rank: int(p[base]), key: k})
 		}
 	}
 
 	// Round 2: forward every key to the node owning its rank range.
 	for _, rk := range relayed {
-		dst := rk.rank / perNode
-		if dst >= n {
-			dst = n - 1
-		}
-		words := make([]clique.Word, 0, 1+keyWords)
-		words = append(words, clique.Word(rk.rank))
-		words = append(words, encodeKey(rk.key)...)
-		c.send(dst, clique.Packet(words))
+		dst := min(rk.rank/perNode, n-1)
+		c.send(dst, clique.Word(rk.rank), rk.key.Value, clique.Word(rk.key.Origin), clique.Word(rk.key.Seq))
 	}
-	inbox, err = c.exchange()
+	rx, err = c.exchange()
 	if err != nil {
-		return nil, fmt.Errorf("%s deliver: %w", keyPrefix, err)
+		return nil, fmt.Errorf("%s deliver: %w", context, err)
 	}
 	var mine []rankedKey
-	for _, packets := range inbox {
-		for _, p := range packets {
-			if len(p) < 1+keyWords {
-				continue
-			}
-			k, decErr := decodeKey(p[1:])
-			if decErr != nil {
-				return nil, fmt.Errorf("%s deliver: %w", keyPrefix, decErr)
-			}
-			mine = append(mine, rankedKey{rank: int(p[0]), key: k})
+	for _, p := range rx.all() {
+		if len(p) < 1+keyWords {
+			continue
 		}
+		k, decErr := decodeKey(p[1:])
+		if decErr != nil {
+			return nil, fmt.Errorf("%s deliver: %w", context, decErr)
+		}
+		mine = append(mine, rankedKey{rank: int(p[0]), key: k})
 	}
-	sort.Slice(mine, func(i, j int) bool { return mine[i].rank < mine[j].rank })
+	slices.SortFunc(mine, func(a, b rankedKey) int { return a.rank - b.rank })
 
 	res := &SortResult{Total: total}
 	if len(mine) > 0 {
@@ -428,16 +417,9 @@ func dealByRank(c *comm, run []Key, start, total int, keyPrefix string) (*SortRe
 	}
 	for i, rk := range mine {
 		if i > 0 && mine[i-1].rank+1 != rk.rank {
-			return nil, fmt.Errorf("%s deliver: node %d received non-contiguous ranks %d and %d", keyPrefix, c.ex.ID(), mine[i-1].rank, rk.rank)
+			return nil, fmt.Errorf("%s deliver: node %d received non-contiguous ranks %d and %d", context, c.ex.ID(), mine[i-1].rank, rk.rank)
 		}
 		res.Batch = append(res.Batch, rk.key)
 	}
 	return res, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

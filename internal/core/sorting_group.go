@@ -28,7 +28,7 @@ type groupSortResult struct {
 // 8: 2 (announce samples) + 2 (announce bucket counts) + 4 (Corollary 3.4
 // key exchange). The paper's Step 8 (rebalancing to exactly equal batches) is
 // provided separately by dealByRank, matching how Algorithm 4 skips it.
-func groupSort(c *comm, group []int, myKeys []Key, capacity int, keyPrefix string) (*groupSortResult, error) {
+func groupSort(c *comm, group []int, myKeys []Key, capacity int, st step) (*groupSortResult, error) {
 	m := c.size()
 	w := len(group)
 
@@ -41,11 +41,11 @@ func groupSort(c *comm, group []int, myKeys []Key, capacity int, keyPrefix strin
 	)
 	if w > 0 {
 		if len(myKeys) > capacity {
-			return nil, fmt.Errorf("core: groupSort(%s): node %d holds %d keys, capacity %d", keyPrefix, c.ex.ID(), len(myKeys), capacity)
+			return nil, fmt.Errorf("core: groupSort(%s): node %d holds %d keys, capacity %d", st.name, c.ex.ID(), len(myKeys), capacity)
 		}
 		myIdx = indexIn(group, c.me)
 		if myIdx < 0 {
-			return nil, fmt.Errorf("core: groupSort(%s): node %d not in its group", keyPrefix, c.ex.ID())
+			return nil, fmt.Errorf("core: groupSort(%s): node %d not in its group", st.name, c.ex.ID())
 		}
 		// Step 1 (local): sort the input and select every sigma-th key. The
 		// stride is chosen so that the group-wide number of samples is at
@@ -71,16 +71,15 @@ func groupSort(c *comm, group []int, myKeys []Key, capacity int, keyPrefix strin
 	if w > 0 {
 		payloads = make([][]clique.Word, 0, maxSel)
 		for _, k := range selected {
-			p := append([]clique.Word{1}, encodeKey(k)...)
-			payloads = append(payloads, p)
+			payloads = append(payloads, c.arenaAppend(1, k.Value, clique.Word(k.Origin), clique.Word(k.Seq)))
 		}
 		for len(payloads) < maxSel {
-			payloads = append(payloads, []clique.Word{0, 0, 0, 0})
+			payloads = append(payloads, c.arenaAppend(0, 0, 0, 0))
 		}
 	}
-	announced, err := announceFixed(c, group, payloads, maxSel, keyPrefix+"/samples")
+	announced, err := announceFixed(c, group, payloads, maxSel, st.sub("samples", kcSamples))
 	if err != nil {
-		return nil, fmt.Errorf("core: groupSort(%s) step2: %w", keyPrefix, err)
+		return nil, fmt.Errorf("core: groupSort(%s) step2: %w", st.name, err)
 	}
 
 	var delims []Key
@@ -96,7 +95,7 @@ func groupSort(c *comm, group []int, myKeys []Key, capacity int, keyPrefix strin
 				}
 				k, decErr := decodeKey(p[1:])
 				if decErr != nil {
-					return nil, fmt.Errorf("core: groupSort(%s) step3: %w", keyPrefix, decErr)
+					return nil, fmt.Errorf("core: groupSort(%s) step3: %w", st.name, decErr)
 				}
 				samples = append(samples, k)
 			}
@@ -131,34 +130,38 @@ func groupSort(c *comm, group []int, myKeys []Key, capacity int, keyPrefix strin
 			counts[j] = len(buckets[j])
 		}
 	}
-	allCounts, err := announceIntVector(c, group, counts, keyPrefix+"/counts")
+	allCounts, err := announceIntVector(c, group, counts, st.sub("counts", kcCounts))
 	if err != nil {
-		return nil, fmt.Errorf("core: groupSort(%s) step5: %w", keyPrefix, err)
+		return nil, fmt.Errorf("core: groupSort(%s) step5: %w", st.name, err)
 	}
 
 	// Step 6 (4 rounds): send bucket j to the j-th group member, bundling a
 	// constant number of keys per message (Corollary 3.4).
 	var items []item
 	if w > 0 {
+		slot := c.itemSlot()
+		items = *slot
 		for j, bucket := range buckets {
 			for lo := 0; lo < len(bucket); lo += keysPerBundle {
-				hi := lo + keysPerBundle
-				if hi > len(bucket) {
-					hi = len(bucket)
-				}
-				words := make([]clique.Word, 0, 1+(hi-lo)*keyWords)
-				words = append(words, clique.Word(hi-lo))
+				hi := min(lo+keysPerBundle, len(bucket))
+				mark := c.arenaMark()
+				c.arena = append(c.arena, clique.Word(hi-lo))
 				for _, k := range bucket[lo:hi] {
-					words = append(words, encodeKey(k)...)
+					c.arena = append(c.arena, k.Value, clique.Word(k.Origin), clique.Word(k.Seq))
 				}
-				items = append(items, item{dst: group[j], words: words})
+				items = append(items, item{dst: group[j], words: c.arenaView(mark)})
 			}
 		}
+		*slot = items
 	}
-	received, err := groupRouteUnknown(c, group, items, keyPrefix+"/exchange")
+	received, err := groupRouteUnknown(c, group, items, st.sub("exchange", kcExchange))
 	if err != nil {
-		return nil, fmt.Errorf("core: groupSort(%s) step6: %w", keyPrefix, err)
+		return nil, fmt.Errorf("core: groupSort(%s) step6: %w", st.name, err)
 	}
+	// Everything this groupSort staged through the arena (sample payloads,
+	// announcement items, key bundles) has been delivered; the received
+	// bundles below are views into the engine's arena, not this one.
+	c.arenaReset()
 
 	if w == 0 {
 		return &groupSortResult{}, nil
@@ -169,16 +172,16 @@ func groupSort(c *comm, group []int, myKeys []Key, capacity int, keyPrefix strin
 	var myBucket []Key
 	for _, it := range received {
 		if len(it.words) < 1 {
-			return nil, fmt.Errorf("core: groupSort(%s) step7: empty bundle", keyPrefix)
+			return nil, fmt.Errorf("core: groupSort(%s) step7: empty bundle", st.name)
 		}
 		count := int(it.words[0])
 		if count < 0 || len(it.words) < 1+count*keyWords {
-			return nil, fmt.Errorf("core: groupSort(%s) step7: malformed bundle", keyPrefix)
+			return nil, fmt.Errorf("core: groupSort(%s) step7: malformed bundle", st.name)
 		}
 		for i := 0; i < count; i++ {
 			k, decErr := decodeKey(it.words[1+i*keyWords:])
 			if decErr != nil {
-				return nil, fmt.Errorf("core: groupSort(%s) step7: %w", keyPrefix, decErr)
+				return nil, fmt.Errorf("core: groupSort(%s) step7: %w", st.name, decErr)
 			}
 			myBucket = append(myBucket, k)
 		}
@@ -193,7 +196,7 @@ func groupSort(c *comm, group []int, myKeys []Key, capacity int, keyPrefix strin
 	}
 	if bucketSizes[myIdx] != len(myBucket) {
 		return nil, fmt.Errorf("core: groupSort(%s): node %d received %d keys, announced bucket size %d",
-			keyPrefix, c.ex.ID(), len(myBucket), bucketSizes[myIdx])
+			st.name, c.ex.ID(), len(myBucket), bucketSizes[myIdx])
 	}
 	return &groupSortResult{myBucket: myBucket, bucketSizes: bucketSizes, delimiters: delims}, nil
 }

@@ -2,7 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"congestedclique/internal/clique"
 )
@@ -30,20 +31,15 @@ func (m Message) Less(o Message) bool {
 	return m.Seq < o.Seq
 }
 
-// messageWords is the wire size of an encoded Message.
-const messageWords = 4
-
-// encodeMessage packs a message into words: [dst, src, seq, payload].
-func encodeMessage(m Message) []clique.Word {
-	return []clique.Word{clique.Word(m.Dst), clique.Word(m.Src), clique.Word(m.Seq), m.Payload}
-}
-
-// decodeMessage unpacks a message encoded by encodeMessage.
-func decodeMessage(w []clique.Word) (Message, error) {
-	if len(w) < messageWords {
-		return Message{}, fmt.Errorf("core: message payload too short: %d words", len(w))
+// compareMessages is the three-way form of Message.Less used for sorting.
+func compareMessages(a, b Message) int {
+	if a.Src != b.Src {
+		return a.Src - b.Src
 	}
-	return Message{Dst: int(w[0]), Src: int(w[1]), Seq: int(w[2]), Payload: w[3]}, nil
+	if a.Dst != b.Dst {
+		return a.Dst - b.Dst
+	}
+	return a.Seq - b.Seq
 }
 
 // Key is one unit of the sorting problem (Problem 4.1). Keys are made
@@ -66,6 +62,20 @@ func (k Key) Less(o Key) bool {
 	return k.Seq < o.Seq
 }
 
+// compareKeys is the three-way form of Key.Less used for sorting.
+func compareKeys(a, b Key) int {
+	switch {
+	case a.Value < b.Value:
+		return -1
+	case a.Value > b.Value:
+		return 1
+	}
+	if a.Origin != b.Origin {
+		return a.Origin - b.Origin
+	}
+	return a.Seq - b.Seq
+}
+
 // keyWords is the wire size of an encoded Key.
 const keyWords = 3
 
@@ -81,7 +91,7 @@ func decodeKey(w []clique.Word) (Key, error) {
 }
 
 func sortKeys(ks []Key) {
-	sort.Slice(ks, func(i, j int) bool { return ks[i].Less(ks[j]) })
+	slices.SortFunc(ks, compareKeys)
 }
 
 // SortKeySlice sorts keys in the global order used by the sorting problem
@@ -93,8 +103,62 @@ func SortKeySlice(ks []Key) { sortKeys(ks) }
 func SortMessageSlice(ms []Message) { sortMessages(ms) }
 
 func sortMessages(ms []Message) {
-	sort.Slice(ms, func(i, j int) bool { return ms[i].Less(ms[j]) })
+	slices.SortFunc(ms, compareMessages)
 }
+
+// step identifies a protocol step: name is a static literal used only in
+// error messages (never concatenated on the hot path), key is the unique
+// shared-cache identity of the step within its instance.
+type step struct {
+	name string
+	key  skey
+}
+
+// sub derives the step for a named sub-phase.
+func (s step) sub(name string, code uint8) step {
+	return step{name: name, key: s.key.sub(code)}
+}
+
+// skey encodes a step's position in the (static) call tree as packed 5-bit
+// codes, so shared-cache lookups inside round loops hash a single integer
+// instead of formatting strings.
+type skey uint64
+
+func (k skey) sub(code uint8) skey { return k<<5 | skey(code) }
+
+// rootStep is the entry point key of every protocol; uniqueness across
+// concurrently running protocols comes from the comm label.
+func rootStep(name string) step { return step{name: name, key: 1} }
+
+// Step path codes (unique per call-site level, 1..31).
+const (
+	kcTiny uint8 = iota + 1
+	kcSquare
+	kcGeneral
+	kcV1
+	kcV2
+	kcCorner
+	kcCornerDeliver
+	kcSetColoring
+	kcA2Announce
+	kcA2Plan
+	kcA2Move
+	kcS3Announce
+	kcS3Plan
+	kcS3Move
+	kcS5
+	kcAnnounce
+	kcDeliver
+	kcColor
+	kcSamples
+	kcCounts
+	kcExchange
+	kcSortTiny
+	kcSortS3
+	kcSortS6
+	kcSortS7
+	kcLowS5
+)
 
 // comm is the execution context of one protocol instance: the Exchanger of
 // this physical node plus the (sorted) member list of the sub-clique the
@@ -102,12 +166,129 @@ func sortMessages(ms []Message) {
 // within the member list; relays for Corollary 3.3 are likewise drawn from
 // the member list, so an instance never touches edges with both endpoints
 // outside its members (the property that lets instances run concurrently).
+//
+// The comm owns the instance's flat-frame pipeline state: per-destination
+// frame builders (flushed into one SendFramed packet per busy edge at every
+// exchange), the decoded receive buffer, and a word arena backing re-encoded
+// payloads. All of it is recycled round over round, so a steady-state
+// protocol round performs no per-message allocation.
 type comm struct {
 	ex      clique.Exchanger
 	members []int
-	local   map[int]int
 	me      int // local index of this node, or -1 if it is not a member
 	label   string
+
+	// flatEx is non-nil when ex is a physical node, enabling the engine's
+	// flat receive path: delivery hands this comm raw [from, len, payload...]
+	// records instead of assembling an Inbox. Virtual (Mux) instances fall
+	// back to the boxed path.
+	flatEx *clique.Node
+
+	// commScratch holds every reusable buffer of the instance. It is
+	// acquired from a process-wide pool at newComm and returned by release,
+	// so the hundreds of short-lived instances a protocol spawns (one per
+	// node per call, plus sub-instances) do not cold-start their pipeline
+	// buffers from zero capacity each time.
+	*commScratch
+}
+
+// commScratch is the poolable buffer state of a comm. Releasing hands every
+// buffer — including the arena — to the next acquirer, so release is only
+// legal once the comm's results have been fully copied out of arena-backed
+// parcels and scratch slices (protocol entry points release after converting
+// to caller-owned values; sub-instances whose parcels flow upward, like the
+// V1/V2/corner routers, are never released and simply fall to the garbage
+// collector).
+type commScratch struct {
+	local []int32 // dense global id -> local index table, -1 for non-members
+
+	// Outgoing staging state. Messages are appended to a single flat log
+	// ([dst, len, payload...] records) during the round; flushFrames then
+	// assembles one frame per busy destination in frameBuf and hands the
+	// frames to the engine. Two flat buffers instead of per-destination ones
+	// keep the cold-start cost of a fresh comm at O(1) allocations.
+	stage      []clique.Word
+	stageLenAt int // index of the open record's length slot
+	stageDst   int // destination of the open record
+	frameBuf   []clique.Word
+	dstLoad    []uint64 // per-destination (frame words << 32 | messages) this round
+	dstOff     []int32  // per-destination write cursor during assembly
+	dstStart   []int32  // per-destination frame start during assembly
+	dstTouched []int32  // destinations staged this round
+
+	rx rxBuf // decoded inbound messages of the last exchange
+
+	// arena backs item payloads re-encoded between pipeline hops. Growth is
+	// append-only, so views stay valid across appends; arenaReset truncates
+	// it (keeping capacity) at pipeline points where no views are live.
+	arena []clique.Word
+
+	// heldScratch and itemScratch are rotating buffers for the held/item
+	// slices produced at every pipeline hop. The rotation depth covers the
+	// maximum number of such buffers simultaneously alive in any pipeline
+	// (current load, staged items, announcement items, delivery result).
+	heldScratch [3][]held
+	heldCursor  int
+	itemScratch [4][]item
+	itemCursor  int
+
+	// posScratch maps a local member index to its position inside the group
+	// currently being processed (-1 outside); groupPositions/releasePositions
+	// maintain it so group lookups never hash.
+	posScratch []int32
+	// cursorScratch is a zeroed per-class counter slice handed out by cursors.
+	cursorScratch []int
+}
+
+var commScratchPool = sync.Pool{New: func() interface{} { return new(commScratch) }}
+
+// acquireScratch readies a pooled scratch for an instance with the given
+// member count on a clique of n nodes.
+func acquireScratch(size, n int) *commScratch {
+	s := commScratchPool.Get().(*commScratch)
+	if cap(s.local) < n {
+		s.local = make([]int32, n)
+	}
+	s.local = s.local[:n]
+	for i := range s.local {
+		s.local[i] = -1
+	}
+	if cap(s.dstLoad) < size {
+		s.dstLoad = make([]uint64, size)
+		s.dstOff = make([]int32, size)
+		s.dstStart = make([]int32, size)
+	}
+	s.dstLoad = s.dstLoad[:size]
+	s.dstOff = s.dstOff[:size]
+	s.dstStart = s.dstStart[:size]
+	// A released comm may have aborted mid-round (error paths), so the
+	// per-destination accounting cannot be assumed clean.
+	clear(s.dstLoad)
+	s.dstTouched = s.dstTouched[:0]
+	s.stage = s.stage[:0]
+	s.arena = s.arena[:0]
+	if cap(s.posScratch) < size {
+		s.posScratch = make([]int32, size)
+	}
+	s.posScratch = s.posScratch[:size]
+	for i := range s.posScratch {
+		s.posScratch[i] = -1
+	}
+	s.heldCursor, s.itemCursor = 0, 0
+	return s
+}
+
+// release returns the comm's scratch to the pool. It must only be called
+// when the comm will neither send nor receive again; results that borrow the
+// arena remain valid (see commScratch), but the caller must have stopped
+// using rx views and held/item scratch slices.
+func (c *comm) release() {
+	s := c.commScratch
+	if s == nil {
+		return
+	}
+	c.commScratch = nil
+	commScratchPool.Put(s)
 }
 
 // newComm builds the context for an instance named label (labels scope the
@@ -117,7 +298,6 @@ func newComm(ex clique.Exchanger, label string, members []int) (*comm, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("core: instance %q has no members", label)
 	}
-	local := make(map[int]int, len(members))
 	for i, g := range members {
 		if g < 0 || g >= ex.N() {
 			return nil, fmt.Errorf("core: instance %q member %d out of range", label, g)
@@ -125,13 +305,24 @@ func newComm(ex clique.Exchanger, label string, members []int) (*comm, error) {
 		if i > 0 && members[i-1] >= g {
 			return nil, fmt.Errorf("core: instance %q members not sorted/distinct at index %d", label, i)
 		}
-		local[g] = i
+	}
+	scratch := acquireScratch(len(members), ex.N())
+	for i, g := range members {
+		scratch.local[g] = int32(i)
 	}
 	me := -1
-	if idx, ok := local[ex.ID()]; ok {
-		me = idx
+	if idx := scratch.local[ex.ID()]; idx >= 0 {
+		me = int(idx)
 	}
-	return &comm{ex: ex, members: members, local: local, me: me, label: label}, nil
+	nd, _ := ex.(*clique.Node)
+	return &comm{
+		ex:          ex,
+		members:     members,
+		me:          me,
+		label:       label,
+		flatEx:      nd,
+		commScratch: scratch,
+	}, nil
 }
 
 // fullComm is the common case of an instance spanning the whole clique.
@@ -159,41 +350,282 @@ func (c *comm) global(local int) int { return c.members[local] }
 
 // localOf converts a global node identifier to a local index.
 func (c *comm) localOf(global int) (int, bool) {
-	idx, ok := c.local[global]
-	return idx, ok
+	if global < 0 || global >= len(c.local) {
+		return -1, false
+	}
+	idx := c.local[global]
+	return int(idx), idx >= 0
 }
 
-// send queues a packet for the member with the given local index.
-func (c *comm) send(localTo int, p clique.Packet) {
-	c.ex.Send(c.members[localTo], p)
+// stageOpen starts a new logical message bound for the member with the given
+// local index. Messages must be closed (stageClose) before the next open.
+func (c *comm) stageOpen(localTo int) {
+	c.stage = append(c.stage, clique.Word(localTo), 0)
+	c.stageLenAt = len(c.stage) - 1
+	c.stageDst = localTo
 }
 
-// exchange runs one round barrier and returns the received packets re-indexed
-// by local member index. Packets from non-members are ignored (well-formed
-// instances never produce them).
-func (c *comm) exchange() ([][]clique.Packet, error) {
+// stageWords appends payload words to the open message.
+func (c *comm) stageWords(ws ...clique.Word) {
+	c.stage = append(c.stage, ws...)
+}
+
+// stageClose finishes the open message, fixing its length slot and the
+// destination's frame accounting.
+func (c *comm) stageClose() {
+	l := uint64(len(c.stage) - c.stageLenAt - 1)
+	c.stage[c.stageLenAt] = clique.Word(l)
+	d := c.stageDst
+	if c.dstLoad[d] == 0 {
+		c.dstTouched = append(c.dstTouched, int32(d))
+		// Remember the record start: if this stays the destination's only
+		// message this round, flushFrames sends it straight from the log.
+		c.dstStart[d] = int32(c.stageLenAt - 1)
+	}
+	c.dstLoad[d] += (l+1)<<32 | 1 // payload plus the length slot, one message
+}
+
+// send stages one logical message for the member with the given local index.
+func (c *comm) send(localTo int, ws ...clique.Word) {
+	c.stageOpen(localTo)
+	c.stageWords(ws...)
+	c.stageClose()
+}
+
+// sendHeld stages one held parcel for the member with the given local index.
+func (c *comm) sendHeld(localTo int, h held) {
+	c.stageOpen(localTo)
+	c.stageWords(clique.Word(h.dstLocal), clique.Word(h.interSet), clique.Word(h.src))
+	c.stageWords(h.payload...)
+	c.stageClose()
+}
+
+// flushFrames assembles the staging log into one frame per busy destination
+// and hands the frames to the engine, accounted at their logical message
+// count and model word cost. Both buffers are reused round over round; the
+// engine copies the frame contents at the barrier, so overwriting them at
+// the next flush (which happens only after the next Exchange has returned)
+// is within the engine's buffer contract.
+func (c *comm) flushFrames() {
+	if len(c.dstTouched) == 0 {
+		return
+	}
+	// Destinations with a single message are served straight from the
+	// staging log: the record layout [dst, len, words...] doubles as the
+	// frame [count=1, len, words...] once the dst slot is overwritten, so no
+	// assembly copy happens. The relay schedules of Corollaries 3.3/3.4
+	// spread traffic to one message per edge, making this the common case.
+	total := 0
+	multi := false
+	for _, d := range c.dstTouched {
+		if uint32(c.dstLoad[d]) > 1 {
+			multi = true
+			c.dstStart[d] = int32(total)
+			c.dstOff[d] = int32(total + 1) // write cursor, past the count slot
+			total += 1 + int(c.dstLoad[d]>>32)
+		}
+	}
+	if multi {
+		if cap(c.frameBuf) < total {
+			c.frameBuf = make([]clique.Word, total, total+total/2)
+		} else {
+			c.frameBuf = c.frameBuf[:total]
+		}
+		for i := 0; i < len(c.stage); {
+			d := int(c.stage[i])
+			l := int(c.stage[i+1])
+			if uint32(c.dstLoad[d]) > 1 {
+				cur := int(c.dstOff[d])
+				copy(c.frameBuf[cur:cur+1+l], c.stage[i+1:i+2+l])
+				c.dstOff[d] = int32(cur + 1 + l)
+			}
+			i += 2 + l
+		}
+	}
+	for _, d := range c.dstTouched {
+		load := c.dstLoad[d]
+		count := int(uint32(load))
+		size := 1 + int(load>>32)
+		if count == 1 {
+			start := int(c.dstStart[d])
+			frame := c.stage[start : start+size : start+size]
+			frame[0] = 1
+			c.ex.SendFramed(c.members[d], frame, 1, size-2)
+		} else {
+			start := int(c.dstStart[d])
+			c.frameBuf[start] = clique.Word(count)
+			c.ex.SendFramed(c.members[d], c.frameBuf[start:start+size:start+size], count, size-1-count)
+		}
+		c.dstLoad[d] = 0
+	}
+	c.dstTouched = c.dstTouched[:0]
+	c.stage = c.stage[:0]
+}
+
+// exchange flushes the staged frames, runs one round barrier and decodes
+// everything received into the comm's reusable receive buffer. Frames from
+// non-members are ignored (well-formed instances never produce them). The
+// returned buffer and every message in it are only valid until the next
+// exchange on this comm; message words follow the engine's payload grace
+// rules (clique.PayloadGraceRounds).
+func (c *comm) exchange() (*rxBuf, error) {
+	c.flushFrames()
+	rx := &c.rx
+	rx.msgs = rx.msgs[:0]
+	if cap(rx.start) < c.size()+1 {
+		rx.start = make([]int32, c.size()+1)
+	} else {
+		rx.start = rx.start[:c.size()+1]
+	}
+
+	if nd := c.flatEx; nd != nil {
+		// Flat path: decode the raw [from, len, payload...] records the
+		// deliverer wrote into the receive arena. Records arrive in
+		// ascending sender order, so the per-sender index is built in the
+		// same sweep.
+		flat, err := nd.ExchangeFlat()
+		if err != nil {
+			return nil, fmt.Errorf("core: instance %q exchange: %w", c.label, err)
+		}
+		cur := 0
+		for i := 0; i < len(flat); {
+			if i+2 > len(flat) {
+				return nil, fmt.Errorf("core: instance %q: truncated flat record", c.label)
+			}
+			from := int(flat[i])
+			l := int(flat[i+1])
+			if l < 0 || i+2+l > len(flat) {
+				return nil, fmt.Errorf("core: instance %q: malformed flat record", c.label)
+			}
+			frame := clique.Packet(flat[i+2 : i+2+l : i+2+l])
+			i += 2 + l
+			if from < 0 || from >= len(c.local) {
+				return nil, fmt.Errorf("core: instance %q: flat record from invalid node %d", c.label, from)
+			}
+			li := int(c.local[from])
+			if li < 0 {
+				continue // sender is not a member of this instance
+			}
+			for cur <= li {
+				rx.start[cur] = int32(len(rx.msgs))
+				cur++
+			}
+			// The single-message frame layout [1, len, words...] is by far the
+			// most common (relay schedules spread to one message per edge), so
+			// decode it without the general frame walk.
+			if l >= 2 && frame[0] == 1 && int(frame[1]) == l-2 {
+				rx.msgs = append(rx.msgs, frame[2:l:l])
+				continue
+			}
+			rx.msgs, err = appendFrameMessages(rx.msgs, frame)
+			if err != nil {
+				return nil, fmt.Errorf("core: instance %q: %w", c.label, err)
+			}
+		}
+		for ; cur <= c.size(); cur++ {
+			rx.start[cur] = int32(len(rx.msgs))
+		}
+		return rx, nil
+	}
+
 	inbox, err := c.ex.Exchange()
 	if err != nil {
 		return nil, fmt.Errorf("core: instance %q exchange: %w", c.label, err)
 	}
-	out := make([][]clique.Packet, c.size())
-	for from, packets := range inbox {
-		if len(packets) == 0 {
-			continue
+	for li, g := range c.members {
+		rx.start[li] = int32(len(rx.msgs))
+		for _, p := range inbox.From(g) {
+			rx.msgs, err = appendFrameMessages(rx.msgs, p)
+			if err != nil {
+				return nil, fmt.Errorf("core: instance %q: %w", c.label, err)
+			}
 		}
-		idx, ok := c.local[from]
-		if !ok {
-			continue
-		}
-		out[idx] = packets
 	}
-	return out, nil
+	rx.start[c.size()] = int32(len(rx.msgs))
+	return rx, nil
 }
 
 // shared runs a deterministic computation identically known to all members
-// and memoises it under a label-scoped key.
-func (c *comm) shared(key string, f func() interface{}) interface{} {
-	return c.ex.SharedCompute(c.label+"/"+key, f)
+// and memoises it under the step's key. group discriminates concurrent
+// groups executing the same step (-1 for instance-wide computations).
+func (c *comm) shared(key skey, group int32, f func() interface{}) interface{} {
+	return c.ex.SharedComputeKeyed(clique.SharedKey{Label: c.label, Path: uint64(key), Group: group}, f)
+}
+
+// arenaAppend copies ws into the instance arena and returns the stable view.
+func (c *comm) arenaAppend(ws ...clique.Word) []clique.Word {
+	n0 := len(c.arena)
+	c.arena = append(c.arena, ws...)
+	return c.arena[n0:len(c.arena):len(c.arena)]
+}
+
+// arenaHeld encodes a held parcel into the instance arena and returns the
+// stable view of its wire form.
+func (c *comm) arenaHeld(h held) []clique.Word {
+	n0 := len(c.arena)
+	c.arena = append(c.arena, clique.Word(h.dstLocal), clique.Word(h.interSet), clique.Word(h.src))
+	c.arena = append(c.arena, h.payload...)
+	return c.arena[n0:len(c.arena):len(c.arena)]
+}
+
+// arenaMark returns the current arena position; arenaView returns the words
+// appended since a mark as a stable view.
+func (c *comm) arenaMark() int { return len(c.arena) }
+
+func (c *comm) arenaView(mark int) []clique.Word {
+	return c.arena[mark:len(c.arena):len(c.arena)]
+}
+
+// arenaReset truncates the arena, keeping its capacity. Callers must ensure
+// no views into the arena are still live — the safe points are right after a
+// pipeline hop has decoded its delivery (all previously encoded payloads
+// have been staged, copied into frames and delivered by then).
+func (c *comm) arenaReset() { c.arena = c.arena[:0] }
+
+// heldSlot hands out the next rotating held scratch buffer, emptied. The
+// caller appends through the returned pointer (so the grown capacity is kept
+// for the next rotation). Contents of the slot handed out len(heldScratch)
+// rotations ago are overwritten — the pipelines above never keep a held
+// slice alive that long.
+func (c *comm) heldSlot() *[]held {
+	c.heldCursor = (c.heldCursor + 1) % len(c.heldScratch)
+	s := &c.heldScratch[c.heldCursor]
+	*s = (*s)[:0]
+	return s
+}
+
+// itemSlot is heldSlot for item slices.
+func (c *comm) itemSlot() *[]item {
+	c.itemCursor = (c.itemCursor + 1) % len(c.itemScratch)
+	s := &c.itemScratch[c.itemCursor]
+	*s = (*s)[:0]
+	return s
+}
+
+// groupPositions fills the comm's dense position table for the given group
+// (local member indices) and returns it; the caller must releasePositions
+// with the same group when done. Nested use is not allowed.
+func (c *comm) groupPositions(group []int) []int32 {
+	for i, g := range group {
+		c.posScratch[g] = int32(i)
+	}
+	return c.posScratch
+}
+
+func (c *comm) releasePositions(group []int) {
+	for _, g := range group {
+		c.posScratch[g] = -1
+	}
+}
+
+// cursors returns a zeroed scratch slice of k counters, reused across calls.
+func (c *comm) cursors(k int) []int {
+	if cap(c.cursorScratch) < k {
+		c.cursorScratch = make([]int, k)
+	}
+	c.cursorScratch = c.cursorScratch[:k]
+	clear(c.cursorScratch)
+	return c.cursorScratch
 }
 
 // grouping splits the members of a comm into consecutive groups of equal size
@@ -236,6 +668,18 @@ func isqrt(n int) int {
 func isPerfectSquare(n int) bool {
 	s := isqrt(n)
 	return s*s == n
+}
+
+// makeIntMatrix returns an r-by-c zero matrix whose rows share one backing
+// array (two allocations instead of r+1; round loops build many small
+// matrices).
+func makeIntMatrix(r, c int) [][]int {
+	rows := make([][]int, r)
+	backing := make([]int, r*c)
+	for i := range rows {
+		rows[i] = backing[i*c : (i+1)*c : (i+1)*c]
+	}
+	return rows
 }
 
 // ceilDiv returns ceil(a/b) for positive b.

@@ -228,3 +228,40 @@ func NewSmallKeyInstance(n, per, domain int, seed int64) ([][]int, error) {
 	}
 	return values, nil
 }
+
+// ProtocolBenchRoute returns the deterministic full-load routing instance of
+// the protocol benchmarks (BenchmarkRoute, cliquebench -protocol-json and
+// the stats-invariant goldens): every node sends one message to every node,
+// dsts[i][j] = j with payload i*n+j. Both consumers must measure the same
+// workload for the recorded before/after numbers to stay comparable, so
+// this is the single definition.
+func ProtocolBenchRoute(n int) (dsts [][]int, payloads [][]int64) {
+	dsts = make([][]int, n)
+	payloads = make([][]int64, n)
+	for i := 0; i < n; i++ {
+		dsts[i] = make([]int, n)
+		payloads[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			dsts[i][j] = j
+			payloads[i][j] = int64(i*n + j)
+		}
+	}
+	return dsts, payloads
+}
+
+// ProtocolBenchSortValues returns the deterministic full-load sorting
+// instance of the protocol benchmarks: n values per node drawn from a fixed
+// linear congruential sequence (see ProtocolBenchRoute for why it is shared).
+func ProtocolBenchSortValues(n int) [][]int64 {
+	values := make([][]int64, n)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		row := make([]int64, n)
+		for j := 0; j < n; j++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			row[j] = int64(x >> 33)
+		}
+		values[i] = row
+	}
+	return values
+}
