@@ -6,6 +6,7 @@ package congestedclique
 // against regression by cmd/benchguard in CI.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -58,6 +59,62 @@ func BenchmarkSort(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := Sort(n, values)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Rounds > 37 {
+					b.Fatalf("measured %d rounds, Theorem 4.5 claims <= 37", res.Stats.Rounds)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteReuse measures the session path: the same full-load routing
+// instance issued repeatedly on one long-lived Clique handle. Comparing with
+// BenchmarkRoute (a fresh one-shot handle per op) isolates the amortization
+// the session API provides; cmd/benchguard holds both to their committed
+// allocs/op baselines.
+func BenchmarkRouteReuse(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range benchProtocolSizes {
+		msgs := benchRouteWorkload(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cl, err := New(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cl.Route(ctx, msgs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Rounds > 16 {
+					b.Fatalf("measured %d rounds, Theorem 3.7 claims <= 16", res.Stats.Rounds)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSortReuse is BenchmarkRouteReuse for the sorting pipeline.
+func BenchmarkSortReuse(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range benchProtocolSizes {
+		values := benchSortWorkload(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cl, err := New(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cl.Sort(ctx, values)
 				if err != nil {
 					b.Fatal(err)
 				}

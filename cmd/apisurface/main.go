@@ -1,0 +1,241 @@
+// Command apisurface renders the exported API surface of a Go package —
+// exported functions, methods on exported receivers, exported types with
+// their exported fields, constants and variables — as a stable, sorted text
+// document. CI regenerates the surface on every build and compares it
+// against the committed API_SURFACE.txt, so an unintended breaking change to
+// the public package (a removed function, a changed signature, a renamed
+// field) fails the pipeline instead of reaching a release; deliberate
+// changes are made visible in review by updating the committed file:
+//
+//	go run ./cmd/apisurface -dir . -write API_SURFACE.txt   # update
+//	go run ./cmd/apisurface -dir . -check API_SURFACE.txt   # verify (CI)
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir := flag.String("dir", ".", "directory of the package to describe")
+	check := flag.String("check", "", "compare the surface against this file and fail on any difference")
+	write := flag.String("write", "", "write the surface to this file")
+	flag.Parse()
+
+	surface, err := packageSurface(*dir)
+	if err != nil {
+		log.Fatalf("apisurface: %v", err)
+	}
+	out := strings.Join(surface, "\n") + "\n"
+
+	switch {
+	case *check != "":
+		want, err := os.ReadFile(*check)
+		if err != nil {
+			log.Fatalf("apisurface: read %s: %v", *check, err)
+		}
+		if string(want) != out {
+			log.Printf("apisurface: exported surface differs from %s", *check)
+			diffLines(string(want), out)
+			log.Fatalf("apisurface: if the change is intentional, regenerate with: go run ./cmd/apisurface -dir %s -write %s", *dir, *check)
+		}
+		fmt.Printf("apisurface: %d exported declarations match %s\n", len(surface), *check)
+	case *write != "":
+		if err := os.WriteFile(*write, []byte(out), 0o644); err != nil {
+			log.Fatalf("apisurface: write %s: %v", *write, err)
+		}
+		fmt.Printf("apisurface: wrote %d exported declarations to %s\n", len(surface), *write)
+	default:
+		fmt.Print(out)
+	}
+}
+
+// diffLines prints a minimal line diff (removed/added) between two surfaces.
+func diffLines(want, got string) {
+	wantSet := make(map[string]bool)
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool)
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			log.Printf("  - %s", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			log.Printf("  + %s", l)
+		}
+	}
+}
+
+// packageSurface parses every non-test file of the package in dir and
+// returns its exported declarations as sorted, canonicalised one-per-entry
+// strings.
+func packageSurface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") || pkg.Name == "main" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				entries = append(entries, declSurface(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(entries)
+	return entries, nil
+}
+
+// declSurface renders the exported parts of one top-level declaration.
+func declSurface(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return nil
+		}
+		fn := *d
+		fn.Body = nil
+		fn.Doc = nil
+		return []string{render(fset, &fn)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				ts := *s
+				ts.Doc, ts.Comment = nil, nil
+				ts.Type = filterType(s.Type)
+				one := &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{&ts}}
+				out = append(out, render(fset, one))
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					if !name.IsExported() {
+						continue
+					}
+					entry := d.Tok.String() + " " + name.Name
+					if s.Type != nil {
+						entry += " " + render(fset, s.Type)
+					} else if i < len(s.Values) {
+						entry += " = " + render(fset, s.Values[i])
+					}
+					out = append(out, entry)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (plain functions always qualify).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// filterType strips unexported members from struct and interface types so
+// the surface only tracks what callers can rely on.
+func filterType(t ast.Expr) ast.Expr {
+	switch x := t.(type) {
+	case *ast.StructType:
+		if x.Fields == nil {
+			return t
+		}
+		kept := &ast.FieldList{}
+		for _, f := range x.Fields.List {
+			nf := *f
+			nf.Doc, nf.Comment = nil, nil
+			if len(f.Names) == 0 { // embedded field
+				kept.List = append(kept.List, &nf)
+				continue
+			}
+			var names []*ast.Ident
+			for _, n := range f.Names {
+				if n.IsExported() {
+					names = append(names, n)
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			nf.Names = names
+			kept.List = append(kept.List, &nf)
+		}
+		return &ast.StructType{Struct: x.Struct, Fields: kept}
+	case *ast.InterfaceType:
+		if x.Methods == nil {
+			return t
+		}
+		kept := &ast.FieldList{}
+		for _, m := range x.Methods.List {
+			nm := *m
+			nm.Doc, nm.Comment = nil, nil
+			if len(m.Names) == 0 || m.Names[0].IsExported() {
+				kept.List = append(kept.List, &nm)
+			}
+		}
+		return &ast.InterfaceType{Interface: x.Interface, Methods: kept}
+	default:
+		return t
+	}
+}
+
+// render prints one node in canonical single-spaced form.
+func render(fset *token.FileSet, node interface{}) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	s := buf.String()
+	// Collapse the printer's multi-line layout into one entry per declaration
+	// so the committed file diffs line by line.
+	s = strings.ReplaceAll(s, "\n", " ")
+	s = strings.ReplaceAll(s, "\t", " ")
+	for strings.Contains(s, "  ") {
+		s = strings.ReplaceAll(s, "  ", " ")
+	}
+	return strings.TrimSpace(s)
+}

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	cc "congestedclique"
@@ -47,6 +49,11 @@ type ProtocolDoc struct {
 	Schema   string          `json:"schema"`
 	MaxN     int             `json:"max_n"`
 	Measured []ProtocolBench `json:"measured"`
+	// SessionReuse measures the same workloads issued repeatedly on one
+	// long-lived Clique handle (the session API): amortized ns/op and
+	// allocs/op of the warm-engine path, comparable entry by entry with the
+	// fresh-handle numbers in Measured.
+	SessionReuse []ProtocolBench `json:"session_reuse,omitempty"`
 	// PreRefactorBaseline is the recorded per-parcel implementation the
 	// flat-frame layer is compared against (see protocolBaseline).
 	PreRefactorBaseline []ProtocolBench `json:"pre_refactor_baseline"`
@@ -100,10 +107,12 @@ func measureProtocol(name string, n, iters int, op func() (cc.Stats, error)) (Pr
 }
 
 // runProtocolBench measures the end-to-end Route and Sort pipelines at every
-// size up to maxN and writes BENCH_protocol.json.
+// size up to maxN — once through fresh one-shot handles and once amortized
+// over a reused session handle — and writes BENCH_protocol.json.
 func runProtocolBench(path string, maxN int) error {
 	sizes := []int{64, 256, 1024}
-	var measured []ProtocolBench
+	ctx := context.Background()
+	var measured, reuse []ProtocolBench
 	for _, n := range sizes {
 		if n > maxN {
 			continue
@@ -137,6 +146,37 @@ func runProtocolBench(path string, maxN int) error {
 			return fmt.Errorf("sort n=%d: %w", n, err)
 		}
 		measured = append(measured, sb)
+
+		// Session path: the same workloads on one long-lived handle.
+		cl, err := cc.New(n)
+		if err != nil {
+			return fmt.Errorf("session n=%d: %w", n, err)
+		}
+		rr, err := measureProtocol(fmt.Sprintf("BenchmarkRouteReuse/n=%d", n), n, iters, func() (cc.Stats, error) {
+			res, err := cl.Route(ctx, msgs)
+			if err != nil {
+				return cc.Stats{}, err
+			}
+			return res.Stats, nil
+		})
+		if err != nil {
+			return fmt.Errorf("route reuse n=%d: %w", n, err)
+		}
+		reuse = append(reuse, rr)
+		sr, err := measureProtocol(fmt.Sprintf("BenchmarkSortReuse/n=%d", n), n, iters, func() (cc.Stats, error) {
+			res, err := cl.Sort(ctx, values)
+			if err != nil {
+				return cc.Stats{}, err
+			}
+			return res.Stats, nil
+		})
+		if err != nil {
+			return fmt.Errorf("sort reuse n=%d: %w", n, err)
+		}
+		reuse = append(reuse, sr)
+		if err := cl.Close(); err != nil {
+			return fmt.Errorf("close session n=%d: %w", n, err)
+		}
 	}
 
 	baseByName := make(map[string]ProtocolBench, len(protocolBaseline))
@@ -144,9 +184,32 @@ func runProtocolBench(path string, maxN int) error {
 		baseByName[b.Name] = b
 	}
 	for i := range measured {
-		if base, ok := baseByName[measured[i].Name]; ok && measured[i].NsPerOp > 0 && measured[i].AllocsPerOp > 0 {
-			measured[i].SpeedupVs = float64(base.NsPerOp) / float64(measured[i].NsPerOp)
-			measured[i].AllocRatio = float64(base.AllocsPerOp) / float64(measured[i].AllocsPerOp)
+		if base, ok := baseByName[measured[i].Name]; ok {
+			if measured[i].NsPerOp > 0 {
+				measured[i].SpeedupVs = float64(base.NsPerOp) / float64(measured[i].NsPerOp)
+			}
+			if measured[i].AllocsPerOp > 0 {
+				measured[i].AllocRatio = float64(base.AllocsPerOp) / float64(measured[i].AllocsPerOp)
+			}
+		}
+	}
+
+	// Each session-reuse entry is compared against its fresh-handle twin:
+	// SpeedupVs/AllocRatio here mean "vs the fresh-network path of the same
+	// build", the amortization the session API exists to deliver.
+	freshByN := make(map[string]ProtocolBench, len(measured))
+	for _, b := range measured {
+		freshByN[b.Name] = b
+	}
+	for i := range reuse {
+		freshName := strings.Replace(reuse[i].Name, "Reuse", "", 1)
+		if base, ok := freshByN[freshName]; ok {
+			if reuse[i].NsPerOp > 0 {
+				reuse[i].SpeedupVs = float64(base.NsPerOp) / float64(reuse[i].NsPerOp)
+			}
+			if reuse[i].AllocsPerOp > 0 {
+				reuse[i].AllocRatio = float64(base.AllocsPerOp) / float64(reuse[i].AllocsPerOp)
+			}
 		}
 	}
 
@@ -155,6 +218,7 @@ func runProtocolBench(path string, maxN int) error {
 		Schema:              "congestedclique/bench-protocol/v1",
 		MaxN:                maxN,
 		Measured:            measured,
+		SessionReuse:        reuse,
 		PreRefactorBaseline: protocolBaseline,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

@@ -1,23 +1,28 @@
-// Command cliquesim runs a single routing, sorting, rank, mode or small-key
+// Command cliquesim runs a routing, sorting, rank, mode or small-key
 // workload on the simulated congested clique and prints the execution
 // statistics the paper's bounds are stated in (rounds, per-edge words,
-// traffic).
+// traffic). It drives the public session API: one Clique handle is built for
+// the chosen size and the workload runs on it -repeat times, so repeated
+// runs show the amortized cost a long-lived service sees (cumulative
+// statistics are printed when -repeat > 1).
 //
 // Examples:
 //
 //	cliquesim -op route -n 256 -pattern uniform -alg deterministic
 //	cliquesim -op route -n 256 -pattern skewed  -alg naive-direct
-//	cliquesim -op sort  -n 144 -dist duplicate-heavy
+//	cliquesim -op sort  -n 144 -dist duplicate-heavy -repeat 8
 //	cliquesim -op smallkeys -n 1024 -domain 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
-	"congestedclique/internal/baseline"
+	cc "congestedclique"
+
 	"congestedclique/internal/clique"
 	"congestedclique/internal/core"
 	"congestedclique/internal/tables"
@@ -44,196 +49,259 @@ func run() error {
 		domain  = flag.Int("domain", 4, "key domain size for -op smallkeys")
 		seed    = flag.Int64("seed", 1, "workload and randomized-algorithm seed")
 		strict  = flag.Int("strict", 0, "fail if any edge carries more than this many words per round (0 = record only)")
+		repeat  = flag.Int("repeat", 1, "run the workload this many times on one session handle")
 	)
 	flag.Parse()
 	if *per < 0 {
 		*per = *n
 	}
-
-	var opts []clique.Option
-	if *strict > 0 {
-		opts = append(opts, clique.WithStrictEdgeBudget(*strict))
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat must be at least 1, got %d", *repeat)
 	}
-	nw, err := clique.New(*n, opts...)
+
+	algorithm, err := parseAlgorithm(*alg)
 	if err != nil {
 		return err
 	}
+	opts := []cc.Option{cc.WithAlgorithm(algorithm), cc.WithSeed(*seed)}
+	if *strict > 0 {
+		opts = append(opts, cc.WithStrictBandwidth(*strict))
+	}
+	cl, err := cc.New(*n, opts...)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
 
-	switch *op {
-	case "route":
-		return runRouting(nw, *n, *per, *pattern, *alg, *seed)
-	case "sort":
-		return runSorting(nw, *n, *per, *dist, *alg, *seed)
-	case "rank":
-		return runRank(nw, *n, *per, *dist, *seed)
-	case "mode":
-		return runMode(nw, *n, *per, *dist, *seed)
-	case "smallkeys":
-		return runSmallKeys(nw, *n, *per, *domain, *seed)
+	for i := 0; i < *repeat; i++ {
+		var runErr error
+		switch *op {
+		case "route":
+			runErr = runRouting(cl, *n, *per, *pattern, *alg, *seed, i == 0)
+		case "sort":
+			runErr = runSorting(cl, *n, *per, *dist, *alg, *seed, i == 0)
+		case "rank":
+			runErr = runRank(cl, *n, *per, *dist, *seed, i == 0)
+		case "mode":
+			runErr = runMode(cl, *n, *per, *dist, *seed, i == 0)
+		case "smallkeys":
+			runErr = runSmallKeys(cl, *n, *per, *domain, *seed, i == 0)
+		default:
+			runErr = fmt.Errorf("unknown operation %q", *op)
+		}
+		if runErr != nil {
+			return runErr
+		}
+	}
+	if *repeat > 1 {
+		printCumulative(cl.CumulativeStats())
+	}
+	return nil
+}
+
+func parseAlgorithm(name string) (cc.Algorithm, error) {
+	switch name {
+	case "deterministic":
+		return cc.Deterministic, nil
+	case "low-compute":
+		return cc.LowCompute, nil
+	case "randomized":
+		return cc.Randomized, nil
+	case "naive-direct":
+		return cc.NaiveDirect, nil
 	default:
-		return fmt.Errorf("unknown operation %q", *op)
+		return 0, fmt.Errorf("unknown algorithm %q", name)
 	}
 }
 
-func printStats(caption string, m clique.Metrics) {
+func printStats(caption string, s cc.Stats) {
 	t := tables.New(caption, "metric", "value")
-	t.AddRow("rounds", m.Rounds)
-	t.AddRow("max words per edge per round", m.MaxEdgeWords)
-	t.AddRow("max packets per edge per round", m.MaxEdgeMessages)
-	t.AddRow("total packets", m.TotalMessages)
-	t.AddRow("total words", m.TotalWords)
-	if m.MaxStepsPerNode > 0 {
-		t.AddRow("max self-reported steps per node", m.MaxStepsPerNode)
+	t.AddRow("rounds", s.Rounds)
+	t.AddRow("max words per edge per round", s.MaxEdgeWords)
+	t.AddRow("max packets per edge per round", s.MaxEdgeMessages)
+	t.AddRow("total packets", s.TotalMessages)
+	t.AddRow("total words", s.TotalWords)
+	if s.MaxStepsPerNode > 0 {
+		t.AddRow("max self-reported steps per node", s.MaxStepsPerNode)
 	}
-	if m.MaxMemoryWordsPerNode > 0 {
-		t.AddRow("max self-reported memory words per node", m.MaxMemoryWordsPerNode)
+	if s.MaxMemoryWordsPerNode > 0 {
+		t.AddRow("max self-reported memory words per node", s.MaxMemoryWordsPerNode)
 	}
 	fmt.Println(t.String())
 }
 
-func runRouting(nw *clique.Network, n, per int, pattern, alg string, seed int64) error {
+func printCumulative(c cc.CumulativeStats) {
+	t := tables.New("session totals (one handle, all runs)", "metric", "value")
+	t.AddRow("operations", c.Operations)
+	t.AddRow("rounds", c.Rounds)
+	t.AddRow("max words per edge per round", c.MaxEdgeWords)
+	t.AddRow("total packets", c.TotalMessages)
+	t.AddRow("total words", c.TotalWords)
+	fmt.Println(t.String())
+}
+
+// toPublicMessages converts a workload instance's core messages to the
+// public type, and toCoreDelivered converts results back for verification.
+func toPublicMessages(msgs [][]core.Message) [][]cc.Message {
+	out := make([][]cc.Message, len(msgs))
+	for i, ms := range msgs {
+		row := make([]cc.Message, len(ms))
+		for j, m := range ms {
+			row[j] = cc.Message{Src: m.Src, Dst: m.Dst, Seq: m.Seq, Payload: int64(m.Payload)}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func toCoreDelivered(delivered [][]cc.Message) [][]core.Message {
+	out := make([][]core.Message, len(delivered))
+	for i, ms := range delivered {
+		row := make([]core.Message, len(ms))
+		for j, m := range ms {
+			row[j] = core.Message{Src: m.Src, Dst: m.Dst, Seq: m.Seq, Payload: clique.Word(m.Payload)}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func toPublicKeys(keys [][]core.Key) [][]cc.Key {
+	out := make([][]cc.Key, len(keys))
+	for i, ks := range keys {
+		row := make([]cc.Key, len(ks))
+		for j, k := range ks {
+			row[j] = cc.Key{Value: k.Value, Origin: k.Origin, Seq: k.Seq}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func runRouting(cl *cc.Clique, n, per int, pattern, alg string, seed int64, report bool) error {
 	inst, err := workload.NewRoutingInstance(n, per, workload.RoutingPattern(pattern), seed)
 	if err != nil {
 		return err
 	}
-	results := make([][]core.Message, n)
-	err = nw.Run(func(nd *clique.Node) error {
-		var (
-			out  []core.Message
-			rErr error
-		)
-		switch alg {
-		case "deterministic":
-			out, rErr = core.Route(nd, inst.Msgs[nd.ID()])
-		case "low-compute":
-			out, rErr = core.LowComputeRoute(nd, inst.Msgs[nd.ID()])
-		case "randomized":
-			out, rErr = baseline.RandomizedRoute(nd, inst.Msgs[nd.ID()], seed)
-		case "naive-direct":
-			out, rErr = baseline.NaiveDirectRoute(nd, inst.Msgs[nd.ID()])
-		default:
-			rErr = fmt.Errorf("unknown algorithm %q", alg)
-		}
-		if rErr != nil {
-			return rErr
-		}
-		results[nd.ID()] = out
-		return nil
-	})
+	res, err := cl.Route(context.Background(), toPublicMessages(inst.Msgs))
 	if err != nil {
 		return err
 	}
-	if err := verify.Routing(inst.Msgs, results); err != nil {
+	if err := verify.Routing(inst.Msgs, toCoreDelivered(res.Delivered)); err != nil {
 		return err
 	}
-	fmt.Printf("routing %q on n=%d (%d messages, pattern %s): delivery verified\n\n",
-		alg, n, inst.TotalMessages(), pattern)
-	printStats("execution cost", nw.Metrics())
+	if report {
+		fmt.Printf("routing %q on n=%d (%d messages, pattern %s): delivery verified\n\n",
+			alg, n, inst.TotalMessages(), pattern)
+		printStats("execution cost", res.Stats)
+	}
 	return nil
 }
 
-func runSorting(nw *clique.Network, n, per int, dist, alg string, seed int64) error {
+func runSorting(cl *cc.Clique, n, per int, dist, alg string, seed int64, report bool) error {
 	inst, err := workload.NewSortingInstance(n, per, workload.KeyDistribution(dist), seed)
+	if err != nil {
+		return err
+	}
+	res, err := cl.SortKeys(context.Background(), toPublicKeys(inst.Keys))
 	if err != nil {
 		return err
 	}
 	results := make([]*core.SortResult, n)
-	err = nw.Run(func(nd *clique.Node) error {
-		var (
-			res  *core.SortResult
-			sErr error
-		)
-		switch alg {
-		case "randomized":
-			res, sErr = baseline.RandomizedSampleSort(nd, inst.Keys[nd.ID()], seed)
-		default:
-			res, sErr = core.Sort(nd, inst.Keys[nd.ID()])
+	for i := 0; i < n; i++ {
+		batch := make([]core.Key, len(res.Batches[i]))
+		for j, k := range res.Batches[i] {
+			batch[j] = core.Key{Value: k.Value, Origin: k.Origin, Seq: k.Seq}
 		}
-		if sErr != nil {
-			return sErr
-		}
-		results[nd.ID()] = res
-		return nil
-	})
-	if err != nil {
-		return err
+		results[i] = &core.SortResult{Batch: batch, Start: res.Starts[i], Total: res.Total}
 	}
 	if err := verify.Sorting(inst.Keys, results); err != nil {
 		return err
 	}
-	fmt.Printf("sorting %q on n=%d (%d keys, distribution %s): output verified\n\n", alg, n, inst.TotalKeys(), dist)
-	printStats("execution cost", nw.Metrics())
+	if report {
+		fmt.Printf("sorting %q on n=%d (%d keys, distribution %s): output verified\n\n", alg, n, inst.TotalKeys(), dist)
+		printStats("execution cost", res.Stats)
+	}
 	return nil
 }
 
-func runRank(nw *clique.Network, n, per int, dist string, seed int64) error {
+func runRank(cl *cc.Clique, n, per int, dist string, seed int64, report bool) error {
 	inst, err := workload.NewSortingInstance(n, per, workload.KeyDistribution(dist), seed)
 	if err != nil {
 		return err
 	}
+	// Rank labels plain values with (Origin, Seq) itself, so feed it the
+	// instance's values in key order and verify against the same layout.
+	values := make([][]int64, n)
+	for i, ks := range inst.Keys {
+		values[i] = make([]int64, len(ks))
+		for j, k := range ks {
+			values[i][j] = k.Value
+		}
+	}
+	res, err := cl.Rank(context.Background(), values)
+	if err != nil {
+		return err
+	}
+	keys := make([][]core.Key, n)
 	results := make([]*core.RankResult, n)
-	err = nw.Run(func(nd *clique.Node) error {
-		res, rErr := core.Rank(nd, inst.Keys[nd.ID()])
-		if rErr != nil {
-			return rErr
+	for i := 0; i < n; i++ {
+		keys[i] = make([]core.Key, len(values[i]))
+		ranks := make(map[int]int, len(values[i]))
+		for j, v := range values[i] {
+			keys[i][j] = core.Key{Value: v, Origin: i, Seq: j}
+			ranks[j] = res.Ranks[i][j]
 		}
-		results[nd.ID()] = res
-		return nil
-	})
-	if err != nil {
+		results[i] = &core.RankResult{Ranks: ranks, DistinctTotal: res.DistinctTotal}
+	}
+	if err := verify.Ranks(keys, results); err != nil {
 		return err
 	}
-	if err := verify.Ranks(inst.Keys, results); err != nil {
-		return err
+	if report {
+		fmt.Printf("rank-in-union (Corollary 4.6) on n=%d: %d distinct values, output verified\n\n", n, res.DistinctTotal)
+		printStats("execution cost", res.Stats)
 	}
-	fmt.Printf("rank-in-union (Corollary 4.6) on n=%d: %d distinct values, output verified\n\n", n, results[0].DistinctTotal)
-	printStats("execution cost", nw.Metrics())
 	return nil
 }
 
-func runMode(nw *clique.Network, n, per int, dist string, seed int64) error {
+func runMode(cl *cc.Clique, n, per int, dist string, seed int64, report bool) error {
 	inst, err := workload.NewSortingInstance(n, per, workload.KeyDistribution(dist), seed)
 	if err != nil {
 		return err
 	}
-	modes := make([]*core.ModeResult, n)
-	err = nw.Run(func(nd *clique.Node) error {
-		res, mErr := core.Mode(nd, inst.Keys[nd.ID()])
-		if mErr != nil {
-			return mErr
+	values := make([][]int64, n)
+	for i, ks := range inst.Keys {
+		values[i] = make([]int64, len(ks))
+		for j, k := range ks {
+			values[i][j] = k.Value
 		}
-		modes[nd.ID()] = res
-		return nil
-	})
+	}
+	res, err := cl.Mode(context.Background(), values)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mode on n=%d: value %d occurs %d times\n\n", n, modes[0].Value, modes[0].Count)
-	printStats("execution cost", nw.Metrics())
+	if report {
+		fmt.Printf("mode on n=%d: value %d occurs %d times\n\n", n, res.Value, res.Count)
+		printStats("execution cost", res.Stats)
+	}
 	return nil
 }
 
-func runSmallKeys(nw *clique.Network, n, per, domain int, seed int64) error {
+func runSmallKeys(cl *cc.Clique, n, per, domain int, seed int64, report bool) error {
 	values, err := workload.NewSmallKeyInstance(n, per, domain, seed)
 	if err != nil {
 		return err
 	}
-	results := make([]*core.SmallKeyResult, n)
-	err = nw.Run(func(nd *clique.Node) error {
-		res, cErr := core.SmallKeyCount(nd, values[nd.ID()], domain)
-		if cErr != nil {
-			return cErr
-		}
-		results[nd.ID()] = res
-		return nil
-	})
+	res, err := cl.CountSmallKeys(context.Background(), values, domain)
 	if err != nil {
 		return err
 	}
-	if err := verify.Histogram(values, results[0]); err != nil {
+	if err := verify.Histogram(values, &core.SmallKeyResult{Counts: res.Counts, Domain: domain}); err != nil {
 		return err
 	}
-	fmt.Printf("small-key counting (Section 6.3) on n=%d, domain %d: histogram verified\n\n", n, domain)
-	printStats("execution cost", nw.Metrics())
+	if report {
+		fmt.Printf("small-key counting (Section 6.3) on n=%d, domain %d: histogram verified\n\n", n, domain)
+		printStats("execution cost", res.Stats)
+	}
 	return nil
 }

@@ -20,10 +20,44 @@
 //   - randomized and naive baselines for comparison (the algorithms the
 //     paper's introduction compares against).
 //
-// Every call builds an in-process clique, runs the per-node protocol with one
-// goroutine per node, verifies nothing exceeds the bandwidth model, and
-// returns both the protocol output and the execution statistics (rounds,
-// per-edge words, traffic) that the paper's bounds are stated in.
+// # Session API
+//
+// The primary entry point is the Clique session handle: New(n, opts...)
+// builds the simulated clique once — n nodes, delivery arenas, metric
+// buffers — and its methods (Route, Sort, SortKeys, Rank, SelectKth, Median,
+// Mode, CountSmallKeys) run an unbounded stream of operations on that one
+// engine. Every method takes a context.Context: cancelling it fails the
+// in-flight operation deterministically (every node observes an error
+// wrapping ctx.Err(); none is left parked at the round barrier) and leaves
+// the handle usable for further calls.
+//
+// Handle lifetime and ownership: a Clique owns its engine until Close, which
+// releases the pooled delivery buffers; operations on a closed handle fail
+// with ErrClosed. Methods are safe for concurrent use — the handle serializes
+// operations on its single engine, so concurrent throughput comes from using
+// one handle per goroutine (handles are independent). Each operation runs
+// the per-node protocol with one goroutine per node, verifies nothing
+// exceeds the bandwidth model, and returns both the protocol output and the
+// execution statistics (rounds, per-edge words, traffic) that the paper's
+// bounds are stated in; CumulativeStats aggregates them across the handle's
+// lifetime.
+//
+// Options split by scope: engine shape — WithStrictBandwidth,
+// WithSharedScheduleCache, WithWorkers — is fixed per handle and must be
+// passed to New, while WithAlgorithm and WithSeed may be passed either to
+// New (as the handle's defaults) or to an individual call. Passing a
+// handle-scoped option to a call returns an error.
+//
+// All returned results (delivered messages, sorted batches, statistics) are
+// plain values owned by the caller; no result aliases engine memory, so
+// results stay valid across later calls on the same handle and after Close.
+// (This differs from the internal engine layer, where received packet views
+// expire when the run they were delivered in ends.)
+//
+// The package-level functions of the same names are one-shot conveniences:
+// each builds a throwaway handle, runs the single operation with a background
+// context, and closes the handle again. Results and statistics are identical
+// to the session path bit for bit.
 package congestedclique
 
 import (
@@ -61,8 +95,11 @@ const (
 	// (Theorem 3.7) and 37-round sorting (Theorem 4.5).
 	Deterministic Algorithm = iota + 1
 	// LowCompute is the Section 5 routing variant: 12 rounds with O(n log n)
-	// local computation and memory (Theorem 5.4). Sorting falls back to the
-	// deterministic algorithm.
+	// local computation and memory (Theorem 5.4). The paper gives no
+	// low-computation sorting algorithm, so Sort and SortKeys under
+	// LowCompute run the deterministic 37-round sorter — a documented
+	// fallback, not an error, because the output and statistics are exactly
+	// the Deterministic ones.
 	LowCompute
 	// Randomized is the Valiant-style randomized comparison algorithm in the
 	// spirit of the prior work the paper cites ([7] for routing, [12] for
@@ -70,7 +107,10 @@ const (
 	Randomized
 	// NaiveDirect delivers every message straight over its source-destination
 	// edge; it needs up to n rounds on skewed instances and exists as the
-	// motivating baseline.
+	// motivating baseline. It is routing-only: Sort and SortKeys reject it
+	// with ErrUnsupportedAlgorithm (there is no naive-direct sorter to fall
+	// back to, and silently running a different algorithm would misreport
+	// what was measured).
 	NaiveDirect
 )
 
@@ -94,6 +134,20 @@ func (a Algorithm) String() string {
 // instances (out-of-range destinations, too many messages per node, ...).
 var ErrInvalidInstance = errors.New("congestedclique: invalid instance")
 
+// ErrUnsupportedAlgorithm is wrapped by errors reporting an Algorithm that
+// has no implementation for the requested operation (for example NaiveDirect
+// sorting).
+var ErrUnsupportedAlgorithm = errors.New("congestedclique: unsupported algorithm")
+
+// ErrClosed is wrapped by errors reporting an operation on a Clique handle
+// whose Close method has already been called.
+var ErrClosed = errors.New("congestedclique: clique handle closed")
+
+// ErrBandwidthExceeded is wrapped by errors reporting that an execution
+// under WithStrictBandwidth sent more words over a directed edge in one
+// round than the configured budget.
+var ErrBandwidthExceeded = clique.ErrBandwidthExceeded
+
 // Stats summarises the cost of one protocol execution in the congested
 // clique's own currency.
 type Stats struct {
@@ -116,6 +170,36 @@ type Stats struct {
 	MaxMemoryWordsPerNode int64
 }
 
+// CumulativeStats aggregates the cost of every operation that completed
+// successfully on one Clique handle: totals are summed across operations,
+// maxima are taken over operations. Operations that returned an error
+// (including cancelled ones) are not counted.
+type CumulativeStats struct {
+	// Operations is the number of protocol executions that completed without
+	// error.
+	Operations int
+	// Rounds is the total number of synchronous rounds across all operations.
+	Rounds int
+	// MaxEdgeWords and MaxEdgeMessages are maxima over all rounds of all
+	// operations.
+	MaxEdgeWords    int
+	MaxEdgeMessages int
+	// TotalMessages and TotalWords sum the traffic of all operations.
+	TotalMessages int64
+	TotalWords    int64
+}
+
+func statsFromCumulative(c clique.Cumulative) CumulativeStats {
+	return CumulativeStats{
+		Operations:      c.Runs,
+		Rounds:          c.Rounds,
+		MaxEdgeWords:    c.MaxEdgeWords,
+		MaxEdgeMessages: c.MaxEdgeMessages,
+		TotalMessages:   c.TotalMessages,
+		TotalWords:      c.TotalWords,
+	}
+}
+
 func statsFromMetrics(m clique.Metrics) Stats {
 	return Stats{
 		Rounds:                m.Rounds,
@@ -129,21 +213,33 @@ func statsFromMetrics(m clique.Metrics) Stats {
 }
 
 // config collects the functional options of the public entry points.
+// algorithm and seed are call-scoped (a handle holds defaults, an individual
+// call may override them); strictBudget, sharedCache and workers shape the
+// engine and are handle-scoped.
 type config struct {
 	algorithm    Algorithm
 	seed         int64
 	strictBudget int
 	sharedCache  bool
+	workers      int
+	// handleScoped is set to the option's name by every handle-scoped option
+	// so that per-call application can reject it with a useful message. It is
+	// reset before call options are applied and ignored by New.
+	handleScoped string
 }
 
 func defaultConfig() config {
 	return config{algorithm: Deterministic, seed: 1, sharedCache: true}
 }
 
-// Option customises a library call.
+// Option customises a Clique handle or (for call-scoped options) an
+// individual operation. WithAlgorithm and WithSeed may be passed to New or
+// to any call; WithStrictBandwidth, WithSharedScheduleCache and WithWorkers
+// configure the engine and are accepted by New only.
 type Option func(*config) error
 
-// WithAlgorithm selects the algorithm (default Deterministic).
+// WithAlgorithm selects the algorithm (default Deterministic). It may be
+// passed to New (handle default) or to an individual call.
 func WithAlgorithm(a Algorithm) Option {
 	return func(c *config) error {
 		switch a {
@@ -157,7 +253,8 @@ func WithAlgorithm(a Algorithm) Option {
 }
 
 // WithSeed sets the seed used by the randomized algorithms (default 1). The
-// deterministic algorithms ignore it.
+// deterministic algorithms ignore it. It may be passed to New (handle
+// default) or to an individual call.
 func WithSeed(seed int64) Option {
 	return func(c *config) error {
 		c.seed = seed
@@ -165,15 +262,17 @@ func WithSeed(seed int64) Option {
 	}
 }
 
-// WithStrictBandwidth makes the execution fail if any directed edge ever
+// WithStrictBandwidth makes every execution fail if any directed edge ever
 // carries more than words 64-bit words in one round. Use it to assert that a
-// workload respects the O(log n)-bits-per-edge model.
+// workload respects the O(log n)-bits-per-edge model. Handle-scoped: pass it
+// to New.
 func WithStrictBandwidth(words int) Option {
 	return func(c *config) error {
 		if words <= 0 {
 			return fmt.Errorf("congestedclique: strict bandwidth must be positive, got %d", words)
 		}
 		c.strictBudget = words
+		c.handleScoped = "WithStrictBandwidth"
 		return nil
 	}
 }
@@ -181,10 +280,26 @@ func WithStrictBandwidth(words int) Option {
 // WithSharedScheduleCache enables or disables the simulator's deterministic
 // shared-computation cache (enabled by default). Disabling it makes every
 // node recompute the public schedule colorings itself; results are identical,
-// only simulation wall-clock time changes.
+// only simulation wall-clock time changes. Handle-scoped: pass it to New.
 func WithSharedScheduleCache(enabled bool) Option {
 	return func(c *config) error {
 		c.sharedCache = enabled
+		c.handleScoped = "WithSharedScheduleCache"
+		return nil
+	}
+}
+
+// WithWorkers bounds how many of the n node goroutines compute concurrently
+// (0, the default, means unbounded; see the engine's scheduling notes).
+// Executions are deterministic for every worker count. Handle-scoped: pass
+// it to New.
+func WithWorkers(k int) Option {
+	return func(c *config) error {
+		if k < 0 {
+			return fmt.Errorf("congestedclique: worker count must be non-negative, got %d", k)
+		}
+		c.workers = k
+		c.handleScoped = "WithWorkers"
 		return nil
 	}
 }
@@ -194,6 +309,9 @@ func buildNetwork(n int, cfg config) (*clique.Network, error) {
 	if cfg.strictBudget > 0 {
 		opts = append(opts, clique.WithStrictEdgeBudget(cfg.strictBudget))
 	}
+	if cfg.workers > 0 {
+		opts = append(opts, clique.WithWorkers(cfg.workers))
+	}
 	return clique.New(n, opts...)
 }
 
@@ -202,6 +320,22 @@ func applyOptions(opts []Option) (config, error) {
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
 			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// applyCallOptions layers per-call options over the handle's defaults,
+// rejecting handle-scoped ones.
+func applyCallOptions(base config, opts []Option) (config, error) {
+	cfg := base
+	cfg.handleScoped = ""
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return cfg, err
+		}
+		if cfg.handleScoped != "" {
+			return cfg, fmt.Errorf("congestedclique: %s is handle-scoped; pass it to New, not to an individual call", cfg.handleScoped)
 		}
 	}
 	return cfg, nil

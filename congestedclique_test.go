@@ -118,8 +118,8 @@ func TestRouteStrictBandwidthOption(t *testing.T) {
 	if _, err := Route(16, msgs, WithStrictBandwidth(16)); err != nil {
 		t.Fatalf("deterministic routing should fit in 16 words per edge: %v", err)
 	}
-	if _, err := Route(16, msgs, WithStrictBandwidth(1)); err == nil {
-		t.Fatal("a one-word budget cannot possibly suffice and should fail")
+	if _, err := Route(16, msgs, WithStrictBandwidth(1)); !errors.Is(err, ErrBandwidthExceeded) {
+		t.Fatalf("a one-word budget cannot possibly suffice and should fail with ErrBandwidthExceeded, got %v", err)
 	}
 }
 

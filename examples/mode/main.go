@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -35,6 +36,15 @@ func run() error {
 		domain  = 3 // status classes 0..2 (Section 6.3 needs domain*log^2(n) <= n)
 	)
 	rng := rand.New(rand.NewSource(99))
+	ctx := context.Background()
+
+	// One session handle serves the small-domain count, the sorting-based
+	// mode and the rank query below.
+	cl, err := congestedclique.New(n)
+	if err != nil {
+		return fmt.Errorf("building the clique: %w", err)
+	}
+	defer cl.Close()
 
 	// Every node observed a stream of status codes; class 2 dominates.
 	codes := make([][]int, n)
@@ -53,7 +63,7 @@ func run() error {
 	}
 
 	// Small-domain path: Section 6.3, two rounds, one-word messages.
-	hist, err := congestedclique.CountSmallKeys(n, codes, domain)
+	hist, err := cl.CountSmallKeys(ctx, codes, domain)
 	if err != nil {
 		return fmt.Errorf("small-key counting: %w", err)
 	}
@@ -67,7 +77,7 @@ func run() error {
 		best, bestCount, hist.Stats.Rounds, hist.Stats.MaxEdgeWords)
 
 	// General path: sorting-based mode (works for arbitrary 64-bit keys).
-	mode, err := congestedclique.Mode(n, values)
+	mode, err := cl.Mode(ctx, values)
 	if err != nil {
 		return fmt.Errorf("mode: %w", err)
 	}
@@ -79,7 +89,7 @@ func run() error {
 
 	// Rank-in-union: how does each node's first observation rank among the
 	// distinct values seen anywhere?
-	ranks, err := congestedclique.Rank(n, values)
+	ranks, err := cl.Rank(ctx, values)
 	if err != nil {
 		return fmt.Errorf("rank: %w", err)
 	}

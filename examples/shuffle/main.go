@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"log"
@@ -75,8 +76,15 @@ func run() error {
 		}
 	}
 
-	// Shuffle phase: one deterministic routing instance.
-	res, err := congestedclique.Route(n, msgs)
+	// Shuffle phase: one deterministic routing instance on a session handle —
+	// a real map/reduce driver would shard larger jobs into several routing
+	// instances and run them all on this one handle.
+	cl, err := congestedclique.New(n)
+	if err != nil {
+		return fmt.Errorf("building the clique: %w", err)
+	}
+	defer cl.Close()
+	res, err := cl.Route(context.Background(), msgs)
 	if err != nil {
 		return fmt.Errorf("shuffle failed: %w", err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -45,9 +46,17 @@ func run() error {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	total := len(all)
+	ctx := context.Background()
+
+	// All three order statistics run on one session handle.
+	cl, err := congestedclique.New(n)
+	if err != nil {
+		return fmt.Errorf("building the clique: %w", err)
+	}
+	defer cl.Close()
 
 	// Median via the selection corollary.
-	median, stats, err := congestedclique.Median(n, values)
+	median, stats, err := cl.Median(ctx, values)
 	if err != nil {
 		return fmt.Errorf("median: %w", err)
 	}
@@ -55,14 +64,14 @@ func run() error {
 
 	// 99th percentile via SelectKth.
 	p99rank := (total * 99) / 100
-	p99, stats, err := congestedclique.SelectKth(n, values, p99rank)
+	p99, stats, err := cl.SelectKth(ctx, values, p99rank)
 	if err != nil {
 		return fmt.Errorf("p99: %w", err)
 	}
 	fmt.Printf("p99 latency:    %dus (reference %dus), %d rounds\n", p99.Value, all[p99rank], stats.Rounds)
 
 	// Top-k: sort once, read the tail batches.
-	sorted, err := congestedclique.Sort(n, values)
+	sorted, err := cl.Sort(ctx, values)
 	if err != nil {
 		return fmt.Errorf("sort: %w", err)
 	}

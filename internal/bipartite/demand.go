@@ -103,18 +103,37 @@ func RowColSums(demand [][]int) (rows, cols []int) {
 }
 
 // MaxRowColSum returns the maximum over all row sums and column sums, i.e.
-// the maximum degree of the corresponding multigraph.
+// the maximum degree of the corresponding multigraph. It allocates nothing:
+// it sits on the per-relay hot path of the protocol layer, where the
+// RowColSums slices would be the only per-call garbage.
 func MaxRowColSum(demand [][]int) int {
-	rows, cols := RowColSums(demand)
+	r := len(demand)
+	if r == 0 {
+		return 0
+	}
 	max := 0
-	for _, v := range rows {
-		if v > max {
-			max = v
+	cols := 0
+	for _, row := range demand {
+		s := 0
+		for _, v := range row {
+			s += v
+		}
+		if s > max {
+			max = s
+		}
+		if len(row) > cols {
+			cols = len(row)
 		}
 	}
-	for _, v := range cols {
-		if v > max {
-			max = v
+	for j := 0; j < cols; j++ {
+		s := 0
+		for _, row := range demand {
+			if j < len(row) {
+				s += row[j]
+			}
+		}
+		if s > max {
+			max = s
 		}
 	}
 	return max

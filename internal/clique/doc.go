@@ -36,6 +36,26 @@
 // and node programs see identical inboxes and metrics on every run of the
 // same workload, for every worker count.
 //
+// # Sessions
+//
+// One Network supports an unbounded sequence of (non-overlapping) runs —
+// the substrate of the public session API. Every run after the first starts
+// from a fully reset engine (barrier generation, round counter, metrics,
+// arenas, strict-budget accounting, step accounting, shared-computation
+// cache) while retaining the allocated capacity of every buffer, Node
+// struct and outbox array, so a run on a warm engine performs no
+// construction work. The shared cache is deliberately scoped per run: the
+// memoised values are colorings of the run's demand matrices, which depend
+// on the instance data, not only on n. Metrics is the per-run view and
+// CumulativeMetrics the across-run aggregate; Close releases the pooled
+// delivery buffers.
+//
+// RunContext and RunRoundsContext accept a context: a cancellation is
+// recorded as the engine failure and the next barrier turn-over wakes every
+// parked node with the error instead of delivering, exactly like a hardened
+// delivery panic — no goroutine is ever stranded, and the Network remains
+// usable for further runs.
+//
 // Node programs are written against the Exchanger interface so that the same
 // algorithm code can run either directly on a physical Node or on a virtual
 // node provided by a Mux, which multiplexes several logical protocol

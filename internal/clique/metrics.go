@@ -25,9 +25,12 @@ type RoundStats struct {
 	Dropped int
 }
 
-// Metrics aggregates the observable cost of a protocol execution. These are
-// exactly the quantities the paper's bounds are stated in: rounds, per-edge
-// bandwidth, and (self-reported) local computation and memory.
+// Metrics aggregates the observable cost of one protocol execution (one
+// Run/RunRounds call). These are exactly the quantities the paper's bounds
+// are stated in: rounds, per-edge bandwidth, and (self-reported) local
+// computation and memory. On a multi-run Network the metrics are per-run:
+// they reset when the next run starts; Network.CumulativeMetrics keeps the
+// across-run totals.
 type Metrics struct {
 	// Rounds is the number of completed round barriers.
 	Rounds int
@@ -76,4 +79,48 @@ func (m *Metrics) clone() Metrics {
 	out.PerRound = make([]RoundStats, len(m.PerRound))
 	copy(out.PerRound, m.PerRound)
 	return out
+}
+
+// Cumulative aggregates the cost of every successfully completed run on one
+// Network (the session view): totals are summed across runs, maxima are
+// taken over runs. Runs that failed or were cancelled are not counted —
+// their per-run Metrics remain readable until the next run starts, but they
+// never enter the aggregate.
+type Cumulative struct {
+	// Runs is the number of Run/RunRounds calls that completed without error.
+	Runs int
+	// Rounds is the total number of round barriers across all runs.
+	Rounds int
+	// TotalMessages and TotalWords sum the traffic of all runs.
+	TotalMessages int64
+	TotalWords    int64
+	// MaxEdgeWords and MaxEdgeMessages are maxima over all rounds of all runs.
+	MaxEdgeWords    int
+	MaxEdgeMessages int
+	// MaxStepsPerNode and MaxMemoryWordsPerNode are maxima over all runs.
+	MaxStepsPerNode       int64
+	MaxMemoryWordsPerNode int64
+	// DroppedToDeparted sums Metrics.DroppedToDeparted across runs.
+	DroppedToDeparted int
+}
+
+// accumulate folds one completed run's metrics into the session totals.
+func (c *Cumulative) accumulate(m Metrics) {
+	c.Runs++
+	c.Rounds += m.Rounds
+	c.TotalMessages += m.TotalMessages
+	c.TotalWords += m.TotalWords
+	if m.MaxEdgeWords > c.MaxEdgeWords {
+		c.MaxEdgeWords = m.MaxEdgeWords
+	}
+	if m.MaxEdgeMessages > c.MaxEdgeMessages {
+		c.MaxEdgeMessages = m.MaxEdgeMessages
+	}
+	if m.MaxStepsPerNode > c.MaxStepsPerNode {
+		c.MaxStepsPerNode = m.MaxStepsPerNode
+	}
+	if m.MaxMemoryWordsPerNode > c.MaxMemoryWordsPerNode {
+		c.MaxMemoryWordsPerNode = m.MaxMemoryWordsPerNode
+	}
+	c.DroppedToDeparted += m.DroppedToDeparted
 }

@@ -1,6 +1,7 @@
 package clique
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -138,10 +139,18 @@ type Network struct {
 	cfg config
 
 	// buffers is the pooled delivery state backing the slices below; it is
-	// returned to the pool when Run/RunRounds completes.
+	// owned by the Network across runs and returned to the pool by Close.
 	buffers *netBuffers
 
-	started atomic.Bool
+	// running doubles as the mutual-exclusion latch for Run/RunRounds/Close:
+	// at most one of them holds it at a time, so a Network supports an
+	// unbounded sequence of runs but never two concurrently. closed marks the
+	// Network permanently unusable once Close has released the buffers.
+	running atomic.Bool
+	closed  atomic.Bool
+	// runs counts completed calls to Run/RunRounds; the per-run state reset
+	// happens lazily at the start of every run after the first.
+	runs int
 
 	state atomic.Uint64
 	gen   atomic.Pointer[generation]
@@ -199,6 +208,7 @@ type Network struct {
 
 	metricsMu sync.Mutex
 	metrics   Metrics
+	cum       Cumulative
 
 	sharedMu sync.Mutex
 	shared   map[string]interface{}
@@ -209,11 +219,13 @@ type Network struct {
 	memory  map[int]int64
 }
 
-// netBuffers is the recyclable delivery state of a Network. One Network is
-// built per protocol call in the public API, so the per-receiver arenas —
-// the dominant allocation of a fresh Network — are pooled across instances.
-// Recycling is what makes the documented packet lifetime end at Run's
-// return: once Run has returned, a new Network may reuse the arenas.
+// netBuffers is the recyclable delivery state of a Network. The per-receiver
+// arenas — the dominant allocation of a fresh Network — are owned by the
+// Network for its whole multi-run lifetime and returned to the pool by
+// Close, so both one-shot calls (handle per call, closed immediately) and
+// long-lived sessions amortise them. Recycling is what bounds the documented
+// packet lifetime: once the next run starts (or Close returns), the arenas
+// may be overwritten.
 type netBuffers struct {
 	n         int
 	outboxes  [][]pendingPacket
@@ -228,6 +240,12 @@ type netBuffers struct {
 	edgeTouch []int32
 	recvTouch []int32
 	setFrom   [][]int32
+	// nodes and pending recycle the per-run node state of the blocking Run
+	// path: the Node structs themselves and each node's outbox backing array
+	// (cleared of packet references at leave so no payload memory is
+	// retained), so a run on a warm engine allocates neither.
+	nodes   []Node
+	pending [][]pendingPacket
 }
 
 var netBufPool = sync.Pool{New: func() interface{} { return new(netBuffers) }}
@@ -249,6 +267,8 @@ func acquireNetBuffers(n int) *netBuffers {
 		b.recv = make([]recvScratch, n)
 		b.destLoad = make([]uint64, n)
 		b.setFrom = make([][]int32, n)
+		b.nodes = make([]Node, n)
+		b.pending = make([][]pendingPacket, n)
 		b.n = n
 	}
 	for i := 0; i < n; i++ {
@@ -271,8 +291,8 @@ func acquireNetBuffers(n int) *netBuffers {
 
 // releaseBuffers cleans the delivery state left over from the final rounds
 // (whose inboxes were never retired by the departed nodes) and returns it to
-// the pool. After this point any packet views previously handed out may be
-// overwritten by a future Network.
+// the pool. It is called by Close; after this point any packet views
+// previously handed out may be overwritten by a future Network.
 func (nw *Network) releaseBuffers() {
 	b := nw.buffers
 	if b == nil {
@@ -299,7 +319,9 @@ func (nw *Network) releaseBuffers() {
 	netBufPool.Put(b)
 }
 
-// New creates a congested clique with n >= 1 nodes.
+// New creates a congested clique with n >= 1 nodes. The Network supports an
+// unbounded sequence of (non-overlapping) Run/RunRounds calls; call Close
+// when done to return its pooled delivery buffers.
 func New(n int, opts ...Option) (*Network, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("clique: need at least one node, got %d", n)
@@ -339,8 +361,113 @@ func New(n int, opts ...Option) (*Network, error) {
 // N returns the number of nodes.
 func (nw *Network) N() int { return nw.n }
 
-// Metrics returns a copy of the execution metrics collected so far. It is
-// normally called after Run has returned.
+// beginRun takes the run latch and, for every run after the first, resets the
+// per-run engine state. It fails when another run is in flight or the Network
+// has been closed.
+func (nw *Network) beginRun() error {
+	if !nw.running.CompareAndSwap(false, true) {
+		return errors.New("clique: Run called while another run is in progress")
+	}
+	if nw.closed.Load() {
+		nw.running.Store(false)
+		return errors.New("clique: Run called on closed Network")
+	}
+	if nw.runs > 0 {
+		nw.resetRun()
+	}
+	nw.runs++
+	return nil
+}
+
+// endRun releases the run latch and, if the run completed without error,
+// folds its metrics into the cumulative totals — failed or cancelled runs
+// are not counted as completed operations (their per-run Metrics stay
+// readable until the next run starts, but the session aggregate only speaks
+// for runs that finished). completed is false for error returns.
+func (nw *Network) endRun(completed bool) {
+	if completed {
+		m := nw.Metrics()
+		nw.metricsMu.Lock()
+		nw.cum.accumulate(m)
+		nw.metricsMu.Unlock()
+	}
+	nw.running.Store(false)
+}
+
+// resetRun restores every piece of per-run state — barrier generation and
+// arrival counter, failure slot, round counter, metrics, delivery arenas,
+// shared-computation cache and step accounting — so the next run starts from
+// the same state a fresh Network would, while keeping the allocated capacity
+// of every buffer and map. The shared cache must not survive a run: the
+// memoised values are colorings of this run's demand matrices, which depend
+// on the instance data, not only on n.
+func (nw *Network) resetRun() {
+	b := nw.buffers
+	for t := 0; t < nw.n; t++ {
+		if bb := b.backbone[t]; bb != nil {
+			for _, f := range b.setFrom[t] {
+				bb[f] = nil
+			}
+			b.setFrom[t] = b.setFrom[t][:0]
+		}
+		b.hdrArena[t] = b.hdrArena[t][:0]
+		for p := range b.wordArena {
+			if b.wordArena[p][t] != nil {
+				b.wordArena[p][t] = b.wordArena[p][t][:0]
+			}
+		}
+		b.recv[t].lastFrom = -1
+		b.recv[t].words = 0
+		b.departed[t] = false
+		b.flat[t] = false
+		b.destLoad[t] = 0
+		b.outboxes[t] = nil
+		b.inboxes[t] = nil
+	}
+	nw.edgeTouch = nw.edgeTouch[:0]
+	nw.recvTouch = nw.recvTouch[:0]
+	nw.segs = nil
+	nw.sem = nil
+	nw.round.Store(0)
+	nw.fail.Store(nil)
+	nw.gen.Store(&generation{done: make(chan struct{})})
+
+	nw.sharedMu.Lock()
+	clear(nw.shared)
+	clear(nw.sharedK)
+	nw.sharedMu.Unlock()
+
+	nw.stepsMu.Lock()
+	clear(nw.steps)
+	clear(nw.memory)
+	nw.stepsMu.Unlock()
+
+	nw.metricsMu.Lock()
+	nw.metrics = Metrics{PerRound: nw.metrics.PerRound[:0]}
+	nw.metricsMu.Unlock()
+}
+
+// Close releases the Network's pooled delivery buffers and marks it unusable.
+// It must not be called while a run is in progress. Close is idempotent; any
+// packet views handed out by previous runs expire at the latest here (a
+// future Network may recycle the buffers).
+func (nw *Network) Close() error {
+	if !nw.running.CompareAndSwap(false, true) {
+		return errors.New("clique: Close called while a run is in progress")
+	}
+	defer nw.running.Store(false)
+	if nw.closed.Load() {
+		return nil
+	}
+	nw.closed.Store(true)
+	nw.releaseBuffers()
+	return nil
+}
+
+// Metrics returns a copy of the execution metrics of the current (or most
+// recently completed) run. It is normally called after Run has returned and
+// before the next run starts; the per-run metrics reset at the start of
+// every run. Use CumulativeMetrics for the across-run session totals.
 func (nw *Network) Metrics() Metrics {
 	nw.metricsMu.Lock()
 	m := nw.metrics.clone()
@@ -361,7 +488,17 @@ func (nw *Network) Metrics() Metrics {
 	return m
 }
 
-// Rounds returns the number of completed rounds.
+// CumulativeMetrics returns the aggregated cost of every successfully
+// completed run on this Network: totals summed across runs, maxima taken
+// over runs. A run in progress is not included until it completes, and runs
+// that failed or were cancelled are never counted.
+func (nw *Network) CumulativeMetrics() Cumulative {
+	nw.metricsMu.Lock()
+	defer nw.metricsMu.Unlock()
+	return nw.cum
+}
+
+// Rounds returns the number of completed rounds of the current run.
 func (nw *Network) Rounds() int { return int(nw.round.Load()) }
 
 // StepsPerNode returns the self-reported computation steps of every node.
@@ -376,22 +513,49 @@ func (nw *Network) StepsPerNode() map[int]int64 {
 }
 
 // Run executes program once per node, each in its own goroutine, and waits
-// for all of them to return. Run may only be called once per Network (this
-// also covers RunRounds).
+// for all of them to return. It is equivalent to RunContext with a background
+// context.
+func (nw *Network) Run(program func(*Node) error) error {
+	return nw.RunContext(context.Background(), program)
+}
+
+// RunContext executes program once per node, each in its own goroutine, and
+// waits for all of them to return. A Network supports an unbounded sequence
+// of runs (this is what the public session API builds on): each run starts
+// from a fully reset engine while reusing the delivery arenas, the metric
+// buffers and the cache maps of the previous one. Two runs must not overlap;
+// a concurrent call fails immediately. Call Close when done with the Network
+// to return its buffers to the pool.
+//
+// Cancelling ctx fails the run deterministically through the same path as a
+// hardened delivery failure: the cancellation is recorded as the engine
+// failure, the next barrier turn-over wakes every parked node instead of
+// delivering, and all node programs observe an error wrapping ctx.Err() from
+// their pending Exchange. No node is left stranded, and the Network remains
+// usable for further runs afterwards.
 //
 // Error reporting is deterministic: if any node program returns an error (or
-// panics, which is converted to an error), Run returns the error of the
-// lowest-numbered failing node, regardless of the temporal order in which
-// nodes failed. An engine-level failure (such as a strict edge-budget
-// violation) is returned only if no node program reported an error itself.
+// panics, which is converted to an error), the error of the lowest-numbered
+// failing node wins, regardless of the temporal order in which nodes failed.
+// An engine-level failure (such as a strict edge-budget violation or a
+// context cancellation) is returned only if no node program reported an
+// error itself.
 //
 // When WithWorkers(k) is set with 0 < k < n, at most k node goroutines
 // compute concurrently; nodes parked at the round barrier release their slot.
 // All n goroutines still exist (the blocking Exchange API requires a stack
 // per node); use RunRounds to run n logical nodes on k goroutines.
-func (nw *Network) Run(program func(*Node) error) error {
-	if !nw.started.CompareAndSwap(false, true) {
-		return errors.New("clique: Network.Run called twice")
+func (nw *Network) RunContext(ctx context.Context, program func(*Node) error) error {
+	if err := nw.beginRun(); err != nil {
+		return err
+	}
+	completed := false
+	defer func() { nw.endRun(completed) }()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("clique: run cancelled: %w", err)
 	}
 	nw.state.Store(uint64(nw.n) << 32)
 	if k := nw.cfg.workers; k > 0 && k < nw.n {
@@ -401,13 +565,35 @@ func (nw *Network) Run(program func(*Node) error) error {
 		}
 	}
 
+	// The watcher is reaped synchronously before the run returns: a
+	// cancellation that races with run completion must either land in this
+	// run's failure slot or nowhere, never in a later run's.
+	var stop chan struct{}
+	var watch sync.WaitGroup
+	if done := ctx.Done(); done != nil {
+		stop = make(chan struct{})
+		watch.Add(1)
+		go func() {
+			defer watch.Done()
+			select {
+			case <-done:
+				nw.fail.CompareAndSwap(nil, &failure{err: fmt.Errorf("clique: run cancelled: %w", ctx.Err())})
+			case <-stop:
+			}
+		}()
+	}
+
 	errs := make([]error, nw.n)
 	var wg sync.WaitGroup
 	for i := 0; i < nw.n; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			nd := &Node{nw: nw, id: id}
+			// Node structs and outbox backing arrays are recycled across
+			// runs (see netBuffers.nodes); leave clears the packet
+			// references when the node retires.
+			nd := &nw.buffers.nodes[id]
+			*nd = Node{nw: nw, id: id, pending: nw.buffers.pending[id]}
 			if nw.sem != nil {
 				<-nw.sem
 				// A node outside the barrier always holds its compute slot, so
@@ -424,8 +610,13 @@ func (nw *Network) Run(program func(*Node) error) error {
 		}(i)
 	}
 	wg.Wait()
-	nw.releaseBuffers()
-	return nw.firstError(errs)
+	if stop != nil {
+		close(stop)
+		watch.Wait()
+	}
+	err := nw.firstError(errs)
+	completed = err == nil
+	return err
 }
 
 // firstError implements the documented deterministic error rule: lowest
@@ -462,15 +653,32 @@ type StepFunc func(nd *Node, round int, inbox Inbox) (done bool, err error)
 // very large cliques: n >= 10^4 logical nodes run on a handful of goroutines
 // with no parked stacks. Within a round each worker sweeps a contiguous shard
 // of nodes; delivery and metrics are identical to Run, and executions are
-// deterministic for any worker count.
+// deterministic for any worker count. Like Run, it may be called repeatedly
+// on one Network (never concurrently).
 //
 // Error reporting follows the same rule as Run: the lowest failing node id
 // wins; an engine-level failure is returned only if no step failed. Node
 // methods other than Exchange work as usual inside step; Exchange returns an
 // error because the engine itself drives the barrier.
 func (nw *Network) RunRounds(step StepFunc) error {
-	if !nw.started.CompareAndSwap(false, true) {
-		return errors.New("clique: Network.Run called twice")
+	return nw.RunRoundsContext(context.Background(), step)
+}
+
+// RunRoundsContext is RunRounds with cancellation: the engine-driven round
+// loop checks ctx between rounds and fails the run with an error wrapping
+// ctx.Err() as soon as a cancellation is observed (the current round's
+// compute phase finishes first; no worker is left stranded).
+func (nw *Network) RunRoundsContext(ctx context.Context, step StepFunc) error {
+	if err := nw.beginRun(); err != nil {
+		return err
+	}
+	completed := false
+	defer func() { nw.endRun(completed) }()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("clique: run cancelled: %w", err)
 	}
 	k := nw.cfg.workers
 	if k <= 0 {
@@ -552,6 +760,10 @@ func (nw *Network) RunRounds(step StepFunc) error {
 
 	remaining := nw.n
 	for round := 0; remaining > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			nw.fail.CompareAndSwap(nil, &failure{err: fmt.Errorf("clique: run cancelled: %w", err)})
+			break
+		}
 		for _, ch := range starts {
 			ch <- round
 		}
@@ -586,8 +798,9 @@ func (nw *Network) RunRounds(step StepFunc) error {
 	}
 	nw.stepsMu.Unlock()
 
-	nw.releaseBuffers()
-	return nw.firstError(errs)
+	err := nw.firstError(errs)
+	completed = err == nil
+	return err
 }
 
 // runStep invokes step with panic recovery, so one node's panic surfaces as
@@ -839,6 +1052,18 @@ func (nw *Network) leave(nd *Node) {
 	nw.steps[nd.id] = nd.steps
 	nw.memory[nd.id] = nd.memory
 	nw.stepsMu.Unlock()
+
+	// Hand the outbox backing array back for the next run, dropping every
+	// packet reference so pooled buffers never retain payload memory. By this
+	// point the array is no longer shared: a published outbox is consumed by
+	// delivery before the publishing Exchange returns, and after a failure
+	// nothing delivers again before the reset.
+	if b := nw.buffers; b != nil {
+		p := nd.pending[:cap(nd.pending)]
+		clear(p)
+		b.pending[nd.id] = p[:0]
+		nd.pending = nil
+	}
 
 	if nd.departed {
 		return

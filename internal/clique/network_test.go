@@ -228,17 +228,47 @@ func TestNodePanicIsConvertedToError(t *testing.T) {
 	}
 }
 
-func TestRunTwiceFails(t *testing.T) {
+func TestRunReuseAndClose(t *testing.T) {
 	t.Parallel()
 	nw, err := New(3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.Run(func(nd *Node) error { return nil }); err != nil {
+	program := func(nd *Node) error {
+		nd.Broadcast(Packet{Word(nd.ID())})
+		inbox, err := nd.Exchange()
+		if err != nil {
+			return err
+		}
+		if inbox.Count() != 3 {
+			return fmt.Errorf("node %d received %d packets, want 3", nd.ID(), inbox.Count())
+		}
+		return nil
+	}
+	if err := nw.Run(program); err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.Run(func(nd *Node) error { return nil }); err == nil {
-		t.Fatal("second Run should fail")
+	first := nw.Metrics()
+	if err := nw.Run(program); err != nil {
+		t.Fatalf("second run on the same Network: %v", err)
+	}
+	second := nw.Metrics()
+	if first.Rounds != second.Rounds || first.TotalMessages != second.TotalMessages ||
+		first.TotalWords != second.TotalWords || first.MaxEdgeWords != second.MaxEdgeWords {
+		t.Fatalf("per-run metrics differ across identical runs: %+v vs %+v", first, second)
+	}
+	cum := nw.CumulativeMetrics()
+	if cum.Runs != 2 || cum.Rounds != first.Rounds*2 || cum.TotalWords != first.TotalWords*2 {
+		t.Fatalf("cumulative metrics wrong: %+v", cum)
+	}
+	if err := nw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Close(); err != nil {
+		t.Fatalf("Close must be idempotent: %v", err)
+	}
+	if err := nw.Run(program); err == nil {
+		t.Fatal("Run after Close should fail")
 	}
 }
 

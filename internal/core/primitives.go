@@ -228,13 +228,7 @@ func announceFixed(c *comm, group []int, payloads [][]clique.Word, perMember int
 		if len(payloads) != perMember {
 			return nil, fmt.Errorf("core: announceFixed(%s): %d payloads, want %d", st.name, len(payloads), perMember)
 		}
-		w := len(group)
-		demand = makeIntMatrix(w, w)
-		for i := range demand {
-			for j := range demand[i] {
-				demand[i][j] = perMember
-			}
-		}
+		demand = c.uniformDemandMatrix(len(group), perMember)
 		// Each announced item is [myIdx, payload...]; the copies live in the
 		// instance arena so no per-item allocation happens.
 		slot := c.itemSlot()
@@ -257,7 +251,29 @@ func announceFixed(c *comm, group []int, payloads [][]clique.Word, perMember int
 	if len(group) == 0 {
 		return nil, nil
 	}
-	out := make([][][]clique.Word, len(group))
+	// The result structure is carved from the comm's announcement scratch:
+	// out's w buckets are fixed-capacity windows of the flat annRows arena
+	// (every member announces exactly perMember items), so no per-bucket
+	// growth allocation happens. The structure is only valid until the comm's
+	// next announcement; both callers consume it immediately.
+	w := len(group)
+	rows := c.annRows
+	if need := w * perMember; cap(rows) < need {
+		rows = make([][]clique.Word, need)
+		c.annRows = rows
+	} else {
+		rows = rows[:need]
+	}
+	out := c.annOut
+	if cap(out) < w {
+		out = make([][][]clique.Word, w)
+		c.annOut = out
+	} else {
+		out = out[:w]
+	}
+	for a := 0; a < w; a++ {
+		out[a] = rows[a*perMember : a*perMember : (a+1)*perMember]
+	}
 	for _, it := range received {
 		if len(it.words) < 1 {
 			return nil, fmt.Errorf("core: announceFixed(%s): malformed announcement", st.name)
@@ -265,6 +281,9 @@ func announceFixed(c *comm, group []int, payloads [][]clique.Word, perMember int
 		a := int(it.words[0])
 		if a < 0 || a >= len(group) {
 			return nil, fmt.Errorf("core: announceFixed(%s): announcement from invalid group position %d", st.name, a)
+		}
+		if len(out[a]) == cap(out[a]) {
+			return nil, fmt.Errorf("core: announceFixed(%s): member %d announced more than %d items", st.name, a, perMember)
 		}
 		out[a] = append(out[a], it.words[1:])
 	}

@@ -238,6 +238,38 @@ type commScratch struct {
 	posScratch []int32
 	// cursorScratch is a zeroed per-class counter slice handed out by cursors.
 	cursorScratch []int
+
+	// annRows and annOut back the per-sender result structure of
+	// announceFixed: annOut's w buckets are carved out of the flat annRows
+	// arena, so assembling an announcement result allocates nothing in steady
+	// state. The structure is valid only until the comm's next announcement
+	// (callers consume it immediately). annDemand/annDemandFlat likewise back
+	// the uniform demand matrix every announcement hands to relayRoute, which
+	// only reads it during the call.
+	annRows       [][]clique.Word
+	annOut        [][][]clique.Word
+	annDemand     [][]int
+	annDemandFlat []int
+}
+
+// uniformDemandMatrix returns a pooled w x w matrix with every cell set to
+// u. It is only valid until the comm's next announcement.
+func (c *comm) uniformDemandMatrix(w, u int) [][]int {
+	if cap(c.annDemand) < w {
+		c.annDemand = make([][]int, w)
+	}
+	m := c.annDemand[:w]
+	if need := w * w; cap(c.annDemandFlat) < need {
+		c.annDemandFlat = make([]int, need)
+	}
+	flat := c.annDemandFlat[:w*w]
+	for i := range flat {
+		flat[i] = u
+	}
+	for i := 0; i < w; i++ {
+		m[i] = flat[i*w : (i+1)*w : (i+1)*w]
+	}
+	return m
 }
 
 var commScratchPool = sync.Pool{New: func() interface{} { return new(commScratch) }}

@@ -46,6 +46,7 @@ func MeasureRouting(n, per int, pattern workload.RoutingPattern, algorithm strin
 	if err != nil {
 		return nil, err
 	}
+	defer nw.Close()
 	results := make([][]core.Message, n)
 	err = nw.Run(func(nd *clique.Node) error {
 		var (
@@ -90,6 +91,7 @@ func MeasureSorting(n, per int, dist workload.KeyDistribution, algorithm string,
 	if err != nil {
 		return nil, err
 	}
+	defer nw.Close()
 	results := make([]*core.SortResult, n)
 	err = nw.Run(func(nd *clique.Node) error {
 		var (
@@ -129,6 +131,7 @@ func MeasureRank(n, per int, dist workload.KeyDistribution, seed int64) (*Measur
 	if err != nil {
 		return nil, err
 	}
+	defer nw.Close()
 	results := make([]*core.RankResult, n)
 	err = nw.Run(func(nd *clique.Node) error {
 		res, rErr := core.Rank(nd, inst.Keys[nd.ID()])
@@ -157,6 +160,7 @@ func MeasureSelect(n, per int, dist workload.KeyDistribution, seed int64) (*Meas
 	if err != nil {
 		return nil, err
 	}
+	defer nw.Close()
 	err = nw.Run(func(nd *clique.Node) error {
 		_, mErr := core.Median(nd, inst.Keys[nd.ID()])
 		return mErr
@@ -177,6 +181,7 @@ func MeasureMode(n, per int, dist workload.KeyDistribution, seed int64) (*Measur
 	if err != nil {
 		return nil, err
 	}
+	defer nw.Close()
 	err = nw.Run(func(nd *clique.Node) error {
 		_, mErr := core.Mode(nd, inst.Keys[nd.ID()])
 		return mErr
@@ -197,6 +202,7 @@ func MeasureSmallKeys(n, per, domain int, seed int64) (*Measurement, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer nw.Close()
 	results := make([]*core.SmallKeyResult, n)
 	err = nw.Run(func(nd *clique.Node) error {
 		res, cErr := core.SmallKeyCount(nd, values[nd.ID()], domain)

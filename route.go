@@ -1,11 +1,8 @@
 package congestedclique
 
 import (
+	"context"
 	"fmt"
-
-	"congestedclique/internal/baseline"
-	"congestedclique/internal/clique"
-	"congestedclique/internal/core"
 )
 
 // RouteResult is the outcome of one Information Distribution Task execution.
@@ -17,103 +14,28 @@ type RouteResult struct {
 	Stats Stats
 }
 
-// Route solves the Information Distribution Task (Problem 3.1) on a clique of
-// n nodes: msgs[i] are the messages originating at node i (at most n per
-// node, each destined to a node in [0, n)), and the result lists what every
-// node received. The default algorithm is the paper's deterministic 16-round
-// solution (Theorem 3.7); see WithAlgorithm for the 12-round low-computation
-// variant (Theorem 5.4) and the comparison baselines.
+// Route solves the Information Distribution Task (Problem 3.1) on a clique
+// of n nodes. It is the one-shot convenience form of Clique.Route: it builds
+// a throwaway session handle, runs the single operation with a background
+// context and closes the handle again; results and statistics are identical
+// to the session path. Services issuing many operations should hold a
+// Clique handle instead.
 func Route(n int, msgs [][]Message, opts ...Option) (*RouteResult, error) {
-	cfg, err := applyOptions(opts)
+	// Validate the instance shape before building (and immediately closing)
+	// an engine for it — malformed inputs never pay construction.
+	if err := validateNodeCount(n); err != nil {
+		return nil, err
+	}
+	var rv routeValidator
+	if err := rv.validate(n, msgs); err != nil {
+		return nil, err
+	}
+	c, err := New(n, opts...)
 	if err != nil {
 		return nil, err
 	}
-	if err := validateRoutingInstance(n, msgs); err != nil {
-		return nil, err
-	}
-
-	inputs := make([][]core.Message, n)
-	for i := 0; i < n && i < len(msgs); i++ {
-		for _, m := range msgs[i] {
-			inputs[i] = append(inputs[i], toCoreMessage(m))
-		}
-	}
-
-	nw, err := buildNetwork(n, cfg)
-	if err != nil {
-		return nil, err
-	}
-	outputs := make([][]core.Message, n)
-	runErr := nw.Run(func(nd *clique.Node) error {
-		var (
-			out  []core.Message
-			rErr error
-		)
-		switch cfg.algorithm {
-		case Deterministic:
-			out, rErr = core.Route(nd, inputs[nd.ID()])
-		case LowCompute:
-			out, rErr = core.LowComputeRoute(nd, inputs[nd.ID()])
-		case Randomized:
-			out, rErr = baseline.RandomizedRoute(nd, inputs[nd.ID()], cfg.seed)
-		case NaiveDirect:
-			out, rErr = baseline.NaiveDirectRoute(nd, inputs[nd.ID()])
-		default:
-			rErr = fmt.Errorf("congestedclique: unsupported algorithm %v", cfg.algorithm)
-		}
-		if rErr != nil {
-			return rErr
-		}
-		outputs[nd.ID()] = out
-		return nil
-	})
-	if runErr != nil {
-		return nil, runErr
-	}
-
-	res := &RouteResult{Delivered: make([][]Message, n), Stats: statsFromMetrics(nw.Metrics())}
-	for i, out := range outputs {
-		for _, m := range out {
-			res.Delivered[i] = append(res.Delivered[i], fromCoreMessage(m))
-		}
-	}
-	return res, nil
-}
-
-// validateRoutingInstance checks the Problem 3.1 preconditions.
-func validateRoutingInstance(n int, msgs [][]Message) error {
-	if n <= 0 {
-		return fmt.Errorf("%w: need at least one node, got %d", ErrInvalidInstance, n)
-	}
-	if len(msgs) > n {
-		return fmt.Errorf("%w: %d input slots for %d nodes", ErrInvalidInstance, len(msgs), n)
-	}
-	recv := make([]int, n)
-	for src, ms := range msgs {
-		if len(ms) > n {
-			return fmt.Errorf("%w: node %d sends %d messages, Problem 3.1 allows at most n=%d", ErrInvalidInstance, src, len(ms), n)
-		}
-		seen := make(map[int]bool, len(ms))
-		for _, m := range ms {
-			if m.Src != src {
-				return fmt.Errorf("%w: message (%d->%d #%d) listed under node %d", ErrInvalidInstance, m.Src, m.Dst, m.Seq, src)
-			}
-			if m.Dst < 0 || m.Dst >= n {
-				return fmt.Errorf("%w: message destination %d out of range [0,%d)", ErrInvalidInstance, m.Dst, n)
-			}
-			if seen[m.Seq] {
-				return fmt.Errorf("%w: node %d has two messages with sequence number %d", ErrInvalidInstance, src, m.Seq)
-			}
-			seen[m.Seq] = true
-			recv[m.Dst]++
-		}
-	}
-	for dst, r := range recv {
-		if r > n {
-			return fmt.Errorf("%w: node %d would receive %d messages, Problem 3.1 allows at most n=%d", ErrInvalidInstance, dst, r, n)
-		}
-	}
-	return nil
+	defer c.Close()
+	return c.routeValidated(context.Background(), msgs)
 }
 
 // NewUniformMessages is a convenience constructor: it labels payloads[i][j]
@@ -127,9 +49,11 @@ func NewUniformMessages(dsts [][]int, payloads [][]int64) ([][]Message, error) {
 		if len(dsts[i]) != len(payloads[i]) {
 			return nil, fmt.Errorf("%w: node %d has %d destinations but %d payloads", ErrInvalidInstance, i, len(dsts[i]), len(payloads[i]))
 		}
+		row := make([]Message, len(dsts[i]))
 		for j := range dsts[i] {
-			msgs[i] = append(msgs[i], Message{Src: i, Dst: dsts[i][j], Seq: j, Payload: payloads[i][j]})
+			row[j] = Message{Src: i, Dst: dsts[i][j], Seq: j, Payload: payloads[i][j]}
 		}
+		msgs[i] = row
 	}
 	return msgs, nil
 }

@@ -1,0 +1,636 @@
+package congestedclique
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+
+	"congestedclique/internal/baseline"
+	"congestedclique/internal/clique"
+	"congestedclique/internal/core"
+)
+
+// Clique is a long-lived session handle over one simulated congested clique
+// of n nodes. It amortizes engine construction — delivery arenas, metric
+// buffers, schedule-cache maps, input staging buffers — across an unbounded
+// stream of operations: the per-operation cost of a handle is the protocol
+// itself, not rebuilding the simulator.
+//
+// Lifetime: a handle owns its engine until Close; afterwards every method
+// fails with an error wrapping ErrClosed. Methods are safe for concurrent
+// use, but the handle serializes operations on its single engine — run one
+// handle per goroutine for parallel workloads (handles are fully
+// independent, including their statistics).
+//
+// Every result is a plain value owned by the caller; nothing a method
+// returns aliases engine memory, so results remain valid across later calls
+// and after Close.
+type Clique struct {
+	n   int
+	cfg config
+
+	// mu serializes operations: the engine supports one run at a time, and
+	// the staging/validation scratch below is per-handle.
+	mu     sync.Mutex
+	nw     *clique.Network
+	closed bool
+
+	// Input staging and result-gathering scratch, reused across operations
+	// (only ever touched under mu, and only read by node programs while the
+	// run they were staged for is in flight).
+	msgIn   [][]core.Message
+	keyIn   [][]core.Key
+	intIn   [][]int
+	msgOut  [][]core.Message
+	sortOut []*core.SortResult
+	rankOut []*core.RankResult
+	keyOut  []core.Key
+	rv      routeValidator
+}
+
+// New builds a session handle for a congested clique of n >= 1 nodes.
+// Handle-scoped options (WithStrictBandwidth, WithSharedScheduleCache,
+// WithWorkers) shape the engine; call-scoped options (WithAlgorithm,
+// WithSeed) passed here become the handle's defaults, overridable per call.
+// Close the handle when done to release the engine's pooled buffers.
+func New(n int, opts ...Option) (*Clique, error) {
+	if err := validateNodeCount(n); err != nil {
+		return nil, err
+	}
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := buildNetwork(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Clique{
+		n:      n,
+		cfg:    cfg,
+		nw:     nw,
+		msgIn:  make([][]core.Message, n),
+		keyIn:  make([][]core.Key, n),
+		intIn:  make([][]int, n),
+		msgOut: make([][]core.Message, n),
+	}, nil
+}
+
+// N returns the clique size the handle was built for.
+func (c *Clique) N() int { return c.n }
+
+// Close releases the engine's pooled buffers and marks the handle unusable.
+// It is idempotent; calling it concurrently with an in-flight operation
+// blocks until that operation completes.
+func (c *Clique) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.nw.Close()
+}
+
+// CumulativeStats returns the aggregated cost of every operation that
+// completed successfully on this handle: totals summed across operations,
+// maxima taken over operations; failed and cancelled operations are not
+// counted. Each result's own Stats field remains the per-operation view.
+func (c *Clique) CumulativeStats() CumulativeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return statsFromCumulative(c.nw.CumulativeMetrics())
+}
+
+// acquire takes the handle lock and rejects closed handles. On success the
+// caller must release c.mu.
+func (c *Clique) acquire() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	return nil
+}
+
+// callConfig layers per-call options over the handle defaults.
+func (c *Clique) callConfig(opts []Option) (config, error) {
+	return applyCallOptions(c.cfg, opts)
+}
+
+// sortBasedConfig is callConfig for the sorting-based corollary operations
+// (Rank, SelectKth, Median, Mode, CountSmallKeys), which only have
+// deterministic implementations. LowCompute falls back to the deterministic
+// path exactly like Sort does; Randomized and NaiveDirect are rejected
+// rather than silently running a different algorithm than the caller asked
+// to measure.
+func (c *Clique) sortBasedConfig(op string, opts []Option) (config, error) {
+	cfg, err := applyCallOptions(c.cfg, opts)
+	if err != nil {
+		return cfg, err
+	}
+	switch cfg.algorithm {
+	case Deterministic, LowCompute:
+		return cfg, nil
+	default:
+		return cfg, fmt.Errorf("%w: %s only has the deterministic implementation (got %v)", ErrUnsupportedAlgorithm, op, cfg.algorithm)
+	}
+}
+
+// Route solves the Information Distribution Task (Problem 3.1): msgs[i] are
+// the messages originating at node i (at most n per node, each destined to a
+// node in [0, n)), and the result lists what every node received. The
+// default algorithm is the paper's deterministic 16-round solution
+// (Theorem 3.7); see WithAlgorithm for the 12-round low-computation variant
+// (Theorem 5.4) and the comparison baselines.
+func (c *Clique) Route(ctx context.Context, msgs [][]Message, opts ...Option) (*RouteResult, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.mu.Unlock()
+	cfg, err := c.callConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.rv.validate(c.n, msgs); err != nil {
+		return nil, err
+	}
+	return c.routeLocked(ctx, cfg, msgs)
+}
+
+// routeValidated runs Route on an instance the caller has already validated
+// (the one-shot shim validates before building the handle, so the happy
+// path pays one validation scan, not two). The caller must not hold c.mu.
+func (c *Clique) routeValidated(ctx context.Context, msgs [][]Message) (*RouteResult, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.mu.Unlock()
+	return c.routeLocked(ctx, c.cfg, msgs)
+}
+
+// routeLocked is the routing pipeline body; the caller holds c.mu and has
+// validated msgs.
+func (c *Clique) routeLocked(ctx context.Context, cfg config, msgs [][]Message) (*RouteResult, error) {
+	inputs := c.msgIn
+	for i := 0; i < c.n; i++ {
+		if i < len(msgs) && len(msgs[i]) > 0 {
+			s := inputs[i]
+			if cap(s) < len(msgs[i]) {
+				s = make([]core.Message, len(msgs[i]))
+			} else {
+				s = s[:len(msgs[i])]
+			}
+			for j, m := range msgs[i] {
+				s[j] = toCoreMessage(m)
+			}
+			inputs[i] = s
+		} else {
+			inputs[i] = inputs[i][:0]
+		}
+	}
+
+	outputs := c.msgOut
+	runErr := c.nw.RunContext(ctx, func(nd *clique.Node) error {
+		var (
+			out  []core.Message
+			rErr error
+		)
+		switch cfg.algorithm {
+		case Deterministic:
+			out, rErr = core.Route(nd, inputs[nd.ID()])
+		case LowCompute:
+			out, rErr = core.LowComputeRoute(nd, inputs[nd.ID()])
+		case Randomized:
+			out, rErr = baseline.RandomizedRoute(nd, inputs[nd.ID()], cfg.seed)
+		case NaiveDirect:
+			out, rErr = baseline.NaiveDirectRoute(nd, inputs[nd.ID()])
+		default:
+			rErr = fmt.Errorf("congestedclique: unsupported algorithm %v", cfg.algorithm)
+		}
+		if rErr != nil {
+			return rErr
+		}
+		outputs[nd.ID()] = out
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res := &RouteResult{Delivered: make([][]Message, c.n), Stats: statsFromMetrics(c.nw.Metrics())}
+	for i := range outputs {
+		if out := outputs[i]; len(out) > 0 {
+			d := make([]Message, len(out))
+			for j, m := range out {
+				d[j] = fromCoreMessage(m)
+			}
+			res.Delivered[i] = d
+		}
+		outputs[i] = nil
+	}
+	return res, nil
+}
+
+// Sort sorts the values of the clique: values[i] are node i's keys (at most
+// n per node). Node i's batch of the globally sorted sequence is returned in
+// Batches[i]. The default algorithm is the paper's 37-round deterministic
+// Algorithm 4 (Theorem 4.5); WithAlgorithm(Randomized) selects the
+// sample-sort baseline, LowCompute falls back to Deterministic (documented
+// on the constant), and NaiveDirect is rejected with
+// ErrUnsupportedAlgorithm.
+func (c *Clique) Sort(ctx context.Context, values [][]int64, opts ...Option) (*SortResult, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.mu.Unlock()
+	cfg, err := c.callConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateValues(c.n, values); err != nil {
+		return nil, err
+	}
+	return c.sortStaged(ctx, cfg, c.stageValues(values))
+}
+
+// SortKeys is Sort for callers that already carry Key structures (for
+// example to preserve their own Origin/Seq bookkeeping).
+func (c *Clique) SortKeys(ctx context.Context, keys [][]Key, opts ...Option) (*SortResult, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.mu.Unlock()
+	cfg, err := c.callConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateSortingInstance(c.n, keys); err != nil {
+		return nil, err
+	}
+	return c.sortKeysLocked(ctx, cfg, keys)
+}
+
+// sortKeysValidated is SortKeys minus the validation scan, for the one-shot
+// shim which has already validated (see routeValidated).
+func (c *Clique) sortKeysValidated(ctx context.Context, keys [][]Key) (*SortResult, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.mu.Unlock()
+	return c.sortKeysLocked(ctx, c.cfg, keys)
+}
+
+// sortKeysLocked is the key-sorting pipeline body; the caller holds c.mu
+// and has validated keys.
+func (c *Clique) sortKeysLocked(ctx context.Context, cfg config, keys [][]Key) (*SortResult, error) {
+	inputs := c.keyIn
+	for i := 0; i < c.n; i++ {
+		if i < len(keys) && len(keys[i]) > 0 {
+			s := inputs[i]
+			if cap(s) < len(keys[i]) {
+				s = make([]core.Key, len(keys[i]))
+			} else {
+				s = s[:len(keys[i])]
+			}
+			for j, k := range keys[i] {
+				s[j] = toCoreKey(k)
+			}
+			inputs[i] = s
+		} else {
+			inputs[i] = inputs[i][:0]
+		}
+	}
+	return c.sortStaged(ctx, cfg, inputs)
+}
+
+// sortStaged runs the sorting pipeline on inputs already staged as core keys
+// (the caller holds c.mu).
+func (c *Clique) sortStaged(ctx context.Context, cfg config, inputs [][]core.Key) (*SortResult, error) {
+	if cfg.algorithm == NaiveDirect {
+		return nil, fmt.Errorf("%w: naive-direct delivers messages, it has no sorting counterpart (use Deterministic or Randomized)", ErrUnsupportedAlgorithm)
+	}
+	if c.sortOut == nil {
+		c.sortOut = make([]*core.SortResult, c.n)
+	}
+	results := c.sortOut
+	runErr := c.nw.RunContext(ctx, func(nd *clique.Node) error {
+		var (
+			res  *core.SortResult
+			sErr error
+		)
+		switch cfg.algorithm {
+		case Deterministic, LowCompute:
+			res, sErr = core.Sort(nd, inputs[nd.ID()])
+		case Randomized:
+			res, sErr = baseline.RandomizedSampleSort(nd, inputs[nd.ID()], cfg.seed)
+		default:
+			sErr = fmt.Errorf("congestedclique: unsupported algorithm %v", cfg.algorithm)
+		}
+		if sErr != nil {
+			return sErr
+		}
+		results[nd.ID()] = res
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	out := &SortResult{
+		Batches: make([][]Key, c.n),
+		Starts:  make([]int, c.n),
+		Stats:   statsFromMetrics(c.nw.Metrics()),
+	}
+	for i := range results {
+		res := results[i]
+		out.Total = res.Total
+		out.Starts[i] = res.Start
+		if len(res.Batch) > 0 {
+			b := make([]Key, len(res.Batch))
+			for j, k := range res.Batch {
+				b[j] = fromCoreKey(k)
+			}
+			out.Batches[i] = b
+		}
+		results[i] = nil
+	}
+	return out, nil
+}
+
+// Rank computes, for every input value, its index in the sorted sequence of
+// distinct values present in the system; duplicate values share an index
+// (Corollary 4.6).
+func (c *Clique) Rank(ctx context.Context, values [][]int64, opts ...Option) (*RankResult, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.mu.Unlock()
+	if _, err := c.sortBasedConfig("Rank", opts); err != nil {
+		return nil, err
+	}
+	if err := validateValues(c.n, values); err != nil {
+		return nil, err
+	}
+	inputs := c.stageValues(values)
+	if c.rankOut == nil {
+		c.rankOut = make([]*core.RankResult, c.n)
+	}
+	results := c.rankOut
+	runErr := c.nw.RunContext(ctx, func(nd *clique.Node) error {
+		res, rErr := core.Rank(nd, inputs[nd.ID()])
+		if rErr != nil {
+			return rErr
+		}
+		results[nd.ID()] = res
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	out := &RankResult{Ranks: make([][]int, c.n), Stats: statsFromMetrics(c.nw.Metrics())}
+	for i := range results {
+		out.DistinctTotal = results[i].DistinctTotal
+		if i < len(values) {
+			out.Ranks[i] = make([]int, len(values[i]))
+			for j := range values[i] {
+				out.Ranks[i][j] = results[i].Ranks[j]
+			}
+		}
+		results[i] = nil
+	}
+	return out, nil
+}
+
+// SelectKth returns the key of global rank k (0-based) among all input
+// values, together with the execution statistics.
+func (c *Clique) SelectKth(ctx context.Context, values [][]int64, k int, opts ...Option) (Key, Stats, error) {
+	return c.selectWith(ctx, "SelectKth", values, opts, func(ex clique.Exchanger, in []core.Key) (core.Key, error) {
+		return core.Select(ex, in, k)
+	})
+}
+
+// Median returns the lower median of all input values.
+func (c *Clique) Median(ctx context.Context, values [][]int64, opts ...Option) (Key, Stats, error) {
+	return c.selectWith(ctx, "Median", values, opts, core.Median)
+}
+
+// selectWith runs one single-key selection protocol (SelectKth, Median).
+func (c *Clique) selectWith(ctx context.Context, op string, values [][]int64, opts []Option, pick func(clique.Exchanger, []core.Key) (core.Key, error)) (Key, Stats, error) {
+	if err := c.acquire(); err != nil {
+		return Key{}, Stats{}, err
+	}
+	defer c.mu.Unlock()
+	if _, err := c.sortBasedConfig(op, opts); err != nil {
+		return Key{}, Stats{}, err
+	}
+	if err := validateValues(c.n, values); err != nil {
+		return Key{}, Stats{}, err
+	}
+	inputs := c.stageValues(values)
+	if c.keyOut == nil {
+		c.keyOut = make([]core.Key, c.n)
+	}
+	picked := c.keyOut
+	runErr := c.nw.RunContext(ctx, func(nd *clique.Node) error {
+		res, sErr := pick(nd, inputs[nd.ID()])
+		if sErr != nil {
+			return sErr
+		}
+		picked[nd.ID()] = res
+		return nil
+	})
+	if runErr != nil {
+		return Key{}, Stats{}, runErr
+	}
+	return fromCoreKey(picked[0]), statsFromMetrics(c.nw.Metrics()), nil
+}
+
+// Mode returns the most frequent value among all inputs (smallest value wins
+// ties), computed by sorting plus one summary round.
+func (c *Clique) Mode(ctx context.Context, values [][]int64, opts ...Option) (*ModeResult, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.mu.Unlock()
+	if _, err := c.sortBasedConfig("Mode", opts); err != nil {
+		return nil, err
+	}
+	if err := validateValues(c.n, values); err != nil {
+		return nil, err
+	}
+	inputs := c.stageValues(values)
+	var mode core.ModeResult
+	runErr := c.nw.RunContext(ctx, func(nd *clique.Node) error {
+		res, mErr := core.Mode(nd, inputs[nd.ID()])
+		if mErr != nil {
+			return mErr
+		}
+		if nd.ID() == 0 {
+			mode = *res
+		}
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &ModeResult{Value: mode.Value, Count: mode.Count, Stats: statsFromMetrics(c.nw.Metrics())}, nil
+}
+
+// CountSmallKeys counts keys drawn from a small domain [0, domain) in two
+// rounds of single-word messages (Section 6.3). The domain must satisfy
+// domain * ceil(log2(n+1))^2 <= n.
+func (c *Clique) CountSmallKeys(ctx context.Context, values [][]int, domain int, opts ...Option) (*HistogramResult, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.mu.Unlock()
+	if _, err := c.sortBasedConfig("CountSmallKeys", opts); err != nil {
+		return nil, err
+	}
+	if len(values) > c.n {
+		return nil, fmt.Errorf("%w: %d input slots for %d nodes", ErrInvalidInstance, len(values), c.n)
+	}
+	inputs := c.intIn
+	for i := 0; i < c.n; i++ {
+		if i < len(values) {
+			inputs[i] = values[i]
+		} else {
+			inputs[i] = nil
+		}
+	}
+	var counts []int64
+	runErr := c.nw.RunContext(ctx, func(nd *clique.Node) error {
+		res, cErr := core.SmallKeyCount(nd, inputs[nd.ID()], domain)
+		if cErr != nil {
+			return cErr
+		}
+		if nd.ID() == 0 {
+			counts = res.Counts
+		}
+		return nil
+	})
+	// intIn aliases the caller's rows (unlike msgIn/keyIn, which hold
+	// handle-owned copies); drop the references so a long-lived handle never
+	// pins a past caller's memory.
+	clear(c.intIn)
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &HistogramResult{Counts: counts, Stats: statsFromMetrics(c.nw.Metrics())}, nil
+}
+
+// stageValues converts plain values into the handle's core-key staging
+// buffers, attaching Origin/Seq labels (the caller holds c.mu and has
+// validated the shape).
+func (c *Clique) stageValues(values [][]int64) [][]core.Key {
+	inputs := c.keyIn
+	for i := 0; i < c.n; i++ {
+		if i < len(values) && len(values[i]) > 0 {
+			s := inputs[i]
+			if cap(s) < len(values[i]) {
+				s = make([]core.Key, len(values[i]))
+			} else {
+				s = s[:len(values[i])]
+			}
+			for j, v := range values[i] {
+				s[j] = core.Key{Value: v, Origin: i, Seq: j}
+			}
+			inputs[i] = s
+		} else {
+			inputs[i] = inputs[i][:0]
+		}
+	}
+	return inputs
+}
+
+// validateNodeCount is the shared n >= 1 precondition.
+func validateNodeCount(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: need at least one node, got %d", ErrInvalidInstance, n)
+	}
+	return nil
+}
+
+// validateValues checks the Problem 4.1 shape for plain-value inputs.
+func validateValues(n int, values [][]int64) error {
+	if len(values) > n {
+		return fmt.Errorf("%w: %d input slots for %d nodes", ErrInvalidInstance, len(values), n)
+	}
+	for i, vs := range values {
+		if len(vs) > n {
+			return fmt.Errorf("%w: node %d holds %d keys, Problem 4.1 allows at most n=%d", ErrInvalidInstance, i, len(vs), n)
+		}
+	}
+	return nil
+}
+
+// routeValidator is the reusable scratch of validateRoutingInstance: a dense
+// bitmap handles the common case of per-node sequence numbers in
+// [0, len(msgs[i])) with zero allocation, and the rare out-of-window
+// sequence numbers fall back to a reusable sorted scan — no per-node map is
+// ever allocated, even on full-load instances.
+type routeValidator struct {
+	recv []int
+	bits []uint64
+	seqs []int
+}
+
+// validate checks the Problem 3.1 preconditions.
+func (v *routeValidator) validate(n int, msgs [][]Message) error {
+	if len(msgs) > n {
+		return fmt.Errorf("%w: %d input slots for %d nodes", ErrInvalidInstance, len(msgs), n)
+	}
+	if cap(v.recv) < n {
+		v.recv = make([]int, n)
+	} else {
+		v.recv = v.recv[:n]
+		clear(v.recv)
+	}
+	for src, ms := range msgs {
+		if len(ms) > n {
+			return fmt.Errorf("%w: node %d sends %d messages, Problem 3.1 allows at most n=%d", ErrInvalidInstance, src, len(ms), n)
+		}
+		words := (len(ms) + 63) / 64
+		if cap(v.bits) < words {
+			v.bits = make([]uint64, words)
+		} else {
+			v.bits = v.bits[:words]
+			clear(v.bits)
+		}
+		v.seqs = v.seqs[:0]
+		for _, m := range ms {
+			if m.Src != src {
+				return fmt.Errorf("%w: message (%d->%d #%d) listed under node %d", ErrInvalidInstance, m.Src, m.Dst, m.Seq, src)
+			}
+			if m.Dst < 0 || m.Dst >= n {
+				return fmt.Errorf("%w: message destination %d out of range [0,%d)", ErrInvalidInstance, m.Dst, n)
+			}
+			if uint(m.Seq) < uint(len(ms)) {
+				w, b := m.Seq>>6, uint(m.Seq)&63
+				if v.bits[w]&(1<<b) != 0 {
+					return fmt.Errorf("%w: node %d has two messages with sequence number %d", ErrInvalidInstance, src, m.Seq)
+				}
+				v.bits[w] |= 1 << b
+			} else {
+				v.seqs = append(v.seqs, m.Seq)
+			}
+			v.recv[m.Dst]++
+		}
+		if len(v.seqs) > 1 {
+			slices.Sort(v.seqs)
+			for i := 1; i < len(v.seqs); i++ {
+				if v.seqs[i] == v.seqs[i-1] {
+					return fmt.Errorf("%w: node %d has two messages with sequence number %d", ErrInvalidInstance, src, v.seqs[i])
+				}
+			}
+		}
+	}
+	for dst, r := range v.recv {
+		if r > n {
+			return fmt.Errorf("%w: node %d would receive %d messages, Problem 3.1 allows at most n=%d", ErrInvalidInstance, dst, r, n)
+		}
+	}
+	return nil
+}

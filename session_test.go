@@ -1,0 +1,428 @@
+package congestedclique
+
+// Tests for the session API semantics: handle reuse produces bit-identical
+// statistics, handles are independent under concurrency, context
+// cancellation aborts without stranding the barrier, closed handles fail
+// cleanly, and the option scope split is enforced.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSessionReuseStatsBitIdentical runs the golden full-load workloads
+// repeatedly (and interleaved with other operations) on one handle and
+// checks every run's statistics against a fresh one-shot call.
+func TestSessionReuseStatsBitIdentical(t *testing.T) {
+	t.Parallel()
+	const n = 64
+	ctx := context.Background()
+	msgs := benchRouteWorkload(n)
+	values := benchSortWorkload(n)
+
+	oneShotRoute, err := Route(n, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShotSort, err := Sort(n, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for round := 0; round < 3; round++ {
+		res, err := cl.Route(ctx, msgs)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.Stats != oneShotRoute.Stats {
+			t.Fatalf("round %d: session Route stats %+v differ from one-shot %+v", round, res.Stats, oneShotRoute.Stats)
+		}
+		sorted, err := cl.Sort(ctx, values)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if sorted.Stats != oneShotSort.Stats {
+			t.Fatalf("round %d: session Sort stats %+v differ from one-shot %+v", round, sorted.Stats, oneShotSort.Stats)
+		}
+		// Results, not just stats, must be identical.
+		for i := range res.Delivered {
+			if len(res.Delivered[i]) != len(oneShotRoute.Delivered[i]) {
+				t.Fatalf("round %d: node %d received %d messages, one-shot %d", round, i, len(res.Delivered[i]), len(oneShotRoute.Delivered[i]))
+			}
+			for j := range res.Delivered[i] {
+				if res.Delivered[i][j] != oneShotRoute.Delivered[i][j] {
+					t.Fatalf("round %d: delivery diverged at node %d message %d", round, i, j)
+				}
+			}
+		}
+	}
+	cum := cl.CumulativeStats()
+	if cum.Operations != 6 {
+		t.Fatalf("cumulative operations = %d, want 6", cum.Operations)
+	}
+	wantWords := 3 * (oneShotRoute.Stats.TotalWords + oneShotSort.Stats.TotalWords)
+	if cum.TotalWords != wantWords {
+		t.Fatalf("cumulative words = %d, want %d", cum.TotalWords, wantWords)
+	}
+}
+
+// TestSessionMixedOperations exercises every method of one handle in
+// sequence, ensuring no operation leaks state into the next.
+func TestSessionMixedOperations(t *testing.T) {
+	t.Parallel()
+	const n = 128 // large enough for the Section 6.3 helper-node requirement
+	ctx := context.Background()
+	cl, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	values := make([][]int64, n)
+	codes := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			values[i] = append(values[i], int64((i*7+k*3)%11))
+		}
+		codes[i] = []int{i % 2}
+	}
+
+	if _, err := cl.Route(ctx, benchRouteWorkload(n)); err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := cl.Sort(ctx, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.Total != n*n {
+		t.Fatalf("sorted %d keys, want %d", sorted.Total, n*n)
+	}
+	if _, err := cl.Rank(ctx, values); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.SelectKth(ctx, values, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Median(ctx, values); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Mode(ctx, values); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := cl.CountSmallKeys(ctx, codes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Counts[0]+hist.Counts[1] != int64(n) {
+		t.Fatalf("histogram counted %d keys, want %d", hist.Counts[0]+hist.Counts[1], n)
+	}
+	if cum := cl.CumulativeStats(); cum.Operations != 7 {
+		t.Fatalf("cumulative operations = %d, want 7", cum.Operations)
+	}
+}
+
+// TestSessionConcurrentHandles runs independent handles from concurrent
+// goroutines (the intended scaling pattern) under -race and checks each
+// produces the golden deterministic stats.
+func TestSessionConcurrentHandles(t *testing.T) {
+	t.Parallel()
+	const n = 25
+	const handles = 4
+	ctx := context.Background()
+	msgs := benchRouteWorkload(n)
+	want, err := Route(n, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, handles)
+	for h := 0; h < handles; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			cl, err := New(n)
+			if err != nil {
+				errs[h] = err
+				return
+			}
+			defer cl.Close()
+			for round := 0; round < 3; round++ {
+				res, err := cl.Route(ctx, msgs)
+				if err != nil {
+					errs[h] = err
+					return
+				}
+				if res.Stats != want.Stats {
+					errs[h] = fmt.Errorf("handle %d round %d: stats %+v, want %+v", h, round, res.Stats, want.Stats)
+					return
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSessionSerializesSharedHandle verifies a single handle used from many
+// goroutines stays correct (operations serialize internally).
+func TestSessionSerializesSharedHandle(t *testing.T) {
+	t.Parallel()
+	const n = 16
+	ctx := context.Background()
+	msgs := benchRouteWorkload(n)
+	want, err := Route(n, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 2; round++ {
+				res, err := cl.Route(ctx, msgs)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if res.Stats != want.Stats {
+					errs[g] = fmt.Errorf("goroutine %d: stats diverged", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cum := cl.CumulativeStats(); cum.Operations != 8 {
+		t.Fatalf("cumulative operations = %d, want 8", cum.Operations)
+	}
+}
+
+// TestSessionContextCancellation cancels an in-flight Route shortly after it
+// starts: the call must return an error wrapping context.Canceled without
+// stranding any node, and the handle must produce golden results afterwards.
+func TestSessionContextCancellation(t *testing.T) {
+	t.Parallel()
+	const n = 256 // large enough that the run is mid-flight when cancel lands
+	msgs := benchRouteWorkload(n)
+	cl, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := cl.Route(ctx, msgs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Route returned %v, want an error wrapping context.Canceled", err)
+	}
+
+	// The handle recovered: a fresh context produces the golden stats.
+	want, err := Route(n, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Route(context.Background(), msgs)
+	if err != nil {
+		t.Fatalf("Route after cancellation: %v", err)
+	}
+	if res.Stats != want.Stats {
+		t.Fatalf("stats after cancellation %+v, want %+v", res.Stats, want.Stats)
+	}
+	// Only the successful operation counts toward the session aggregate.
+	if cum := cl.CumulativeStats(); cum.Operations != 1 || cum.TotalWords != want.Stats.TotalWords {
+		t.Fatalf("cancelled run leaked into cumulative stats: %+v", cum)
+	}
+}
+
+// TestSessionPreCancelledContext: a context that is already over fails fast.
+func TestSessionPreCancelledContext(t *testing.T) {
+	t.Parallel()
+	cl, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cl.Route(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Route returned %v", err)
+	}
+	if _, err := cl.Route(context.Background(), nil); err != nil {
+		t.Fatalf("Route after pre-cancelled call: %v", err)
+	}
+}
+
+// TestSessionUseAfterClose: every method fails with ErrClosed, Close is
+// idempotent.
+func TestSessionUseAfterClose(t *testing.T) {
+	t.Parallel()
+	cl, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := cl.Route(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := cl.Route(ctx, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Route after Close returned %v, want ErrClosed", err)
+	}
+	if _, err := cl.Sort(ctx, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sort after Close returned %v, want ErrClosed", err)
+	}
+	if _, err := cl.CountSmallKeys(ctx, nil, 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("CountSmallKeys after Close returned %v, want ErrClosed", err)
+	}
+}
+
+// TestHandleScopedOptionRejectedPerCall: engine-shaping options are accepted
+// by New but rejected by individual calls.
+func TestHandleScopedOptionRejectedPerCall(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	cl, err := New(8, WithStrictBandwidth(64), WithWorkers(2), WithSharedScheduleCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, opt := range []Option{WithStrictBandwidth(16), WithSharedScheduleCache(false), WithWorkers(4)} {
+		if _, err := cl.Route(ctx, nil, opt); err == nil {
+			t.Fatal("handle-scoped option accepted by a call")
+		}
+	}
+	// Call-scoped options work per call and override handle defaults.
+	if _, err := cl.Route(ctx, nil, WithAlgorithm(LowCompute), WithSeed(7)); err != nil {
+		t.Fatalf("call-scoped options rejected: %v", err)
+	}
+}
+
+// TestSortAlgorithmFallbackAndRejection pins the documented Sort behaviour:
+// LowCompute falls back to the deterministic sorter bit for bit, NaiveDirect
+// is rejected with ErrUnsupportedAlgorithm through both API styles.
+func TestSortAlgorithmFallbackAndRejection(t *testing.T) {
+	t.Parallel()
+	const n = 16
+	values := benchSortWorkload(n)
+
+	det, err := Sort(n, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := Sort(n, values, WithAlgorithm(LowCompute))
+	if err != nil {
+		t.Fatalf("LowCompute sorting must fall back to deterministic: %v", err)
+	}
+	if lc.Stats != det.Stats {
+		t.Fatalf("LowCompute fallback stats %+v differ from deterministic %+v", lc.Stats, det.Stats)
+	}
+
+	if _, err := Sort(n, values, WithAlgorithm(NaiveDirect)); !errors.Is(err, ErrUnsupportedAlgorithm) {
+		t.Fatalf("NaiveDirect Sort returned %v, want ErrUnsupportedAlgorithm", err)
+	}
+	if _, err := SortKeys(n, nil, WithAlgorithm(NaiveDirect)); !errors.Is(err, ErrUnsupportedAlgorithm) {
+		t.Fatalf("NaiveDirect SortKeys returned %v, want ErrUnsupportedAlgorithm", err)
+	}
+	cl, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	if _, err := cl.Sort(ctx, values, WithAlgorithm(NaiveDirect)); !errors.Is(err, ErrUnsupportedAlgorithm) {
+		t.Fatalf("session NaiveDirect Sort returned %v, want ErrUnsupportedAlgorithm", err)
+	}
+
+	// The sorting-based corollaries follow the same rule: no silent
+	// fallback for algorithms that have no implementation there.
+	for _, alg := range []Algorithm{Randomized, NaiveDirect} {
+		if _, err := cl.Rank(ctx, values, WithAlgorithm(alg)); !errors.Is(err, ErrUnsupportedAlgorithm) {
+			t.Fatalf("Rank with %v returned %v, want ErrUnsupportedAlgorithm", alg, err)
+		}
+		if _, _, err := cl.Median(ctx, values, WithAlgorithm(alg)); !errors.Is(err, ErrUnsupportedAlgorithm) {
+			t.Fatalf("Median with %v returned %v, want ErrUnsupportedAlgorithm", alg, err)
+		}
+		if _, err := cl.Mode(ctx, values, WithAlgorithm(alg)); !errors.Is(err, ErrUnsupportedAlgorithm) {
+			t.Fatalf("Mode with %v returned %v, want ErrUnsupportedAlgorithm", alg, err)
+		}
+	}
+	// LowCompute falls back to deterministic for the corollaries, like Sort.
+	if _, _, err := cl.Median(ctx, values, WithAlgorithm(LowCompute)); err != nil {
+		t.Fatalf("Median under LowCompute fallback: %v", err)
+	}
+}
+
+// TestRouteValidationSeqPaths exercises both sequence-dedup paths of the
+// allocation-free validator: the dense bitmap window and the sorted
+// fallback for out-of-window sequence numbers.
+func TestRouteValidationSeqPaths(t *testing.T) {
+	t.Parallel()
+	// In-window duplicate (bitmap path).
+	dup := [][]Message{{{Src: 0, Dst: 1, Seq: 0}, {Src: 0, Dst: 2, Seq: 0}}}
+	if _, err := Route(4, dup); !errors.Is(err, ErrInvalidInstance) {
+		t.Fatalf("bitmap path missed duplicate: %v", err)
+	}
+	// Out-of-window duplicates (sorted path): seqs far outside [0, len).
+	dup = [][]Message{{{Src: 0, Dst: 1, Seq: 1 << 20}, {Src: 0, Dst: 2, Seq: 1 << 20}}}
+	if _, err := Route(4, dup); !errors.Is(err, ErrInvalidInstance) {
+		t.Fatalf("sorted path missed duplicate: %v", err)
+	}
+	// Mixed in/out of window, all distinct (including negatives): valid.
+	ok := [][]Message{{
+		{Src: 0, Dst: 1, Seq: -5},
+		{Src: 0, Dst: 2, Seq: 0},
+		{Src: 0, Dst: 3, Seq: 99999},
+	}}
+	if _, err := Route(4, ok); err != nil {
+		t.Fatalf("distinct mixed seqs rejected: %v", err)
+	}
+	// Repeated validation on one handle must stay correct (scratch reuse).
+	cl, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Route(ctx, ok); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if _, err := cl.Route(ctx, dup); !errors.Is(err, ErrInvalidInstance) {
+			t.Fatalf("iteration %d: duplicate accepted after scratch reuse: %v", i, err)
+		}
+	}
+}

@@ -1,11 +1,8 @@
 package congestedclique
 
 import (
+	"context"
 	"fmt"
-
-	"congestedclique/internal/baseline"
-	"congestedclique/internal/clique"
-	"congestedclique/internal/core"
 )
 
 // SortResult is the outcome of one sorting execution (Problem 4.1): node i's
@@ -22,76 +19,36 @@ type SortResult struct {
 }
 
 // Sort sorts the values of a clique of n nodes: values[i] are node i's keys
-// (at most n per node). Node i's batch of the globally sorted sequence is
-// returned in Batches[i]. The default algorithm is the paper's 37-round
-// deterministic Algorithm 4 (Theorem 4.5); WithAlgorithm(Randomized) selects
-// the sample-sort baseline.
+// (at most n per node). It is the one-shot convenience form of Clique.Sort
+// (see Route for the one-shot contract). The default algorithm is the
+// paper's 37-round deterministic Algorithm 4 (Theorem 4.5);
+// WithAlgorithm(Randomized) selects the sample-sort baseline, LowCompute
+// falls back to the deterministic sorter, and NaiveDirect is rejected with
+// ErrUnsupportedAlgorithm.
 func Sort(n int, values [][]int64, opts ...Option) (*SortResult, error) {
-	keys, err := keysFromValues(n, values)
+	if err := validateValueShims(n, values); err != nil {
+		return nil, err
+	}
+	c, err := New(n, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return SortKeys(n, keys, opts...)
+	defer c.Close()
+	return c.Sort(context.Background(), values)
 }
 
 // SortKeys is Sort for callers that already carry Key structures (for example
 // to preserve their own Origin/Seq bookkeeping).
 func SortKeys(n int, keys [][]Key, opts ...Option) (*SortResult, error) {
-	cfg, err := applyOptions(opts)
-	if err != nil {
-		return nil, err
-	}
 	if err := validateSortingInstance(n, keys); err != nil {
 		return nil, err
 	}
-	inputs := make([][]core.Key, n)
-	for i := 0; i < n && i < len(keys); i++ {
-		for _, k := range keys[i] {
-			inputs[i] = append(inputs[i], toCoreKey(k))
-		}
-	}
-
-	nw, err := buildNetwork(n, cfg)
+	c, err := New(n, opts...)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]*core.SortResult, n)
-	runErr := nw.Run(func(nd *clique.Node) error {
-		var (
-			res  *core.SortResult
-			sErr error
-		)
-		switch cfg.algorithm {
-		case Deterministic, LowCompute, NaiveDirect:
-			res, sErr = core.Sort(nd, inputs[nd.ID()])
-		case Randomized:
-			res, sErr = baseline.RandomizedSampleSort(nd, inputs[nd.ID()], cfg.seed)
-		default:
-			sErr = fmt.Errorf("congestedclique: unsupported algorithm %v", cfg.algorithm)
-		}
-		if sErr != nil {
-			return sErr
-		}
-		results[nd.ID()] = res
-		return nil
-	})
-	if runErr != nil {
-		return nil, runErr
-	}
-
-	out := &SortResult{
-		Batches: make([][]Key, n),
-		Starts:  make([]int, n),
-		Stats:   statsFromMetrics(nw.Metrics()),
-	}
-	for i, res := range results {
-		out.Total = res.Total
-		out.Starts[i] = res.Start
-		for _, k := range res.Batch {
-			out.Batches[i] = append(out.Batches[i], fromCoreKey(k))
-		}
-	}
-	return out, nil
+	defer c.Close()
+	return c.sortKeysValidated(context.Background(), keys)
 }
 
 // RankResult is the outcome of the rank-in-union computation
@@ -108,119 +65,46 @@ type RankResult struct {
 
 // Rank computes, for every input value, its index in the sorted sequence of
 // distinct values present in the system; duplicate values share an index
-// (Corollary 4.6).
+// (Corollary 4.6). It is the one-shot convenience form of Clique.Rank.
 func Rank(n int, values [][]int64, opts ...Option) (*RankResult, error) {
-	cfg, err := applyOptions(opts)
+	if err := validateValueShims(n, values); err != nil {
+		return nil, err
+	}
+	c, err := New(n, opts...)
 	if err != nil {
 		return nil, err
 	}
-	keys, err := keysFromValues(n, values)
-	if err != nil {
-		return nil, err
-	}
-	if err := validateSortingInstance(n, keys); err != nil {
-		return nil, err
-	}
-	inputs := make([][]core.Key, n)
-	for i := 0; i < n && i < len(keys); i++ {
-		for _, k := range keys[i] {
-			inputs[i] = append(inputs[i], toCoreKey(k))
-		}
-	}
-	nw, err := buildNetwork(n, cfg)
-	if err != nil {
-		return nil, err
-	}
-	results := make([]*core.RankResult, n)
-	runErr := nw.Run(func(nd *clique.Node) error {
-		res, rErr := core.Rank(nd, inputs[nd.ID()])
-		if rErr != nil {
-			return rErr
-		}
-		results[nd.ID()] = res
-		return nil
-	})
-	if runErr != nil {
-		return nil, runErr
-	}
-	out := &RankResult{Ranks: make([][]int, n), Stats: statsFromMetrics(nw.Metrics())}
-	for i := 0; i < n; i++ {
-		out.DistinctTotal = results[i].DistinctTotal
-		if i < len(values) {
-			out.Ranks[i] = make([]int, len(values[i]))
-			for j := range values[i] {
-				out.Ranks[i][j] = results[i].Ranks[j]
-			}
-		}
-	}
-	return out, nil
+	defer c.Close()
+	return c.Rank(context.Background(), values)
 }
 
 // SelectKth returns the key of global rank k (0-based) among all input
-// values, together with the execution statistics.
+// values, together with the execution statistics. It is the one-shot
+// convenience form of Clique.SelectKth.
 func SelectKth(n int, values [][]int64, k int, opts ...Option) (Key, Stats, error) {
-	cfg, err := applyOptions(opts)
+	if err := validateValueShims(n, values); err != nil {
+		return Key{}, Stats{}, err
+	}
+	c, err := New(n, opts...)
 	if err != nil {
 		return Key{}, Stats{}, err
 	}
-	keys, err := keysFromValues(n, values)
-	if err != nil {
-		return Key{}, Stats{}, err
-	}
-	if err := validateSortingInstance(n, keys); err != nil {
-		return Key{}, Stats{}, err
-	}
-	inputs := coreKeys(n, keys)
-	nw, err := buildNetwork(n, cfg)
-	if err != nil {
-		return Key{}, Stats{}, err
-	}
-	picked := make([]core.Key, n)
-	runErr := nw.Run(func(nd *clique.Node) error {
-		res, sErr := core.Select(nd, inputs[nd.ID()], k)
-		if sErr != nil {
-			return sErr
-		}
-		picked[nd.ID()] = res
-		return nil
-	})
-	if runErr != nil {
-		return Key{}, Stats{}, runErr
-	}
-	return fromCoreKey(picked[0]), statsFromMetrics(nw.Metrics()), nil
+	defer c.Close()
+	return c.SelectKth(context.Background(), values, k)
 }
 
-// Median returns the lower median of all input values.
+// Median returns the lower median of all input values. It is the one-shot
+// convenience form of Clique.Median.
 func Median(n int, values [][]int64, opts ...Option) (Key, Stats, error) {
-	cfg, err := applyOptions(opts)
+	if err := validateValueShims(n, values); err != nil {
+		return Key{}, Stats{}, err
+	}
+	c, err := New(n, opts...)
 	if err != nil {
 		return Key{}, Stats{}, err
 	}
-	keys, err := keysFromValues(n, values)
-	if err != nil {
-		return Key{}, Stats{}, err
-	}
-	if err := validateSortingInstance(n, keys); err != nil {
-		return Key{}, Stats{}, err
-	}
-	inputs := coreKeys(n, keys)
-	nw, err := buildNetwork(n, cfg)
-	if err != nil {
-		return Key{}, Stats{}, err
-	}
-	picked := make([]core.Key, n)
-	runErr := nw.Run(func(nd *clique.Node) error {
-		res, sErr := core.Median(nd, inputs[nd.ID()])
-		if sErr != nil {
-			return sErr
-		}
-		picked[nd.ID()] = res
-		return nil
-	})
-	if runErr != nil {
-		return Key{}, Stats{}, runErr
-	}
-	return fromCoreKey(picked[0]), statsFromMetrics(nw.Metrics()), nil
+	defer c.Close()
+	return c.Median(context.Background(), values)
 }
 
 // ModeResult is the most frequent value and its multiplicity.
@@ -231,37 +115,18 @@ type ModeResult struct {
 }
 
 // Mode returns the most frequent value among all inputs (smallest value wins
-// ties), computed by sorting plus one summary round.
+// ties), computed by sorting plus one summary round. It is the one-shot
+// convenience form of Clique.Mode.
 func Mode(n int, values [][]int64, opts ...Option) (*ModeResult, error) {
-	cfg, err := applyOptions(opts)
+	if err := validateValueShims(n, values); err != nil {
+		return nil, err
+	}
+	c, err := New(n, opts...)
 	if err != nil {
 		return nil, err
 	}
-	keys, err := keysFromValues(n, values)
-	if err != nil {
-		return nil, err
-	}
-	if err := validateSortingInstance(n, keys); err != nil {
-		return nil, err
-	}
-	inputs := coreKeys(n, keys)
-	nw, err := buildNetwork(n, cfg)
-	if err != nil {
-		return nil, err
-	}
-	results := make([]*core.ModeResult, n)
-	runErr := nw.Run(func(nd *clique.Node) error {
-		res, mErr := core.Mode(nd, inputs[nd.ID()])
-		if mErr != nil {
-			return mErr
-		}
-		results[nd.ID()] = res
-		return nil
-	})
-	if runErr != nil {
-		return nil, runErr
-	}
-	return &ModeResult{Value: results[0].Value, Count: results[0].Count, Stats: statsFromMetrics(nw.Metrics())}, nil
+	defer c.Close()
+	return c.Mode(context.Background(), values)
 }
 
 // HistogramResult is the outcome of the Section 6.3 small-key counting
@@ -273,56 +138,31 @@ type HistogramResult struct {
 
 // CountSmallKeys counts keys drawn from a small domain [0, domain) in two
 // rounds of single-word messages (Section 6.3). The domain must satisfy
-// domain * ceil(log2(n+1))^2 <= n.
+// domain * ceil(log2(n+1))^2 <= n. It is the one-shot convenience form of
+// Clique.CountSmallKeys.
 func CountSmallKeys(n int, values [][]int, domain int, opts ...Option) (*HistogramResult, error) {
-	cfg, err := applyOptions(opts)
-	if err != nil {
+	if err := validateNodeCount(n); err != nil {
 		return nil, err
-	}
-	if n <= 0 {
-		return nil, fmt.Errorf("%w: need at least one node", ErrInvalidInstance)
 	}
 	if len(values) > n {
 		return nil, fmt.Errorf("%w: %d input slots for %d nodes", ErrInvalidInstance, len(values), n)
 	}
-	inputs := make([][]int, n)
-	for i := 0; i < n && i < len(values); i++ {
-		inputs[i] = values[i]
-	}
-	nw, err := buildNetwork(n, cfg)
+	c, err := New(n, opts...)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]*core.SmallKeyResult, n)
-	runErr := nw.Run(func(nd *clique.Node) error {
-		res, cErr := core.SmallKeyCount(nd, inputs[nd.ID()], domain)
-		if cErr != nil {
-			return cErr
-		}
-		results[nd.ID()] = res
-		return nil
-	})
-	if runErr != nil {
-		return nil, runErr
-	}
-	return &HistogramResult{Counts: results[0].Counts, Stats: statsFromMetrics(nw.Metrics())}, nil
+	defer c.Close()
+	return c.CountSmallKeys(context.Background(), values, domain)
 }
 
-// keysFromValues attaches Origin/Seq labels to plain values.
-func keysFromValues(n int, values [][]int64) ([][]Key, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("%w: need at least one node, got %d", ErrInvalidInstance, n)
+// validateValueShims is the engine-free precondition check shared by the
+// plain-value one-shot shims: instance shape errors return before any
+// engine construction.
+func validateValueShims(n int, values [][]int64) error {
+	if err := validateNodeCount(n); err != nil {
+		return err
 	}
-	if len(values) > n {
-		return nil, fmt.Errorf("%w: %d input slots for %d nodes", ErrInvalidInstance, len(values), n)
-	}
-	keys := make([][]Key, len(values))
-	for i, vs := range values {
-		for j, v := range vs {
-			keys[i] = append(keys[i], Key{Value: v, Origin: i, Seq: j})
-		}
-	}
-	return keys, nil
+	return validateValues(n, values)
 }
 
 // validateSortingInstance checks the Problem 4.1 preconditions.
@@ -344,14 +184,4 @@ func validateSortingInstance(n int, keys [][]Key) error {
 		}
 	}
 	return nil
-}
-
-func coreKeys(n int, keys [][]Key) [][]core.Key {
-	inputs := make([][]core.Key, n)
-	for i := 0; i < n && i < len(keys); i++ {
-		for _, k := range keys[i] {
-			inputs[i] = append(inputs[i], toCoreKey(k))
-		}
-	}
-	return inputs
 }

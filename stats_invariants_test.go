@@ -9,6 +9,7 @@ package congestedclique
 // algorithm, not just its encoding.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -91,6 +92,56 @@ func TestSortStatsInvariants(t *testing.T) {
 			}
 			if s.TotalWords != g.sortWords {
 				t.Errorf("TotalWords = %d, golden %d", s.TotalWords, g.sortWords)
+			}
+		})
+	}
+}
+
+// TestSessionStatsInvariants runs the same golden workloads through one
+// reused session handle per size — Route, Sort and LowCompute Route back to
+// back, twice — and holds every run to the identical golden numbers. This is
+// the bit-for-bit guarantee that engine reuse (arena retention, per-run
+// cache scoping, metric resets) is observationally equivalent to a fresh
+// network per call.
+func TestSessionStatsInvariants(t *testing.T) {
+	ctx := context.Background()
+	for _, g := range statsGoldens {
+		g := g
+		t.Run(fmt.Sprintf("n=%d", g.n), func(t *testing.T) {
+			t.Parallel()
+			cl, err := New(g.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			routeMsgs := benchRouteWorkload(g.n)
+			sortValues := benchSortWorkload(g.n)
+			for pass := 0; pass < 2; pass++ {
+				res, err := cl.Route(ctx, routeMsgs)
+				if err != nil {
+					t.Fatalf("pass %d: %v", pass, err)
+				}
+				s := res.Stats
+				if s.Rounds != g.routeRounds || s.MaxEdgeWords != g.routeMEW || s.MaxEdgeMessages != g.routeMEM ||
+					s.TotalMessages != g.routeMsgs || s.TotalWords != g.routeWords {
+					t.Errorf("pass %d: session Route stats %+v diverge from goldens %+v", pass, s, g)
+				}
+				sorted, err := cl.Sort(ctx, sortValues)
+				if err != nil {
+					t.Fatalf("pass %d: %v", pass, err)
+				}
+				ss := sorted.Stats
+				if ss.Rounds != g.sortRounds || ss.MaxEdgeWords != g.sortMEW ||
+					ss.TotalMessages != g.sortMsgs || ss.TotalWords != g.sortWords {
+					t.Errorf("pass %d: session Sort stats %+v diverge from goldens %+v", pass, ss, g)
+				}
+				lc, err := cl.Route(ctx, routeMsgs, WithAlgorithm(LowCompute))
+				if err != nil {
+					t.Fatalf("pass %d: %v", pass, err)
+				}
+				if lc.Stats.Rounds != g.lcRounds || lc.Stats.MaxEdgeWords != g.lcMEW {
+					t.Errorf("pass %d: session LowCompute stats %+v diverge from goldens %+v", pass, lc.Stats, g)
+				}
 			}
 		})
 	}
