@@ -8,6 +8,7 @@ package congestedclique
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"congestedclique/internal/workload"
@@ -95,6 +96,73 @@ func BenchmarkRouteReuse(b *testing.B) {
 				if res.Stats.Rounds > 16 {
 					b.Fatalf("measured %d rounds, Theorem 3.7 claims <= 16", res.Stats.Rounds)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteParallel measures the engine pool: the full-load routing
+// instance issued from GOMAXPROCS concurrent goroutines against ONE handle
+// with WithMaxConcurrency(GOMAXPROCS). Compare ns/op with
+// BenchmarkRouteReuse to see the aggregate speedup concurrency buys on this
+// machine (bounded by cores — the engine already runs one goroutine per
+// node); allocs/op are guarded by cmd/benchguard like the serial entries.
+func BenchmarkRouteParallel(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{64, 256} {
+		msgs := benchRouteWorkload(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cl, err := New(n, WithMaxConcurrency(runtime.GOMAXPROCS(0)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					res, err := cl.Route(ctx, msgs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Stats.Rounds > 16 {
+						b.Fatalf("measured %d rounds, Theorem 3.7 claims <= 16", res.Stats.Rounds)
+					}
+				}
+			})
+			b.StopTimer()
+			if err := cl.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkSortParallel is BenchmarkRouteParallel for the sorting pipeline.
+func BenchmarkSortParallel(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{64, 256} {
+		values := benchSortWorkload(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cl, err := New(n, WithMaxConcurrency(runtime.GOMAXPROCS(0)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					res, err := cl.Sort(ctx, values)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Stats.Rounds > 37 {
+						b.Fatalf("measured %d rounds, Theorem 4.5 claims <= 37", res.Stats.Rounds)
+					}
+				}
+			})
+			b.StopTimer()
+			if err := cl.Close(); err != nil {
+				b.Fatal(err)
 			}
 		})
 	}

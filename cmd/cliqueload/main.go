@@ -1,0 +1,182 @@
+// Command cliqueload is the concurrent load generator for the session API's
+// engine pool: it drives M concurrent streams of mixed Route/Sort operations
+// against one pooled Clique handle and reports aggregate throughput and
+// latency percentiles. Every result is cross-checked bit for bit against a
+// serial golden run unless -verify=false.
+//
+//	# 8 streams of mixed ops on a 256-node clique, pool of 4 engines
+//	go run ./cmd/cliqueload -n 256 -concurrency 4 -streams 8 -ops 8 -workload mixed
+//
+//	# throughput scaling sweep: serial handle vs pooled handle at k=2,4,8
+//	go run ./cmd/cliqueload -n 256 -sweep 1,2,4,8 -json load.json
+//
+// In-process engines share the machine's memory bandwidth and one run
+// already spawns one goroutine per node, so scaling with k is bounded by
+// cores (the report records cores and GOMAXPROCS alongside every number —
+// compare like with like).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"congestedclique/internal/loadgen"
+)
+
+// report is the JSON schema of one measured configuration.
+type report struct {
+	N            int     `json:"n"`
+	Concurrency  int     `json:"concurrency"`
+	Streams      int     `json:"streams"`
+	OpsPerStream int     `json:"ops_per_stream"`
+	Workload     string  `json:"workload"`
+	Cores        int     `json:"cores"`
+	Gomaxprocs   int     `json:"gomaxprocs"`
+	TotalOps     int     `json:"total_ops"`
+	WallMs       float64 `json:"wall_ms"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	P50Ms        float64 `json:"latency_p50_ms"`
+	P90Ms        float64 `json:"latency_p90_ms"`
+	P99Ms        float64 `json:"latency_p99_ms"`
+	Verified     int     `json:"verified_ops"`
+	// SpeedupVsSerial is aggregate throughput relative to the sweep's k=1
+	// entry (only set in sweep mode).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+func toReport(r loadgen.Result) report {
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	return report{
+		N:            r.N,
+		Concurrency:  r.Concurrency,
+		Streams:      r.Streams,
+		OpsPerStream: r.OpsPerStream,
+		Workload:     r.Workload,
+		Cores:        r.Cores,
+		Gomaxprocs:   r.Gomaxprocs,
+		TotalOps:     r.TotalOps,
+		WallMs:       ms(r.Wall),
+		OpsPerSec:    r.OpsPerSec,
+		P50Ms:        ms(r.P50),
+		P90Ms:        ms(r.P90),
+		P99Ms:        ms(r.P99),
+		Verified:     r.Verified,
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int("n", 256, "clique size")
+	concurrency := flag.Int("concurrency", runtime.GOMAXPROCS(0), "engine-pool size k (WithMaxConcurrency)")
+	streams := flag.Int("streams", 0, "concurrent caller streams (default: same as -concurrency)")
+	ops := flag.Int("ops", 8, "operations per stream")
+	workloadKind := flag.String("workload", "mixed", "operation mix: route, sort, or mixed")
+	verify := flag.Bool("verify", true, "cross-check every result against a serial golden run")
+	sweep := flag.String("sweep", "", "comma-separated pool sizes to sweep (e.g. 1,2,4,8); overrides -concurrency, streams follow k")
+	jsonPath := flag.String("json", "", "write the report as JSON to this file")
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
+	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	ks := []int{*concurrency}
+	if *sweep != "" {
+		ks = ks[:0]
+		for _, part := range strings.Split(*sweep, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || k < 1 {
+				log.Fatalf("cliqueload: bad -sweep entry %q", part)
+			}
+			ks = append(ks, k)
+		}
+	}
+
+	fmt.Printf("cliqueload: n=%d workload=%s ops/stream=%d verify=%v cores=%d GOMAXPROCS=%d\n",
+		*n, *workloadKind, *ops, *verify, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+
+	var reports []report
+	wall := make([]time.Duration, 0, len(ks))
+	for _, k := range ks {
+		s := *streams
+		if s == 0 || *sweep != "" {
+			s = k
+		}
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			N:            *n,
+			Concurrency:  k,
+			Streams:      s,
+			OpsPerStream: *ops,
+			Workload:     *workloadKind,
+			Verify:       *verify,
+		})
+		if err != nil {
+			log.Fatalf("cliqueload: k=%d: %v", k, err)
+		}
+		reports = append(reports, toReport(res))
+		wall = append(wall, res.Wall)
+	}
+	// Speedups are a sweep-mode concept: they compare against the sweep's
+	// own k=1 entry, wherever in the sweep it appears.
+	if *sweep != "" {
+		var serial float64
+		for _, r := range reports {
+			if r.Concurrency == 1 {
+				serial = r.OpsPerSec
+				break
+			}
+		}
+		if serial > 0 {
+			for i := range reports {
+				reports[i].SpeedupVsSerial = reports[i].OpsPerSec / serial
+			}
+		}
+	}
+
+	fmt.Printf("%-4s %-8s %-9s %10s %12s %10s %10s %10s\n",
+		"k", "streams", "ops", "wall", "ops/sec", "p50", "p90", "p99")
+	for i, rep := range reports {
+		fmt.Printf("%-4d %-8d %-9d %10s %12.2f %9.1fms %9.1fms %9.1fms",
+			rep.Concurrency, rep.Streams, rep.TotalOps, wall[i].Round(time.Millisecond), rep.OpsPerSec, rep.P50Ms, rep.P90Ms, rep.P99Ms)
+		if rep.SpeedupVsSerial > 0 {
+			fmt.Printf("  (%0.2fx vs k=1)", rep.SpeedupVsSerial)
+		}
+		fmt.Println()
+	}
+	if *verify {
+		total := 0
+		for _, r := range reports {
+			total += r.Verified
+		}
+		fmt.Printf("verified %d operations bit-identical to serial execution\n", total)
+	}
+
+	if *jsonPath != "" {
+		doc := struct {
+			Tool    string   `json:"tool"`
+			Schema  string   `json:"schema"`
+			Results []report `json:"results"`
+		}{Tool: "cliqueload", Schema: "congestedclique/cliqueload/v1", Results: reports}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatalf("cliqueload: marshal: %v", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			log.Fatalf("cliqueload: write %s: %v", *jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}

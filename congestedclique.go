@@ -31,22 +31,25 @@
 // wrapping ctx.Err(); none is left parked at the round barrier) and leaves
 // the handle usable for further calls.
 //
-// Handle lifetime and ownership: a Clique owns its engine until Close, which
-// releases the pooled delivery buffers; operations on a closed handle fail
-// with ErrClosed. Methods are safe for concurrent use — the handle serializes
-// operations on its single engine, so concurrent throughput comes from using
-// one handle per goroutine (handles are independent). Each operation runs
-// the per-node protocol with one goroutine per node, verifies nothing
-// exceeds the bandwidth model, and returns both the protocol output and the
-// execution statistics (rounds, per-edge words, traffic) that the paper's
-// bounds are stated in; CumulativeStats aggregates them across the handle's
-// lifetime.
+// Handle lifetime and ownership: a Clique owns a pool of engines until
+// Close, which waits for in-flight operations to drain and then releases
+// the pooled delivery buffers; operations on a closed handle fail with
+// ErrClosed. Methods are safe for concurrent use. By default operations
+// serialize on a single engine; New(n, WithMaxConcurrency(k)) lets up to k
+// independent operations run in parallel on one handle, each on its own
+// engine checked out of a lazily-grown pool, with results bit-identical to
+// serial execution. Each operation runs the per-node protocol with one
+// goroutine per node, verifies nothing exceeds the bandwidth model, and
+// returns both the protocol output and the execution statistics (rounds,
+// per-edge words, traffic) that the paper's bounds are stated in;
+// CumulativeStats aggregates them across the handle's lifetime, merged over
+// the engine pool.
 //
 // Options split by scope: engine shape — WithStrictBandwidth,
-// WithSharedScheduleCache, WithWorkers — is fixed per handle and must be
-// passed to New, while WithAlgorithm and WithSeed may be passed either to
-// New (as the handle's defaults) or to an individual call. Passing a
-// handle-scoped option to a call returns an error.
+// WithSharedScheduleCache, WithWorkers, WithMaxConcurrency — is fixed per
+// handle and must be passed to New, while WithAlgorithm and WithSeed may be
+// passed either to New (as the handle's defaults) or to an individual call.
+// Passing a handle-scoped option to a call returns an error.
 //
 // All returned results (delivered messages, sorted batches, statistics) are
 // plain values owned by the caller; no result aliases engine memory, so
@@ -217,11 +220,12 @@ func statsFromMetrics(m clique.Metrics) Stats {
 // call may override them); strictBudget, sharedCache and workers shape the
 // engine and are handle-scoped.
 type config struct {
-	algorithm    Algorithm
-	seed         int64
-	strictBudget int
-	sharedCache  bool
-	workers      int
+	algorithm      Algorithm
+	seed           int64
+	strictBudget   int
+	sharedCache    bool
+	workers        int
+	maxConcurrency int
 	// handleScoped is set to the option's name by every handle-scoped option
 	// so that per-call application can reject it with a useful message. It is
 	// reset before call options are applied and ignored by New.
@@ -229,7 +233,7 @@ type config struct {
 }
 
 func defaultConfig() config {
-	return config{algorithm: Deterministic, seed: 1, sharedCache: true}
+	return config{algorithm: Deterministic, seed: 1, sharedCache: true, maxConcurrency: 1}
 }
 
 // Option customises a Clique handle or (for call-scoped options) an
@@ -300,6 +304,27 @@ func WithWorkers(k int) Option {
 		}
 		c.workers = k
 		c.handleScoped = "WithWorkers"
+		return nil
+	}
+}
+
+// WithMaxConcurrency lets up to k independent operations execute in parallel
+// on one Clique handle, backed by a lazily-grown pool of up to k engines
+// (default 1: operations serialize, the behaviour of earlier versions).
+// Results are bit-identical to serial execution for every k; each engine
+// costs roughly what a k=1 handle costs (delivery arenas, staging buffers —
+// O(n²) words under full load), so memory grows linearly in the concurrency
+// actually used. Within one engine a run already spawns one goroutine per
+// node, so aggregate throughput saturates near k × n runnable goroutines —
+// keep k at or below GOMAXPROCS/streams of genuinely overlapping callers.
+// Handle-scoped: pass it to New.
+func WithMaxConcurrency(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return fmt.Errorf("congestedclique: max concurrency must be at least 1, got %d", k)
+		}
+		c.maxConcurrency = k
+		c.handleScoped = "WithMaxConcurrency"
 		return nil
 	}
 }

@@ -56,6 +56,27 @@
 // delivery panic — no goroutine is ever stranded, and the Network remains
 // usable for further runs.
 //
+// # Engine-local vs shared state (concurrent Networks)
+//
+// Multiple Networks may run concurrently in one process (the public session
+// API pools them behind one handle). The locality rules:
+//
+//   - Engine-local, by ownership: the netBuffers delivery state (arenas,
+//     backbones, outboxes, Node structs) is checked out of the process-wide
+//     netBufPool at New and owned exclusively by that Network until Close —
+//     two live Networks never share a buffer set. The shared-computation
+//     cache, metrics, cumulative totals and step accounting are plain fields
+//     of the Network, guarded by its own mutexes.
+//   - Shared, by design: netBufPool itself, wordBufPool (sender-side packet
+//     buffers; released only after delivery has copied the payload) and the
+//     protocol layer's comm-scratch pool are process-wide sync.Pools. They
+//     exchange only quiescent buffers — a buffer is either owned by exactly
+//     one run or sitting in the pool — so concurrent Networks recycle
+//     through them without coordination beyond the Pool's own.
+//
+// Nothing else is process-global; running k Networks costs k times the
+// engine-local state plus whatever the pools currently cache.
+//
 // Node programs are written against the Exchanger interface so that the same
 // algorithm code can run either directly on a physical Node or on a virtual
 // node provided by a Mux, which multiplexes several logical protocol

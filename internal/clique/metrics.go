@@ -104,6 +104,30 @@ type Cumulative struct {
 	DroppedToDeparted int
 }
 
+// Merge folds another aggregate into c — the cross-engine combination rule
+// of the session layer's engine pool: totals and counts are summed, maxima
+// are taken. Merging is associative and commutative, so the session
+// aggregate is independent of which engine served which operation.
+func (c *Cumulative) Merge(o Cumulative) {
+	c.Runs += o.Runs
+	c.Rounds += o.Rounds
+	c.TotalMessages += o.TotalMessages
+	c.TotalWords += o.TotalWords
+	if o.MaxEdgeWords > c.MaxEdgeWords {
+		c.MaxEdgeWords = o.MaxEdgeWords
+	}
+	if o.MaxEdgeMessages > c.MaxEdgeMessages {
+		c.MaxEdgeMessages = o.MaxEdgeMessages
+	}
+	if o.MaxStepsPerNode > c.MaxStepsPerNode {
+		c.MaxStepsPerNode = o.MaxStepsPerNode
+	}
+	if o.MaxMemoryWordsPerNode > c.MaxMemoryWordsPerNode {
+		c.MaxMemoryWordsPerNode = o.MaxMemoryWordsPerNode
+	}
+	c.DroppedToDeparted += o.DroppedToDeparted
+}
+
 // accumulate folds one completed run's metrics into the session totals.
 func (c *Cumulative) accumulate(m Metrics) {
 	c.Runs++

@@ -1,0 +1,64 @@
+package clique
+
+import "testing"
+
+// TestCumulativeMerge pins the cross-engine combination rule the session
+// layer's engine pool relies on: counts and totals sum, maxima take the
+// larger side, and merging is commutative.
+func TestCumulativeMerge(t *testing.T) {
+	a := Cumulative{
+		Runs: 2, Rounds: 20, TotalMessages: 100, TotalWords: 400,
+		MaxEdgeWords: 7, MaxEdgeMessages: 3, MaxStepsPerNode: 50,
+		MaxMemoryWordsPerNode: 128, DroppedToDeparted: 1,
+	}
+	b := Cumulative{
+		Runs: 3, Rounds: 30, TotalMessages: 50, TotalWords: 900,
+		MaxEdgeWords: 5, MaxEdgeMessages: 9, MaxStepsPerNode: 10,
+		MaxMemoryWordsPerNode: 512, DroppedToDeparted: 2,
+	}
+	want := Cumulative{
+		Runs: 5, Rounds: 50, TotalMessages: 150, TotalWords: 1300,
+		MaxEdgeWords: 7, MaxEdgeMessages: 9, MaxStepsPerNode: 50,
+		MaxMemoryWordsPerNode: 512, DroppedToDeparted: 3,
+	}
+	ab := a
+	ab.Merge(b)
+	if ab != want {
+		t.Fatalf("a.Merge(b) = %+v, want %+v", ab, want)
+	}
+	ba := b
+	ba.Merge(a)
+	if ba != want {
+		t.Fatalf("merge is not commutative: b.Merge(a) = %+v, want %+v", ba, want)
+	}
+	// Merging the zero value is the identity.
+	id := a
+	id.Merge(Cumulative{})
+	if id != a {
+		t.Fatalf("merging the zero value changed the aggregate: %+v", id)
+	}
+}
+
+// TestCumulativeMergeMatchesSequentialRuns checks Merge against the ground
+// truth: two engines each accumulating runs merge to the same aggregate one
+// engine accumulating all four runs would report.
+func TestCumulativeMergeMatchesSequentialRuns(t *testing.T) {
+	mk := func(rounds int, words int64, maxEdge int) Metrics {
+		return Metrics{Rounds: rounds, TotalWords: words, TotalMessages: words / 2, MaxEdgeWords: maxEdge}
+	}
+	runs := []Metrics{mk(4, 100, 3), mk(8, 60, 9), mk(2, 10, 1), mk(6, 300, 5)}
+
+	var one Cumulative
+	for _, m := range runs {
+		one.accumulate(m)
+	}
+	var left, right Cumulative
+	left.accumulate(runs[0])
+	left.accumulate(runs[2])
+	right.accumulate(runs[1])
+	right.accumulate(runs[3])
+	left.Merge(right)
+	if left != one {
+		t.Fatalf("split accumulation merged to %+v, single engine %+v", left, one)
+	}
+}

@@ -76,6 +76,33 @@ func (r *SmallKeyResult) Mode() (int, int64, bool) {
 	return best, bestCount, true
 }
 
+// smallKeyBits returns ceil(log2(n+1)), the bit width the Section 6.3
+// protocol uses for both the per-node and the aggregated counts.
+func smallKeyBits(n int) int {
+	bits := 1
+	for (1 << bits) <= n {
+		bits++
+	}
+	return bits
+}
+
+// CheckSmallKeyDomain validates the Section 6.3 feasibility precondition —
+// positive domain and K * ceil(log2(n+1))^2 <= n helper nodes — without
+// running anything. It is the single source of truth for the bound: the
+// session layer calls it before checking an engine out of its pool, and
+// SmallKeyCount re-checks it inside the run as defense in depth.
+func CheckSmallKeyDomain(n, domain int) error {
+	if domain <= 0 {
+		return fmt.Errorf("core: small-key domain must be positive, got %d", domain)
+	}
+	bits := smallKeyBits(n)
+	if domain*bits*bits > n {
+		return fmt.Errorf("core: domain %d needs %d helper nodes, only %d available (Section 6.3 requires K*log^2(n) <= n)",
+			domain, domain*bits*bits, n)
+	}
+	return nil
+}
+
 // SmallKeyCount implements the counting protocol of Section 6.3 for keys
 // drawn from a domain of size K. Every value is statically assigned a block
 // of helper nodes: one helper per (bit position of the per-node count, bit
@@ -90,17 +117,10 @@ func SmallKeyCount(ex clique.Exchanger, myValues []int, domain int) (*SmallKeyRe
 	c := fullComm(ex, fmt.Sprintf("smallkeys@r%d", ex.Round()))
 	defer c.release()
 	n := c.size()
-	if domain <= 0 {
-		return nil, fmt.Errorf("core: small-key domain must be positive, got %d", domain)
+	if err := CheckSmallKeyDomain(n, domain); err != nil {
+		return nil, err
 	}
-	bits := 1
-	for (1 << bits) <= n {
-		bits++
-	}
-	if domain*bits*bits > n {
-		return nil, fmt.Errorf("core: domain %d needs %d helper nodes, only %d available (Section 6.3 requires K*log^2(n) <= n)",
-			domain, domain*bits*bits, n)
-	}
+	bits := smallKeyBits(n)
 
 	// Local histogram.
 	local := make([]int64, domain)

@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunMixedVerified drives a small verified mixed load end to end: every
+// operation must succeed, verify against the serial golden, and be counted.
+func TestRunMixedVerified(t *testing.T) {
+	cfg := Config{N: 16, Concurrency: 2, Streams: 4, OpsPerStream: 2, Workload: "mixed", Verify: true}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps != 8 || res.Verified != 8 {
+		t.Fatalf("TotalOps=%d Verified=%d, want 8/8", res.TotalOps, res.Verified)
+	}
+	if res.OpsPerSec <= 0 || res.Wall <= 0 {
+		t.Fatalf("throughput not measured: %+v", res)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("latency percentiles inconsistent: p50=%v p99=%v", res.P50, res.P99)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{N: 0, Concurrency: 1, Streams: 1, OpsPerStream: 1, Workload: "route"},
+		{N: 8, Concurrency: 0, Streams: 1, OpsPerStream: 1, Workload: "route"},
+		{N: 8, Concurrency: 1, Streams: 1, OpsPerStream: 1, Workload: "nope"},
+	} {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Fatalf("config %+v accepted, want error", cfg)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		p    int
+		want time.Duration
+	}{{50, 5}, {90, 9}, {99, 10}, {100, 10}} {
+		if got := percentile(lat, tc.p); got != tc.want {
+			t.Fatalf("percentile(%d) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("percentile(empty) = %v, want 0", got)
+	}
+}

@@ -26,8 +26,7 @@ func Route(n int, msgs [][]Message, opts ...Option) (*RouteResult, error) {
 	if err := validateNodeCount(n); err != nil {
 		return nil, err
 	}
-	var rv routeValidator
-	if err := rv.validate(n, msgs); err != nil {
+	if err := validateRoute(n, msgs); err != nil {
 		return nil, err
 	}
 	c, err := New(n, opts...)

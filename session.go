@@ -11,17 +11,26 @@ import (
 	"congestedclique/internal/core"
 )
 
-// Clique is a long-lived session handle over one simulated congested clique
-// of n nodes. It amortizes engine construction — delivery arenas, metric
+// Clique is a long-lived session handle over a simulated congested clique of
+// n nodes. It amortizes engine construction — delivery arenas, metric
 // buffers, schedule-cache maps, input staging buffers — across an unbounded
 // stream of operations: the per-operation cost of a handle is the protocol
 // itself, not rebuilding the simulator.
 //
-// Lifetime: a handle owns its engine until Close; afterwards every method
-// fails with an error wrapping ErrClosed. Methods are safe for concurrent
-// use, but the handle serializes operations on its single engine — run one
-// handle per goroutine for parallel workloads (handles are fully
-// independent, including their statistics).
+// Concurrency: a handle is a concurrent executor over a pool of engines.
+// New(n, WithMaxConcurrency(k)) allows up to k independent operations to
+// execute in parallel on one handle; engines are built lazily, so a handle
+// that never sees concurrent calls only ever pays for one. The default is
+// k = 1, which preserves the serialized behaviour of earlier versions
+// exactly. Every operation checks an engine (plus its private staging
+// buffers) out of the pool, runs, and returns it; input validation and
+// option resolution happen before checkout, so malformed calls never occupy
+// an engine. Results are bit-identical to serial execution regardless of k —
+// each engine run is deterministic and fully isolated.
+//
+// Lifetime: a handle owns its engines until Close; afterwards every method
+// fails with an error wrapping ErrClosed. Close waits for in-flight
+// operations to drain before releasing the engines.
 //
 // Every result is a plain value owned by the caller; nothing a method
 // returns aliases engine memory, so results remain valid across later calls
@@ -30,15 +39,31 @@ type Clique struct {
 	n   int
 	cfg config
 
-	// mu serializes operations: the engine supports one run at a time, and
-	// the staging/validation scratch below is per-handle.
-	mu     sync.Mutex
-	nw     *clique.Network
-	closed bool
+	// slots is the checkout semaphore: it starts with maxConcurrency tokens,
+	// every operation holds one token for its whole duration, and Close
+	// drains all of them — owning every token proves no operation is in
+	// flight. closedCh is closed by Close so waiters fail fast with ErrClosed
+	// instead of blocking on a draining semaphore.
+	slots    chan struct{}
+	closedCh chan struct{}
 
-	// Input staging and result-gathering scratch, reused across operations
-	// (only ever touched under mu, and only read by node programs while the
-	// run they were staged for is in flight).
+	// mu guards the pool bookkeeping below (never held across an engine run).
+	mu     sync.Mutex
+	closed bool
+	// idle holds checked-in units; engines lists every unit ever built (kept
+	// after Close so CumulativeStats stays readable).
+	idle    []*execUnit
+	engines []*execUnit
+}
+
+// execUnit is one poolable executor: an engine plus the input staging and
+// result-gathering scratch its runs read while in flight. Exactly one
+// operation owns a unit between checkout and release, so nothing here needs
+// locking.
+type execUnit struct {
+	n  int
+	nw *clique.Network
+
 	msgIn   [][]core.Message
 	keyIn   [][]core.Key
 	intIn   [][]int
@@ -46,29 +71,15 @@ type Clique struct {
 	sortOut []*core.SortResult
 	rankOut []*core.RankResult
 	keyOut  []core.Key
-	rv      routeValidator
 }
 
-// New builds a session handle for a congested clique of n >= 1 nodes.
-// Handle-scoped options (WithStrictBandwidth, WithSharedScheduleCache,
-// WithWorkers) shape the engine; call-scoped options (WithAlgorithm,
-// WithSeed) passed here become the handle's defaults, overridable per call.
-// Close the handle when done to release the engine's pooled buffers.
-func New(n int, opts ...Option) (*Clique, error) {
-	if err := validateNodeCount(n); err != nil {
-		return nil, err
-	}
-	cfg, err := applyOptions(opts)
-	if err != nil {
-		return nil, err
-	}
+func newExecUnit(n int, cfg config) (*execUnit, error) {
 	nw, err := buildNetwork(n, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Clique{
+	return &execUnit{
 		n:      n,
-		cfg:    cfg,
 		nw:     nw,
 		msgIn:  make([][]core.Message, n),
 		keyIn:  make([][]core.Key, n),
@@ -77,41 +88,159 @@ func New(n int, opts ...Option) (*Clique, error) {
 	}, nil
 }
 
+// New builds a session handle for a congested clique of n >= 1 nodes.
+// Handle-scoped options (WithStrictBandwidth, WithSharedScheduleCache,
+// WithWorkers, WithMaxConcurrency) shape the engine pool; call-scoped
+// options (WithAlgorithm, WithSeed) passed here become the handle's
+// defaults, overridable per call. The first engine is built eagerly (so
+// construction errors surface here); engines beyond the first are built
+// lazily, only when operations actually overlap. Close the handle when done
+// to release the engines' pooled buffers.
+func New(n int, opts ...Option) (*Clique, error) {
+	if err := validateNodeCount(n); err != nil {
+		return nil, err
+	}
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.maxConcurrency
+	if k < 1 {
+		k = 1
+	}
+	u, err := newExecUnit(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Clique{
+		n:        n,
+		cfg:      cfg,
+		slots:    make(chan struct{}, k),
+		closedCh: make(chan struct{}),
+		idle:     []*execUnit{u},
+		engines:  []*execUnit{u},
+	}
+	for i := 0; i < k; i++ {
+		c.slots <- struct{}{}
+	}
+	return c, nil
+}
+
 // N returns the clique size the handle was built for.
 func (c *Clique) N() int { return c.n }
 
-// Close releases the engine's pooled buffers and marks the handle unusable.
-// It is idempotent; calling it concurrently with an in-flight operation
-// blocks until that operation completes.
+// MaxConcurrency returns the handle's engine-pool capacity: the maximum
+// number of operations that can execute in parallel on it (see
+// WithMaxConcurrency).
+func (c *Clique) MaxConcurrency() int { return cap(c.slots) }
+
+// Close waits for every in-flight operation to complete, releases all pooled
+// engine buffers and marks the handle unusable: operations started after
+// Close — including ones already waiting for an engine — fail with an error
+// wrapping ErrClosed. Close is idempotent; the first call performs the
+// drain.
 func (c *Clique) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	return c.nw.Close()
-}
-
-// CumulativeStats returns the aggregated cost of every operation that
-// completed successfully on this handle: totals summed across operations,
-// maxima taken over operations; failed and cancelled operations are not
-// counted. Each result's own Stats field remains the per-operation view.
-func (c *Clique) CumulativeStats() CumulativeStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return statsFromCumulative(c.nw.CumulativeMetrics())
-}
-
-// acquire takes the handle lock and rejects closed handles. On success the
-// caller must release c.mu.
-func (c *Clique) acquire() error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return ErrClosed
+		return nil
 	}
-	return nil
+	c.closed = true
+	close(c.closedCh)
+	c.mu.Unlock()
+
+	// Drain the semaphore: every in-flight operation holds one token and
+	// returns it on completion, so owning all of them proves quiescence.
+	for i := 0; i < cap(c.slots); i++ {
+		<-c.slots
+	}
+
+	c.mu.Lock()
+	engines := c.engines
+	c.idle = nil
+	c.mu.Unlock()
+	var firstErr error
+	for _, u := range engines {
+		if err := u.nw.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// CumulativeStats returns the aggregated cost of every operation that
+// completed successfully on this handle, merged across the engine pool:
+// totals summed across operations, maxima taken over operations; failed and
+// cancelled operations are not counted. Operations still in flight are not
+// included until they complete. Each result's own Stats field remains the
+// per-operation view.
+func (c *Clique) CumulativeStats() CumulativeStats {
+	c.mu.Lock()
+	engines := slices.Clone(c.engines)
+	c.mu.Unlock()
+	var total clique.Cumulative
+	for _, u := range engines {
+		total.Merge(u.nw.CumulativeMetrics())
+	}
+	return statsFromCumulative(total)
+}
+
+// checkout obtains exclusive ownership of one executor, building a new one
+// if none is idle and the pool is below capacity. The caller must release
+// the unit when the operation completes. A cancelled context fails the wait;
+// a closed handle fails with ErrClosed.
+func (c *Clique) checkout(ctx context.Context) (*execUnit, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		// Fail a pre-cancelled context deterministically (the select below
+		// chooses randomly among ready cases).
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("congestedclique: operation cancelled: %w", err)
+		}
+		done = ctx.Done()
+	}
+	select {
+	case <-c.closedCh:
+		return nil, ErrClosed
+	case <-done:
+		return nil, fmt.Errorf("congestedclique: operation cancelled while waiting for an engine: %w", ctx.Err())
+	case <-c.slots:
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.slots <- struct{}{} // hand the token back to the draining Close
+		return nil, ErrClosed
+	}
+	if k := len(c.idle); k > 0 {
+		u := c.idle[k-1]
+		c.idle[k-1] = nil
+		c.idle = c.idle[:k-1]
+		c.mu.Unlock()
+		return u, nil
+	}
+	c.mu.Unlock()
+	// No idle unit but a free token: grow the pool. Holding a token bounds
+	// the number of units ever built by the pool capacity. Construction runs
+	// outside mu — it is the expensive part, and serializing it would stall
+	// concurrent releases.
+	u, err := newExecUnit(c.n, c.cfg)
+	if err != nil {
+		c.slots <- struct{}{}
+		return nil, err
+	}
+	c.mu.Lock()
+	c.engines = append(c.engines, u)
+	c.mu.Unlock()
+	return u, nil
+}
+
+// release checks a unit back into the pool and returns its semaphore token.
+func (c *Clique) release(u *execUnit) {
+	c.mu.Lock()
+	c.idle = append(c.idle, u)
+	c.mu.Unlock()
+	c.slots <- struct{}{}
 }
 
 // callConfig layers per-call options over the handle defaults.
@@ -138,6 +267,20 @@ func (c *Clique) sortBasedConfig(op string, opts []Option) (config, error) {
 	}
 }
 
+// routeValidatorPool recycles the validation scratch across calls and
+// handles: validation runs before an engine is checked out (so malformed
+// inputs never occupy one), which means concurrent calls validate
+// concurrently and cannot share a per-handle scratch.
+var routeValidatorPool = sync.Pool{New: func() interface{} { return new(routeValidator) }}
+
+// validateRoute checks the Problem 3.1 preconditions using pooled scratch.
+func validateRoute(n int, msgs [][]Message) error {
+	v := routeValidatorPool.Get().(*routeValidator)
+	err := v.validate(n, msgs)
+	routeValidatorPool.Put(v)
+	return err
+}
+
 // Route solves the Information Distribution Task (Problem 3.1): msgs[i] are
 // the messages originating at node i (at most n per node, each destined to a
 // node in [0, n)), and the result lists what every node received. The
@@ -145,36 +288,38 @@ func (c *Clique) sortBasedConfig(op string, opts []Option) (config, error) {
 // (Theorem 3.7); see WithAlgorithm for the 12-round low-computation variant
 // (Theorem 5.4) and the comparison baselines.
 func (c *Clique) Route(ctx context.Context, msgs [][]Message, opts ...Option) (*RouteResult, error) {
-	if err := c.acquire(); err != nil {
-		return nil, err
-	}
-	defer c.mu.Unlock()
 	cfg, err := c.callConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.rv.validate(c.n, msgs); err != nil {
+	if err := validateRoute(c.n, msgs); err != nil {
 		return nil, err
 	}
-	return c.routeLocked(ctx, cfg, msgs)
+	u, err := c.checkout(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer c.release(u)
+	return u.route(ctx, cfg, msgs)
 }
 
 // routeValidated runs Route on an instance the caller has already validated
 // (the one-shot shim validates before building the handle, so the happy
-// path pays one validation scan, not two). The caller must not hold c.mu.
+// path pays one validation scan, not two).
 func (c *Clique) routeValidated(ctx context.Context, msgs [][]Message) (*RouteResult, error) {
-	if err := c.acquire(); err != nil {
+	u, err := c.checkout(ctx)
+	if err != nil {
 		return nil, err
 	}
-	defer c.mu.Unlock()
-	return c.routeLocked(ctx, c.cfg, msgs)
+	defer c.release(u)
+	return u.route(ctx, c.cfg, msgs)
 }
 
-// routeLocked is the routing pipeline body; the caller holds c.mu and has
+// route is the routing pipeline body; the caller owns the unit and has
 // validated msgs.
-func (c *Clique) routeLocked(ctx context.Context, cfg config, msgs [][]Message) (*RouteResult, error) {
-	inputs := c.msgIn
-	for i := 0; i < c.n; i++ {
+func (u *execUnit) route(ctx context.Context, cfg config, msgs [][]Message) (*RouteResult, error) {
+	inputs := u.msgIn
+	for i := 0; i < u.n; i++ {
 		if i < len(msgs) && len(msgs[i]) > 0 {
 			s := inputs[i]
 			if cap(s) < len(msgs[i]) {
@@ -191,8 +336,8 @@ func (c *Clique) routeLocked(ctx context.Context, cfg config, msgs [][]Message) 
 		}
 	}
 
-	outputs := c.msgOut
-	runErr := c.nw.RunContext(ctx, func(nd *clique.Node) error {
+	outputs := u.msgOut
+	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
 		var (
 			out  []core.Message
 			rErr error
@@ -219,7 +364,7 @@ func (c *Clique) routeLocked(ctx context.Context, cfg config, msgs [][]Message) 
 		return nil, runErr
 	}
 
-	res := &RouteResult{Delivered: make([][]Message, c.n), Stats: statsFromMetrics(c.nw.Metrics())}
+	res := &RouteResult{Delivered: make([][]Message, u.n), Stats: statsFromMetrics(u.nw.Metrics())}
 	for i := range outputs {
 		if out := outputs[i]; len(out) > 0 {
 			d := make([]Message, len(out))
@@ -241,10 +386,6 @@ func (c *Clique) routeLocked(ctx context.Context, cfg config, msgs [][]Message) 
 // on the constant), and NaiveDirect is rejected with
 // ErrUnsupportedAlgorithm.
 func (c *Clique) Sort(ctx context.Context, values [][]int64, opts ...Option) (*SortResult, error) {
-	if err := c.acquire(); err != nil {
-		return nil, err
-	}
-	defer c.mu.Unlock()
 	cfg, err := c.callConfig(opts)
 	if err != nil {
 		return nil, err
@@ -252,16 +393,20 @@ func (c *Clique) Sort(ctx context.Context, values [][]int64, opts ...Option) (*S
 	if err := validateValues(c.n, values); err != nil {
 		return nil, err
 	}
-	return c.sortStaged(ctx, cfg, c.stageValues(values))
+	if err := rejectNaiveDirectSort(cfg); err != nil {
+		return nil, err
+	}
+	u, err := c.checkout(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer c.release(u)
+	return u.sortStaged(ctx, cfg, u.stageValues(values))
 }
 
 // SortKeys is Sort for callers that already carry Key structures (for
 // example to preserve their own Origin/Seq bookkeeping).
 func (c *Clique) SortKeys(ctx context.Context, keys [][]Key, opts ...Option) (*SortResult, error) {
-	if err := c.acquire(); err != nil {
-		return nil, err
-	}
-	defer c.mu.Unlock()
 	cfg, err := c.callConfig(opts)
 	if err != nil {
 		return nil, err
@@ -269,24 +414,45 @@ func (c *Clique) SortKeys(ctx context.Context, keys [][]Key, opts ...Option) (*S
 	if err := validateSortingInstance(c.n, keys); err != nil {
 		return nil, err
 	}
-	return c.sortKeysLocked(ctx, cfg, keys)
+	if err := rejectNaiveDirectSort(cfg); err != nil {
+		return nil, err
+	}
+	u, err := c.checkout(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer c.release(u)
+	return u.sortKeys(ctx, cfg, keys)
 }
 
 // sortKeysValidated is SortKeys minus the validation scan, for the one-shot
 // shim which has already validated (see routeValidated).
 func (c *Clique) sortKeysValidated(ctx context.Context, keys [][]Key) (*SortResult, error) {
-	if err := c.acquire(); err != nil {
+	if err := rejectNaiveDirectSort(c.cfg); err != nil {
 		return nil, err
 	}
-	defer c.mu.Unlock()
-	return c.sortKeysLocked(ctx, c.cfg, keys)
+	u, err := c.checkout(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer c.release(u)
+	return u.sortKeys(ctx, c.cfg, keys)
 }
 
-// sortKeysLocked is the key-sorting pipeline body; the caller holds c.mu
-// and has validated keys.
-func (c *Clique) sortKeysLocked(ctx context.Context, cfg config, keys [][]Key) (*SortResult, error) {
-	inputs := c.keyIn
-	for i := 0; i < c.n; i++ {
+// rejectNaiveDirectSort is the pre-checkout guard shared by the sorting
+// entry points: naive-direct has no sorting counterpart.
+func rejectNaiveDirectSort(cfg config) error {
+	if cfg.algorithm == NaiveDirect {
+		return fmt.Errorf("%w: naive-direct delivers messages, it has no sorting counterpart (use Deterministic or Randomized)", ErrUnsupportedAlgorithm)
+	}
+	return nil
+}
+
+// sortKeys is the key-sorting pipeline body; the caller owns the unit and
+// has validated keys.
+func (u *execUnit) sortKeys(ctx context.Context, cfg config, keys [][]Key) (*SortResult, error) {
+	inputs := u.keyIn
+	for i := 0; i < u.n; i++ {
 		if i < len(keys) && len(keys[i]) > 0 {
 			s := inputs[i]
 			if cap(s) < len(keys[i]) {
@@ -302,20 +468,17 @@ func (c *Clique) sortKeysLocked(ctx context.Context, cfg config, keys [][]Key) (
 			inputs[i] = inputs[i][:0]
 		}
 	}
-	return c.sortStaged(ctx, cfg, inputs)
+	return u.sortStaged(ctx, cfg, inputs)
 }
 
 // sortStaged runs the sorting pipeline on inputs already staged as core keys
-// (the caller holds c.mu).
-func (c *Clique) sortStaged(ctx context.Context, cfg config, inputs [][]core.Key) (*SortResult, error) {
-	if cfg.algorithm == NaiveDirect {
-		return nil, fmt.Errorf("%w: naive-direct delivers messages, it has no sorting counterpart (use Deterministic or Randomized)", ErrUnsupportedAlgorithm)
+// (the caller owns the unit).
+func (u *execUnit) sortStaged(ctx context.Context, cfg config, inputs [][]core.Key) (*SortResult, error) {
+	if u.sortOut == nil {
+		u.sortOut = make([]*core.SortResult, u.n)
 	}
-	if c.sortOut == nil {
-		c.sortOut = make([]*core.SortResult, c.n)
-	}
-	results := c.sortOut
-	runErr := c.nw.RunContext(ctx, func(nd *clique.Node) error {
+	results := u.sortOut
+	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
 		var (
 			res  *core.SortResult
 			sErr error
@@ -339,9 +502,9 @@ func (c *Clique) sortStaged(ctx context.Context, cfg config, inputs [][]core.Key
 	}
 
 	out := &SortResult{
-		Batches: make([][]Key, c.n),
-		Starts:  make([]int, c.n),
-		Stats:   statsFromMetrics(c.nw.Metrics()),
+		Batches: make([][]Key, u.n),
+		Starts:  make([]int, u.n),
+		Stats:   statsFromMetrics(u.nw.Metrics()),
 	}
 	for i := range results {
 		res := results[i]
@@ -363,22 +526,28 @@ func (c *Clique) sortStaged(ctx context.Context, cfg config, inputs [][]core.Key
 // distinct values present in the system; duplicate values share an index
 // (Corollary 4.6).
 func (c *Clique) Rank(ctx context.Context, values [][]int64, opts ...Option) (*RankResult, error) {
-	if err := c.acquire(); err != nil {
-		return nil, err
-	}
-	defer c.mu.Unlock()
 	if _, err := c.sortBasedConfig("Rank", opts); err != nil {
 		return nil, err
 	}
 	if err := validateValues(c.n, values); err != nil {
 		return nil, err
 	}
-	inputs := c.stageValues(values)
-	if c.rankOut == nil {
-		c.rankOut = make([]*core.RankResult, c.n)
+	u, err := c.checkout(ctx)
+	if err != nil {
+		return nil, err
 	}
-	results := c.rankOut
-	runErr := c.nw.RunContext(ctx, func(nd *clique.Node) error {
+	defer c.release(u)
+	return u.rank(ctx, values)
+}
+
+// rank is the rank pipeline body (the caller owns the unit).
+func (u *execUnit) rank(ctx context.Context, values [][]int64) (*RankResult, error) {
+	inputs := u.stageValues(values)
+	if u.rankOut == nil {
+		u.rankOut = make([]*core.RankResult, u.n)
+	}
+	results := u.rankOut
+	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
 		res, rErr := core.Rank(nd, inputs[nd.ID()])
 		if rErr != nil {
 			return rErr
@@ -389,7 +558,7 @@ func (c *Clique) Rank(ctx context.Context, values [][]int64, opts ...Option) (*R
 	if runErr != nil {
 		return nil, runErr
 	}
-	out := &RankResult{Ranks: make([][]int, c.n), Stats: statsFromMetrics(c.nw.Metrics())}
+	out := &RankResult{Ranks: make([][]int, u.n), Stats: statsFromMetrics(u.nw.Metrics())}
 	for i := range results {
 		out.DistinctTotal = results[i].DistinctTotal
 		if i < len(values) {
@@ -418,22 +587,23 @@ func (c *Clique) Median(ctx context.Context, values [][]int64, opts ...Option) (
 
 // selectWith runs one single-key selection protocol (SelectKth, Median).
 func (c *Clique) selectWith(ctx context.Context, op string, values [][]int64, opts []Option, pick func(clique.Exchanger, []core.Key) (core.Key, error)) (Key, Stats, error) {
-	if err := c.acquire(); err != nil {
-		return Key{}, Stats{}, err
-	}
-	defer c.mu.Unlock()
 	if _, err := c.sortBasedConfig(op, opts); err != nil {
 		return Key{}, Stats{}, err
 	}
 	if err := validateValues(c.n, values); err != nil {
 		return Key{}, Stats{}, err
 	}
-	inputs := c.stageValues(values)
-	if c.keyOut == nil {
-		c.keyOut = make([]core.Key, c.n)
+	u, err := c.checkout(ctx)
+	if err != nil {
+		return Key{}, Stats{}, err
 	}
-	picked := c.keyOut
-	runErr := c.nw.RunContext(ctx, func(nd *clique.Node) error {
+	defer c.release(u)
+	inputs := u.stageValues(values)
+	if u.keyOut == nil {
+		u.keyOut = make([]core.Key, u.n)
+	}
+	picked := u.keyOut
+	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
 		res, sErr := pick(nd, inputs[nd.ID()])
 		if sErr != nil {
 			return sErr
@@ -444,25 +614,26 @@ func (c *Clique) selectWith(ctx context.Context, op string, values [][]int64, op
 	if runErr != nil {
 		return Key{}, Stats{}, runErr
 	}
-	return fromCoreKey(picked[0]), statsFromMetrics(c.nw.Metrics()), nil
+	return fromCoreKey(picked[0]), statsFromMetrics(u.nw.Metrics()), nil
 }
 
 // Mode returns the most frequent value among all inputs (smallest value wins
 // ties), computed by sorting plus one summary round.
 func (c *Clique) Mode(ctx context.Context, values [][]int64, opts ...Option) (*ModeResult, error) {
-	if err := c.acquire(); err != nil {
-		return nil, err
-	}
-	defer c.mu.Unlock()
 	if _, err := c.sortBasedConfig("Mode", opts); err != nil {
 		return nil, err
 	}
 	if err := validateValues(c.n, values); err != nil {
 		return nil, err
 	}
-	inputs := c.stageValues(values)
+	u, err := c.checkout(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer c.release(u)
+	inputs := u.stageValues(values)
 	var mode core.ModeResult
-	runErr := c.nw.RunContext(ctx, func(nd *clique.Node) error {
+	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
 		res, mErr := core.Mode(nd, inputs[nd.ID()])
 		if mErr != nil {
 			return mErr
@@ -475,25 +646,26 @@ func (c *Clique) Mode(ctx context.Context, values [][]int64, opts ...Option) (*M
 	if runErr != nil {
 		return nil, runErr
 	}
-	return &ModeResult{Value: mode.Value, Count: mode.Count, Stats: statsFromMetrics(c.nw.Metrics())}, nil
+	return &ModeResult{Value: mode.Value, Count: mode.Count, Stats: statsFromMetrics(u.nw.Metrics())}, nil
 }
 
 // CountSmallKeys counts keys drawn from a small domain [0, domain) in two
 // rounds of single-word messages (Section 6.3). The domain must satisfy
 // domain * ceil(log2(n+1))^2 <= n.
 func (c *Clique) CountSmallKeys(ctx context.Context, values [][]int, domain int, opts ...Option) (*HistogramResult, error) {
-	if err := c.acquire(); err != nil {
-		return nil, err
-	}
-	defer c.mu.Unlock()
 	if _, err := c.sortBasedConfig("CountSmallKeys", opts); err != nil {
 		return nil, err
 	}
-	if len(values) > c.n {
-		return nil, fmt.Errorf("%w: %d input slots for %d nodes", ErrInvalidInstance, len(values), c.n)
+	if err := validateSmallKeys(c.n, values, domain); err != nil {
+		return nil, err
 	}
-	inputs := c.intIn
-	for i := 0; i < c.n; i++ {
+	u, err := c.checkout(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer c.release(u)
+	inputs := u.intIn
+	for i := 0; i < u.n; i++ {
 		if i < len(values) {
 			inputs[i] = values[i]
 		} else {
@@ -501,7 +673,7 @@ func (c *Clique) CountSmallKeys(ctx context.Context, values [][]int, domain int,
 		}
 	}
 	var counts []int64
-	runErr := c.nw.RunContext(ctx, func(nd *clique.Node) error {
+	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
 		res, cErr := core.SmallKeyCount(nd, inputs[nd.ID()], domain)
 		if cErr != nil {
 			return cErr
@@ -512,21 +684,21 @@ func (c *Clique) CountSmallKeys(ctx context.Context, values [][]int, domain int,
 		return nil
 	})
 	// intIn aliases the caller's rows (unlike msgIn/keyIn, which hold
-	// handle-owned copies); drop the references so a long-lived handle never
+	// unit-owned copies); drop the references so a long-lived handle never
 	// pins a past caller's memory.
-	clear(c.intIn)
+	clear(u.intIn)
 	if runErr != nil {
 		return nil, runErr
 	}
-	return &HistogramResult{Counts: counts, Stats: statsFromMetrics(c.nw.Metrics())}, nil
+	return &HistogramResult{Counts: counts, Stats: statsFromMetrics(u.nw.Metrics())}, nil
 }
 
-// stageValues converts plain values into the handle's core-key staging
-// buffers, attaching Origin/Seq labels (the caller holds c.mu and has
+// stageValues converts plain values into the unit's core-key staging
+// buffers, attaching Origin/Seq labels (the caller owns the unit and has
 // validated the shape).
-func (c *Clique) stageValues(values [][]int64) [][]core.Key {
-	inputs := c.keyIn
-	for i := 0; i < c.n; i++ {
+func (u *execUnit) stageValues(values [][]int64) [][]core.Key {
+	inputs := u.keyIn
+	for i := 0; i < u.n; i++ {
 		if i < len(values) && len(values[i]) > 0 {
 			s := inputs[i]
 			if cap(s) < len(values[i]) {
@@ -553,6 +725,28 @@ func validateNodeCount(n int) error {
 	return nil
 }
 
+// validateSmallKeys checks the Section 6.3 preconditions without touching an
+// engine: the row shape, the domain feasibility bound (delegated to
+// core.CheckSmallKeyDomain, the single source of truth the engine itself
+// enforces), and that every value lies in [0, domain). A malformed call is
+// rejected here, before a pool checkout.
+func validateSmallKeys(n int, values [][]int, domain int) error {
+	if len(values) > n {
+		return fmt.Errorf("%w: %d input slots for %d nodes", ErrInvalidInstance, len(values), n)
+	}
+	if err := core.CheckSmallKeyDomain(n, domain); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidInstance, err)
+	}
+	for i, vs := range values {
+		for _, v := range vs {
+			if v < 0 || v >= domain {
+				return fmt.Errorf("%w: node %d holds key %d outside domain [0,%d)", ErrInvalidInstance, i, v, domain)
+			}
+		}
+	}
+	return nil
+}
+
 // validateValues checks the Problem 4.1 shape for plain-value inputs.
 func validateValues(n int, values [][]int64) error {
 	if len(values) > n {
@@ -566,11 +760,11 @@ func validateValues(n int, values [][]int64) error {
 	return nil
 }
 
-// routeValidator is the reusable scratch of validateRoutingInstance: a dense
-// bitmap handles the common case of per-node sequence numbers in
-// [0, len(msgs[i])) with zero allocation, and the rare out-of-window
-// sequence numbers fall back to a reusable sorted scan — no per-node map is
-// ever allocated, even on full-load instances.
+// routeValidator is the reusable scratch of validateRoute: a dense bitmap
+// handles the common case of per-node sequence numbers in [0, len(msgs[i]))
+// with zero allocation, and the rare out-of-window sequence numbers fall
+// back to a reusable sorted scan — no per-node map is ever allocated, even
+// on full-load instances.
 type routeValidator struct {
 	recv []int
 	bits []uint64

@@ -282,10 +282,13 @@ func TestSessionPreCancelledContext(t *testing.T) {
 }
 
 // TestSessionUseAfterClose: every method fails with ErrClosed, Close is
-// idempotent.
+// idempotent. The clique is large enough (domain 2 needs n >= 128, Section
+// 6.3) that every call below is well-formed — input validation runs before
+// the pool checkout, so a malformed call would report its validation error
+// instead of exercising the ErrClosed path.
 func TestSessionUseAfterClose(t *testing.T) {
 	t.Parallel()
-	cl, err := New(8)
+	cl, err := New(128)
 	if err != nil {
 		t.Fatal(err)
 	}

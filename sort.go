@@ -144,8 +144,8 @@ func CountSmallKeys(n int, values [][]int, domain int, opts ...Option) (*Histogr
 	if err := validateNodeCount(n); err != nil {
 		return nil, err
 	}
-	if len(values) > n {
-		return nil, fmt.Errorf("%w: %d input slots for %d nodes", ErrInvalidInstance, len(values), n)
+	if err := validateSmallKeys(n, values, domain); err != nil {
+		return nil, err
 	}
 	c, err := New(n, opts...)
 	if err != nil {
