@@ -2,15 +2,13 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"strings"
-	"time"
 
 	cc "congestedclique"
 
+	"congestedclique/internal/experiments"
 	"congestedclique/internal/loadgen"
 	"congestedclique/internal/workload"
 )
@@ -20,78 +18,13 @@ import (
 // layer) with `go test -bench -benchmem` on the CI reference machine. They
 // are embedded so every regenerated BENCH_protocol.json carries the
 // before/after comparison that motivated the frame layer.
-var protocolBaseline = []ProtocolBench{
+var protocolBaseline = []experiments.ProtocolBench{
 	{Name: "BenchmarkRoute/n=64", N: 64, NsPerOp: 20770276, AllocsPerOp: 151883, BytesPerOp: 17739576},
 	{Name: "BenchmarkRoute/n=256", N: 256, NsPerOp: 367117909, AllocsPerOp: 1988717, BytesPerOp: 293504144},
 	{Name: "BenchmarkRoute/n=1024", N: 1024, NsPerOp: 7037644654, AllocsPerOp: 28560944, BytesPerOp: 5281926424},
 	{Name: "BenchmarkSort/n=64", N: 64, NsPerOp: 64200003, AllocsPerOp: 326622, BytesPerOp: 35341052},
 	{Name: "BenchmarkSort/n=256", N: 256, NsPerOp: 850540255, AllocsPerOp: 4273698, BytesPerOp: 569370288},
 	{Name: "BenchmarkSort/n=1024", N: 1024, NsPerOp: 15590759332, AllocsPerOp: 61979523, BytesPerOp: 10170009872},
-}
-
-// ProtocolBench is one end-to-end protocol measurement: a full Route or Sort
-// execution per op, allocations included.
-type ProtocolBench struct {
-	Name        string  `json:"name"`
-	N           int     `json:"n"`
-	Iterations  int     `json:"iterations,omitempty"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Rounds      int     `json:"rounds,omitempty"`
-	MaxEdgeW    int     `json:"max_edge_words,omitempty"`
-	SpeedupVs   float64 `json:"speedup_vs_baseline,omitempty"`
-	AllocRatio  float64 `json:"alloc_reduction_vs_baseline,omitempty"`
-}
-
-// ProtocolDoc is the schema of BENCH_protocol.json.
-type ProtocolDoc struct {
-	Tool     string          `json:"tool"`
-	Schema   string          `json:"schema"`
-	MaxN     int             `json:"max_n"`
-	Measured []ProtocolBench `json:"measured"`
-	// SessionReuse measures the same workloads issued repeatedly on one
-	// long-lived Clique handle (the session API): amortized ns/op and
-	// allocs/op of the warm-engine path, comparable entry by entry with the
-	// fresh-handle numbers in Measured.
-	SessionReuse []ProtocolBench `json:"session_reuse,omitempty"`
-	// Concurrency records the engine-pool throughput sweep (see
-	// ConcurrencySection).
-	Concurrency *ConcurrencySection `json:"concurrency,omitempty"`
-	// PreRefactorBaseline is the recorded per-parcel implementation the
-	// flat-frame layer is compared against (see protocolBaseline).
-	PreRefactorBaseline []ProtocolBench `json:"pre_refactor_baseline"`
-}
-
-// ConcurrencyBench is one measured point of the engine-pool throughput
-// sweep: k concurrent streams on one handle with a pool of k engines,
-// measured by the shared internal/loadgen harness (the same measurement
-// cmd/cliqueload performs interactively). Every operation's result is
-// verified bit-identical to serial execution before it counts.
-type ConcurrencyBench struct {
-	Name        string  `json:"name"`
-	N           int     `json:"n"`
-	K           int     `json:"k"`
-	Streams     int     `json:"streams"`
-	TotalOps    int     `json:"total_ops"`
-	OpsPerSec   float64 `json:"ops_per_sec"`
-	P50Ms       float64 `json:"latency_p50_ms"`
-	P99Ms       float64 `json:"latency_p99_ms"`
-	SpeedupVsK1 float64 `json:"speedup_vs_k1,omitempty"`
-	VerifiedOps int     `json:"verified_ops"`
-}
-
-// ConcurrencySection is the concurrency block of BENCH_protocol.json. The
-// in-process engine shares one machine's memory bandwidth and every run
-// already spawns one goroutine per node, so scaling with k is bounded by
-// Cores/Gomaxprocs — the numbers are recorded as measured on this machine,
-// not extrapolated.
-type ConcurrencySection struct {
-	Cores      int                `json:"cores"`
-	Gomaxprocs int                `json:"gomaxprocs"`
-	Note       string             `json:"note"`
-	Route      []ConcurrencyBench `json:"route"`
-	Sort       []ConcurrencyBench `json:"sort"`
 }
 
 // protocolRouteWorkload builds the shared deterministic full-load routing
@@ -109,33 +42,29 @@ func protocolSortWorkload(n int) [][]int64 {
 	return workload.ProtocolBenchSortValues(n)
 }
 
-// measureProtocol runs op iters times and reports wall time and allocation
-// figures per op.
-func measureProtocol(name string, n, iters int, op func() (cc.Stats, error)) (ProtocolBench, error) {
-	// One warm-up op primes the engine and protocol buffer pools, matching
-	// the steady state a long-running service sees.
+// measureProtocol runs op iters times (after one warm-up that primes the
+// engine and protocol buffer pools, matching the steady state a long-running
+// service sees) and reports per-op figures via the shared measurement
+// helper.
+func measureProtocol(name string, n, iters int, op func() (cc.Stats, error)) (experiments.ProtocolBench, error) {
 	stats, err := op()
 	if err != nil {
-		return ProtocolBench{}, err
+		return experiments.ProtocolBench{}, err
 	}
-	runtime.GC()
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		if _, err := op(); err != nil {
-			return ProtocolBench{}, err
-		}
+	m, err := experiments.MeasureOp(iters, func() error {
+		_, opErr := op()
+		return opErr
+	})
+	if err != nil {
+		return experiments.ProtocolBench{}, err
 	}
-	wall := time.Since(start)
-	runtime.ReadMemStats(&after)
-	return ProtocolBench{
+	return experiments.ProtocolBench{
 		Name:        name,
 		N:           n,
 		Iterations:  iters,
-		NsPerOp:     wall.Nanoseconds() / int64(iters),
-		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
-		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		NsPerOp:     m.NsPerOp,
+		AllocsPerOp: m.AllocsPerOp,
+		BytesPerOp:  m.BytesPerOp,
 		Rounds:      stats.Rounds,
 		MaxEdgeW:    stats.MaxEdgeWords,
 	}, nil
@@ -147,7 +76,7 @@ func measureProtocol(name string, n, iters int, op func() (cc.Stats, error)) (Pr
 func runProtocolBench(path string, maxN int) error {
 	sizes := []int{64, 256, 1024}
 	ctx := context.Background()
-	var measured, reuse []ProtocolBench
+	var measured, reuse []experiments.ProtocolBench
 	for _, n := range sizes {
 		if n > maxN {
 			continue
@@ -214,7 +143,7 @@ func runProtocolBench(path string, maxN int) error {
 		}
 	}
 
-	baseByName := make(map[string]ProtocolBench, len(protocolBaseline))
+	baseByName := make(map[string]experiments.ProtocolBench, len(protocolBaseline))
 	for _, b := range protocolBaseline {
 		baseByName[b.Name] = b
 	}
@@ -232,7 +161,7 @@ func runProtocolBench(path string, maxN int) error {
 	// Each session-reuse entry is compared against its fresh-handle twin:
 	// SpeedupVs/AllocRatio here mean "vs the fresh-network path of the same
 	// build", the amortization the session API exists to deliver.
-	freshByN := make(map[string]ProtocolBench, len(measured))
+	freshByN := make(map[string]experiments.ProtocolBench, len(measured))
 	for _, b := range measured {
 		freshByN[b.Name] = b
 	}
@@ -253,21 +182,23 @@ func runProtocolBench(path string, maxN int) error {
 		return fmt.Errorf("concurrency sweep: %w", err)
 	}
 
-	doc := ProtocolDoc{
-		Tool:                "cliquebench -protocol-json",
-		Schema:              "congestedclique/bench-protocol/v1",
-		MaxN:                maxN,
-		Measured:            measured,
-		SessionReuse:        reuse,
-		Concurrency:         conc,
-		PreRefactorBaseline: protocolBaseline,
-	}
-	data, err := json.MarshalIndent(doc, "", "  ")
+	prev, err := experiments.ReadProtocolDoc(path)
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	return os.WriteFile(path, data, 0o644)
+	doc := experiments.ProtocolDoc{
+		Tool:         "cliquebench -protocol-json",
+		Schema:       "congestedclique/bench-protocol/v1",
+		MaxN:         maxN,
+		Measured:     measured,
+		SessionReuse: reuse,
+		Concurrency:  conc,
+		// The scenarios section is owned by cmd/cliquescen; regenerating the
+		// protocol sections must not destroy it.
+		Scenarios:           prev.Scenarios,
+		PreRefactorBaseline: protocolBaseline,
+	}
+	return experiments.WriteProtocolDoc(path, doc)
 }
 
 // runConcurrencySweep measures aggregate pooled-handle throughput at
@@ -276,7 +207,7 @@ func runProtocolBench(path string, maxN int) error {
 // internal/loadgen harness with verification on. Results are recorded as
 // measured: on a machine with fewer cores than k the sweep shows the memory
 // and scheduler bound honestly instead of an assumed linear speedup.
-func runConcurrencySweep(ctx context.Context, maxN int) (*ConcurrencySection, error) {
+func runConcurrencySweep(ctx context.Context, maxN int) (*experiments.ConcurrencySection, error) {
 	routeN := 256
 	if maxN < routeN {
 		routeN = maxN
@@ -285,7 +216,7 @@ func runConcurrencySweep(ctx context.Context, maxN int) (*ConcurrencySection, er
 	if maxN < sortN {
 		sortN = maxN
 	}
-	section := &ConcurrencySection{
+	section := &experiments.ConcurrencySection{
 		Cores:      runtime.NumCPU(),
 		Gomaxprocs: runtime.GOMAXPROCS(0),
 		Note: "aggregate throughput of k concurrent streams on ONE pooled handle (WithMaxConcurrency(k), " +
@@ -297,7 +228,7 @@ func runConcurrencySweep(ctx context.Context, maxN int) (*ConcurrencySection, er
 		n        string
 		size     int
 		workload string
-		out      *[]ConcurrencyBench
+		out      *[]experiments.ConcurrencyBench
 	}{
 		{"RouteParallel", routeN, "route", &section.Route},
 		{"SortParallel", sortN, "sort", &section.Sort},
@@ -322,7 +253,7 @@ func runConcurrencySweep(ctx context.Context, maxN int) (*ConcurrencySection, er
 			if err != nil {
 				return nil, fmt.Errorf("%s k=%d: %w", sweep.workload, k, err)
 			}
-			b := ConcurrencyBench{
+			b := experiments.ConcurrencyBench{
 				Name:        fmt.Sprintf("%s/n=%d/k=%d", sweep.n, sweep.size, k),
 				N:           sweep.size,
 				K:           k,

@@ -45,7 +45,7 @@ func run() error {
 		per     = flag.Int("per", -1, "messages/keys per node (default n)")
 		pattern = flag.String("pattern", "uniform", "routing pattern: uniform | skewed | set-adversarial | random-partial | self-heavy")
 		dist    = flag.String("dist", "uniform", "key distribution: uniform | duplicate-heavy | pre-sorted | reverse-sorted | clustered | constant")
-		alg     = flag.String("alg", "deterministic", "algorithm: deterministic | low-compute | randomized | naive-direct")
+		alg     = flag.String("alg", "deterministic", "algorithm: deterministic | low-compute | randomized | naive-direct | auto (demand-aware planner, routing only)")
 		domain  = flag.Int("domain", 4, "key domain size for -op smallkeys")
 		seed    = flag.Int64("seed", 1, "workload and randomized-algorithm seed")
 		strict  = flag.Int("strict", 0, "fail if any edge carries more than this many words per round (0 = record only)")
@@ -109,6 +109,8 @@ func parseAlgorithm(name string) (cc.Algorithm, error) {
 		return cc.Randomized, nil
 	case "naive-direct":
 		return cc.NaiveDirect, nil
+	case "auto":
+		return cc.AlgorithmAuto, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", name)
 	}
@@ -191,8 +193,12 @@ func runRouting(cl *cc.Clique, n, per int, pattern, alg string, seed int64, repo
 		return err
 	}
 	if report {
-		fmt.Printf("routing %q on n=%d (%d messages, pattern %s): delivery verified\n\n",
+		fmt.Printf("routing %q on n=%d (%d messages, pattern %s): delivery verified\n",
 			alg, n, inst.TotalMessages(), pattern)
+		if res.Strategy != 0 {
+			fmt.Printf("planner strategy: %s\n", res.Strategy)
+		}
+		fmt.Println()
 		printStats("execution cost", res.Stats)
 	}
 	return nil

@@ -18,7 +18,11 @@
 //   - CountSmallKeys: the two-round counting protocol for keys of o(log n)
 //     bits (Section 6.3),
 //   - randomized and naive baselines for comparison (the algorithms the
-//     paper's introduction compares against).
+//     paper's introduction compares against),
+//   - a demand-aware routing planner (AlgorithmAuto): Route calls classify
+//     their instance and dispatch sparse, one-to-many and empty demand to
+//     fast paths instead of the full pipeline, reporting the choice in
+//     RouteResult.Strategy.
 //
 // # Session API
 //
@@ -115,6 +119,19 @@ const (
 	// back to, and silently running a different algorithm would misreport
 	// what was measured).
 	NaiveDirect
+	// AlgorithmAuto is the demand-aware planner: each Route call classifies
+	// its instance (total messages, per-pair multiplicity, source skew) and
+	// dispatches to the cheapest correct strategy — a direct-send fast path
+	// when every source-destination pair's load fits one frame and demand is
+	// sparse, a scatter/relay path for one-to-many demand, a zero-round path
+	// for empty instances, and the full deterministic pipeline otherwise
+	// (with statistics bit-identical to Deterministic whenever the pipeline
+	// is selected). RouteResult.Strategy reports the choice; see
+	// ARCHITECTURE.md for the dispatch rule. The planner covers routing
+	// only: Sort, SortKeys and the sorting-based corollary operations under
+	// AlgorithmAuto run the deterministic implementations, exactly like
+	// LowCompute.
+	AlgorithmAuto
 )
 
 // String returns the algorithm name.
@@ -128,8 +145,67 @@ func (a Algorithm) String() string {
 		return "randomized"
 	case NaiveDirect:
 		return "naive-direct"
+	case AlgorithmAuto:
+		return "auto"
 	default:
 		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// RouteStrategy identifies the delivery strategy the demand-aware planner
+// (AlgorithmAuto) selected for one Route execution. The zero value means the
+// planner was not consulted — the operation ran under an explicitly chosen
+// algorithm.
+type RouteStrategy int
+
+const (
+	// StrategyPipeline is the paper's full Theorem 3.7 balancing pipeline,
+	// selected for full-load and heavily skewed instances. When the planner
+	// picks it, statistics are bit-identical to Deterministic.
+	StrategyPipeline RouteStrategy = iota + 1
+	// StrategyDirect delivers every message over its own source-destination
+	// edge; the planner picks it when the largest per-(source,destination)
+	// load fits one frame and total demand is below the full-load regime.
+	StrategyDirect
+	// StrategyBroadcast scatters the messages of few sources across all
+	// nodes in one round and delivers from the relays; the planner picks it
+	// for one-to-many (broadcast/multicast) demand.
+	StrategyBroadcast
+	// StrategyEmpty is the degenerate no-traffic instance: zero rounds.
+	StrategyEmpty
+)
+
+// String returns the strategy name as printed by cmd/cliquescen.
+func (s RouteStrategy) String() string {
+	switch s {
+	case StrategyPipeline:
+		return "pipeline"
+	case StrategyDirect:
+		return "direct"
+	case StrategyBroadcast:
+		return "broadcast"
+	case StrategyEmpty:
+		return "empty"
+	case 0:
+		return "unplanned"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// strategyFromCore maps the planner's internal verdict to the public enum.
+func strategyFromCore(s core.RouteStrategy) RouteStrategy {
+	switch s {
+	case core.StrategyPipeline:
+		return StrategyPipeline
+	case core.StrategyDirect:
+		return StrategyDirect
+	case core.StrategyBroadcast:
+		return StrategyBroadcast
+	case core.StrategyEmpty:
+		return StrategyEmpty
+	default:
+		return 0
 	}
 }
 
@@ -247,7 +323,7 @@ type Option func(*config) error
 func WithAlgorithm(a Algorithm) Option {
 	return func(c *config) error {
 		switch a {
-		case Deterministic, LowCompute, Randomized, NaiveDirect:
+		case Deterministic, LowCompute, Randomized, NaiveDirect, AlgorithmAuto:
 			c.algorithm = a
 			return nil
 		default:

@@ -1,0 +1,167 @@
+package congestedclique_test
+
+// Runnable examples for the session API, rendered on pkg.go.dev and executed
+// by go test: every // Output: block below is checked, so the snippets can
+// not rot. All operations here are deterministic, which is what makes exact
+// expected output possible.
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	cc "congestedclique"
+)
+
+// Example demonstrates the canonical session workflow: build one Clique
+// handle, run operations on it, read the aggregated statistics, close it.
+func Example() {
+	cl, err := cc.New(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// Node 3 sends one message to node 7.
+	msgs := make([][]cc.Message, 16)
+	msgs[3] = []cc.Message{{Src: 3, Dst: 7, Seq: 0, Payload: 42}}
+	res, err := cl.Route(ctx, msgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("node 7 received payload", res.Delivered[7][0].Payload)
+	// Output:
+	// node 7 received payload 42
+}
+
+// ExampleNew shows handle construction with options: a strict bandwidth cap
+// asserts the O(log n)-bits-per-edge model, and the algorithm passed to New
+// becomes the handle's default for every call.
+func ExampleNew() {
+	cl, err := cc.New(16,
+		cc.WithStrictBandwidth(64),
+		cc.WithAlgorithm(cc.Deterministic),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	fmt.Println("nodes:", cl.N())
+	// Output:
+	// nodes: 16
+}
+
+// ExampleClique_Route routes a full-load instance and reports the cost
+// observables the paper's bounds are stated in (Theorem 3.7: at most 16
+// rounds).
+func ExampleClique_Route() {
+	const n = 16
+	cl, err := cc.New(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Every node sends one message to every node.
+	msgs := make([][]cc.Message, n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			msgs[src] = append(msgs[src], cc.Message{Src: src, Dst: dst, Seq: dst, Payload: int64(src*n + dst)})
+		}
+	}
+	res, err := cl.Route(context.Background(), msgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rounds:", res.Stats.Rounds)
+	fmt.Println("messages delivered to node 0:", len(res.Delivered[0]))
+	// Output:
+	// rounds: 16
+	// messages delivered to node 0: 16
+}
+
+// ExampleClique_Sort sorts one value per node; node i receives the i-th
+// batch of the global order (Theorem 4.5).
+func ExampleClique_Sort() {
+	const n = 8
+	cl, err := cc.New(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	values := [][]int64{{52}, {11}, {97}, {3}, {70}, {24}, {88}, {41}}
+	res, err := cl.Sort(context.Background(), values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Print(res.Batches[i][0].Value, " ")
+	}
+	fmt.Println()
+	// Output:
+	// 3 11 24 41 52 70 88 97
+}
+
+// ExampleClique_CumulativeStats aggregates cost across a handle's lifetime:
+// totals are summed over operations, maxima taken over operations.
+func ExampleClique_CumulativeStats() {
+	const n = 16
+	cl, err := cc.New(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	msgs := make([][]cc.Message, n)
+	msgs[0] = []cc.Message{{Src: 0, Dst: 1, Seq: 0, Payload: 7}}
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Route(ctx, msgs); err != nil {
+			log.Fatal(err)
+		}
+	}
+	total := cl.CumulativeStats()
+	fmt.Println("operations:", total.Operations)
+	// Output:
+	// operations: 3
+}
+
+// ExampleWithMaxConcurrency builds a handle whose engine pool lets up to 4
+// independent operations run in parallel; results are bit-identical to
+// serial execution for every concurrency.
+func ExampleWithMaxConcurrency() {
+	cl, err := cc.New(16, cc.WithMaxConcurrency(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	fmt.Println("parallel operations allowed:", cl.MaxConcurrency())
+	// Output:
+	// parallel operations allowed: 4
+}
+
+// ExampleWithAlgorithm selects the demand-aware planner per call: a sparse
+// instance takes the one-round direct path instead of the 16-round pipeline,
+// and RouteResult.Strategy reports the choice.
+func ExampleWithAlgorithm() {
+	const n = 16
+	cl, err := cc.New(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	msgs := make([][]cc.Message, n)
+	msgs[2] = []cc.Message{{Src: 2, Dst: 9, Seq: 0, Payload: 5}}
+	res, err := cl.Route(context.Background(), msgs, cc.WithAlgorithm(cc.AlgorithmAuto))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("strategy:", res.Strategy)
+	fmt.Println("rounds:", res.Stats.Rounds)
+	// Output:
+	// strategy: direct
+	// rounds: 1
+}

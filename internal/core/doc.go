@@ -11,7 +11,12 @@
 //   - the sorting algorithm of Problem 4.1 solved by Algorithms 3 and 4 in 37
 //     rounds (Theorem 4.5),
 //   - the rank-in-union variant, selection and mode (Corollary 4.6),
-//   - the small-key counting protocol of Section 6.3.
+//   - the small-key counting protocol of Section 6.3,
+//   - the demand-aware routing planner (planner.go, not part of the paper):
+//     PlanRoute classifies an instance and AutoRoute dispatches it to a
+//     direct-send, scatter/broadcast or zero-round fast path when demand is
+//     sparse or one-to-many, and to the unchanged Theorem 3.7 pipeline
+//     otherwise. The dispatch rule is specified in ARCHITECTURE.md.
 //
 // The building blocks mirror the paper's structure: Corollary 3.3 (two-round
 // routing with publicly known demands, relayRoute) and Corollary 3.4

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// This file is the single definition of the BENCH_protocol.json schema
+// (congestedclique/bench-protocol/v1). Two tools write into the same file —
+// cmd/cliquebench -protocol-json owns the protocol and concurrency sections,
+// cmd/cliquescen owns the scenarios section — so the schema lives here and
+// each tool preserves the other's sections when regenerating its own (see
+// ReadProtocolDoc).
+
+// ProtocolBench is one end-to-end protocol measurement: a full Route or Sort
+// execution per op, allocations included.
+type ProtocolBench struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Iterations  int     `json:"iterations,omitempty"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Rounds      int     `json:"rounds,omitempty"`
+	MaxEdgeW    int     `json:"max_edge_words,omitempty"`
+	SpeedupVs   float64 `json:"speedup_vs_baseline,omitempty"`
+	AllocRatio  float64 `json:"alloc_reduction_vs_baseline,omitempty"`
+}
+
+// ConcurrencyBench is one measured point of the engine-pool throughput
+// sweep: k concurrent streams on one handle with a pool of k engines,
+// measured by the shared internal/loadgen harness (the same measurement
+// cmd/cliqueload performs interactively). Every operation's result is
+// verified bit-identical to serial execution before it counts.
+type ConcurrencyBench struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	K           int     `json:"k"`
+	Streams     int     `json:"streams"`
+	TotalOps    int     `json:"total_ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50Ms       float64 `json:"latency_p50_ms"`
+	P99Ms       float64 `json:"latency_p99_ms"`
+	SpeedupVsK1 float64 `json:"speedup_vs_k1,omitempty"`
+	VerifiedOps int     `json:"verified_ops"`
+}
+
+// ConcurrencySection is the concurrency block of BENCH_protocol.json. The
+// in-process engine shares one machine's memory bandwidth and every run
+// already spawns one goroutine per node, so scaling with k is bounded by
+// Cores/Gomaxprocs — the numbers are recorded as measured on this machine,
+// not extrapolated.
+type ConcurrencySection struct {
+	Cores      int                `json:"cores"`
+	Gomaxprocs int                `json:"gomaxprocs"`
+	Note       string             `json:"note"`
+	Route      []ConcurrencyBench `json:"route"`
+	Sort       []ConcurrencyBench `json:"sort"`
+}
+
+// ScenarioBench is one row of the scenario catalog sweep: the demand-aware
+// planner (AlgorithmAuto) run once on the named workload scenario, compared
+// against the full deterministic pipeline on the same instance.
+type ScenarioBench struct {
+	Scenario string `json:"scenario"`
+	N        int    `json:"n"`
+	// Strategy is the planner's verdict (pipeline | direct | broadcast |
+	// empty) with the plan's one-line reason alongside.
+	Strategy string `json:"strategy"`
+	Reason   string `json:"reason"`
+	// Rounds/MaxEdgeWords/TotalMessages/TotalWords are the model-cost
+	// statistics of the planned execution.
+	Rounds        int   `json:"rounds"`
+	MaxEdgeWords  int   `json:"max_edge_words"`
+	TotalMessages int64 `json:"total_messages"`
+	TotalWords    int64 `json:"total_words"`
+	// PipelineTotalWords is the word cost of the deterministic pipeline on
+	// the identical instance; WordsVsPipeline = PipelineTotalWords /
+	// TotalWords (omitted when the planned execution moved zero words).
+	PipelineTotalWords int64   `json:"pipeline_total_words"`
+	WordsVsPipeline    float64 `json:"words_vs_pipeline,omitempty"`
+	// NsPerOp/AllocsPerOp are wall-clock and allocation figures of the
+	// planned execution (warm engine, one measured iteration by default).
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Verified reports that the planned delivery was compared message by
+	// message against the deterministic pipeline's and found identical.
+	Verified bool `json:"verified"`
+}
+
+// ScenarioSection is the scenarios block of BENCH_protocol.json, written by
+// cmd/cliquescen.
+type ScenarioSection struct {
+	Tool    string          `json:"tool"`
+	Schema  string          `json:"schema"`
+	N       int             `json:"n"`
+	Seed    int64           `json:"seed"`
+	Entries []ScenarioBench `json:"entries"`
+}
+
+// ProtocolDoc is the schema of BENCH_protocol.json.
+type ProtocolDoc struct {
+	Tool     string          `json:"tool"`
+	Schema   string          `json:"schema"`
+	MaxN     int             `json:"max_n"`
+	Measured []ProtocolBench `json:"measured"`
+	// SessionReuse measures the same workloads issued repeatedly on one
+	// long-lived Clique handle (the session API): amortized ns/op and
+	// allocs/op of the warm-engine path, comparable entry by entry with the
+	// fresh-handle numbers in Measured.
+	SessionReuse []ProtocolBench `json:"session_reuse,omitempty"`
+	// Concurrency records the engine-pool throughput sweep (see
+	// ConcurrencySection).
+	Concurrency *ConcurrencySection `json:"concurrency,omitempty"`
+	// Scenarios records the demand-aware planner's scenario catalog sweep
+	// (see ScenarioSection); owned by cmd/cliquescen and preserved by
+	// cmd/cliquebench.
+	Scenarios *ScenarioSection `json:"scenarios,omitempty"`
+	// PreRefactorBaseline is the recorded per-parcel implementation the
+	// flat-frame layer is compared against.
+	PreRefactorBaseline []ProtocolBench `json:"pre_refactor_baseline"`
+}
+
+// OpMeasurement is one wall-clock/allocation measurement produced by
+// MeasureOp, in per-operation units.
+type OpMeasurement struct {
+	NsPerOp     int64
+	AllocsPerOp int64
+	BytesPerOp  int64
+}
+
+// MeasureOp is the shared measurement discipline of cliquebench and
+// cliquescen: run op iters times after a GC flush and report wall time and
+// allocation figures per op. The caller is responsible for warming the op
+// (pools, engine construction) before measuring; both BENCH_protocol.json
+// producers use this one helper so their sections stay comparable.
+func MeasureOp(iters int, op func() error) (OpMeasurement, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := op(); err != nil {
+			return OpMeasurement{}, err
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return OpMeasurement{
+		NsPerOp:     wall.Nanoseconds() / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+	}, nil
+}
+
+// ReadProtocolDoc loads an existing BENCH_protocol.json so a tool can
+// regenerate its own sections while preserving the others. A missing file
+// returns an empty doc; a malformed one returns an error (overwriting a file
+// that fails to parse would silently destroy the other tool's sections).
+func ReadProtocolDoc(path string) (ProtocolDoc, error) {
+	var doc ProtocolDoc
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return doc, nil
+	}
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("experiments: %s exists but does not parse as bench-protocol JSON: %w", path, err)
+	}
+	return doc, nil
+}
+
+// WriteProtocolDoc writes the doc back with stable indentation.
+func WriteProtocolDoc(path string, doc ProtocolDoc) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"congestedclique/internal/core"
+)
+
+// TestScenarioCatalogShape pins the registry contract: at least 8 scenarios,
+// unique names, lookup by name, and a valid Problem 3.1 instance from every
+// builder at several sizes.
+func TestScenarioCatalogShape(t *testing.T) {
+	scenarios := Scenarios()
+	if len(scenarios) < 8 {
+		t.Fatalf("catalog has %d scenarios, want >= 8", len(scenarios))
+	}
+	seen := make(map[string]bool)
+	for _, s := range scenarios {
+		if s.Name == "" || s.Description == "" || s.Build == nil {
+			t.Fatalf("scenario %+v incomplete", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		got, ok := ScenarioByName(s.Name)
+		if !ok || got.Name != s.Name {
+			t.Fatalf("ScenarioByName(%q) failed", s.Name)
+		}
+	}
+	if _, ok := ScenarioByName("no-such-scenario"); ok {
+		t.Fatal("ScenarioByName accepted an unknown name")
+	}
+	if names := ScenarioNames(); len(names) != len(scenarios) {
+		t.Fatalf("ScenarioNames returned %d names for %d scenarios", len(names), len(scenarios))
+	}
+
+	for _, s := range scenarios {
+		for _, n := range []int{8, 16, 64} {
+			ri, err := s.Build(n, 1)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", s.Name, n, err)
+			}
+			validateInstance(t, s.Name, n, ri)
+		}
+		if _, err := s.Build(scenarioMinN-1, 1); err == nil {
+			t.Errorf("%s accepted n below the catalog minimum", s.Name)
+		}
+	}
+}
+
+// validateInstance checks the Problem 3.1 shape: at most n messages per
+// source and per sink, destinations in range, and Seq numbering per source.
+func validateInstance(t *testing.T, name string, n int, ri *RoutingInstance) {
+	t.Helper()
+	if ri.N != n || len(ri.Msgs) != n {
+		t.Fatalf("%s n=%d: instance shape N=%d rows=%d", name, n, ri.N, len(ri.Msgs))
+	}
+	recv := make([]int, n)
+	for src, row := range ri.Msgs {
+		if len(row) > n {
+			t.Fatalf("%s n=%d: node %d sends %d > n messages", name, n, src, len(row))
+		}
+		for j, m := range row {
+			if m.Src != src || m.Seq != j {
+				t.Fatalf("%s n=%d: message %d of node %d mislabelled: %+v", name, n, j, src, m)
+			}
+			if m.Dst < 0 || m.Dst >= n {
+				t.Fatalf("%s n=%d: destination %d out of range", name, n, m.Dst)
+			}
+			recv[m.Dst]++
+		}
+	}
+	for dst, r := range recv {
+		if r > n {
+			t.Fatalf("%s n=%d: node %d receives %d > n messages", name, n, dst, r)
+		}
+	}
+}
+
+// TestScenarioDeterminism pins that Build is a pure function of (n, seed).
+func TestScenarioDeterminism(t *testing.T) {
+	for _, s := range Scenarios() {
+		a, err := s.Build(16, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		b, err := s.Build(16, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same (n, seed) produced different instances", s.Name)
+		}
+	}
+}
+
+// TestScenarioPlannerClassification pins the demand-aware planner's verdict
+// for every catalog scenario — the dispatch table the catalog was designed
+// to exercise. A new scenario must be added here with its expected strategy.
+func TestScenarioPlannerClassification(t *testing.T) {
+	want := map[string]core.RouteStrategy{
+		"uniform-full":     core.StrategyPipeline,
+		"sparse":           core.StrategyDirect,
+		"zipf-skew":        core.StrategyPipeline,
+		"hotspot-sink":     core.StrategyDirect,
+		"broadcast":        core.StrategyDirect,
+		"multicast":        core.StrategyBroadcast,
+		"transpose":        core.StrategyPipeline,
+		"shuffle":          core.StrategyPipeline,
+		"adversarial-sets": core.StrategyPipeline,
+		"empty":            core.StrategyEmpty,
+	}
+	for _, s := range Scenarios() {
+		expected, ok := want[s.Name]
+		if !ok {
+			t.Errorf("scenario %q has no expected planner strategy in this test — add it", s.Name)
+			continue
+		}
+		for _, n := range []int{16, 64} {
+			ri, err := s.Build(n, 1)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", s.Name, n, err)
+			}
+			plan := core.PlanRoute(n, ri.Msgs)
+			if plan.Strategy != expected {
+				t.Errorf("%s n=%d: planner chose %v, want %v (%s)", s.Name, n, plan.Strategy, expected, plan.Reason)
+			}
+		}
+	}
+	for name := range want {
+		if _, ok := ScenarioByName(name); !ok {
+			t.Errorf("expected strategy listed for unknown scenario %q", name)
+		}
+	}
+}
+
+// TestHotspotSinkSitsOnDirectBoundary pins that the hotspot-sink scenario is
+// exactly at the planner's direct-send boundary: its multiplicity equals
+// DirectMaxMultiplicity, and one more message on the hot pair flips the
+// instance off the direct path.
+func TestHotspotSinkSitsOnDirectBoundary(t *testing.T) {
+	const n = 64
+	ri, err := ScenarioByNameMust("hotspot-sink").Build(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := core.PlanRoute(n, ri.Msgs)
+	if plan.Strategy != core.StrategyDirect || plan.MaxPairMultiplicity != core.DirectMaxMultiplicity {
+		t.Fatalf("hotspot-sink plan = %+v, want direct at multiplicity %d", plan, core.DirectMaxMultiplicity)
+	}
+	if plan.Rounds() != 1 {
+		t.Fatalf("Rounds() = %d, want 1 (one-frame direct send)", plan.Rounds())
+	}
+
+	// One extra message on an already-full pair pushes the multiplicity past
+	// the boundary; with many active sources the broadcast gate does not
+	// apply either, so the instance falls back to the pipeline.
+	src := 1
+	over := ri.Msgs[src][len(ri.Msgs[src])-1]
+	over.Seq = len(ri.Msgs[src])
+	ri.Msgs[src] = append(ri.Msgs[src], over)
+	plan = core.PlanRoute(n, ri.Msgs)
+	if plan.Strategy != core.StrategyPipeline {
+		t.Fatalf("over-boundary plan = %v (%s), want pipeline", plan.Strategy, plan.Reason)
+	}
+}
+
+// ScenarioByNameMust is a test helper that panics on an unknown name.
+func ScenarioByNameMust(name string) Scenario {
+	s, ok := ScenarioByName(name)
+	if !ok {
+		panic("unknown scenario " + name)
+	}
+	return s
+}

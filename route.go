@@ -10,6 +10,10 @@ type RouteResult struct {
 	// Delivered[i] lists the messages node i received, sorted by
 	// (Src, Dst, Seq).
 	Delivered [][]Message
+	// Strategy is the delivery strategy the demand-aware planner selected.
+	// It is set only when the operation ran under AlgorithmAuto; under an
+	// explicitly chosen algorithm it is the zero value ("unplanned").
+	Strategy RouteStrategy
 	// Stats describes the execution cost.
 	Stats Stats
 }

@@ -250,17 +250,17 @@ func (c *Clique) callConfig(opts []Option) (config, error) {
 
 // sortBasedConfig is callConfig for the sorting-based corollary operations
 // (Rank, SelectKth, Median, Mode, CountSmallKeys), which only have
-// deterministic implementations. LowCompute falls back to the deterministic
-// path exactly like Sort does; Randomized and NaiveDirect are rejected
-// rather than silently running a different algorithm than the caller asked
-// to measure.
+// deterministic implementations. LowCompute and AlgorithmAuto fall back to
+// the deterministic path exactly like Sort does (the planner covers routing
+// only); Randomized and NaiveDirect are rejected rather than silently
+// running a different algorithm than the caller asked to measure.
 func (c *Clique) sortBasedConfig(op string, opts []Option) (config, error) {
 	cfg, err := applyCallOptions(c.cfg, opts)
 	if err != nil {
 		return cfg, err
 	}
 	switch cfg.algorithm {
-	case Deterministic, LowCompute:
+	case Deterministic, LowCompute, AlgorithmAuto:
 		return cfg, nil
 	default:
 		return cfg, fmt.Errorf("%w: %s only has the deterministic implementation (got %v)", ErrUnsupportedAlgorithm, op, cfg.algorithm)
@@ -336,6 +336,15 @@ func (u *execUnit) route(ctx context.Context, cfg config, msgs [][]Message) (*Ro
 		}
 	}
 
+	// Under AlgorithmAuto the demand-aware planner classifies the staged
+	// instance once, centrally (the plan is a pure function of the instance,
+	// so every node dispatching on it agrees on the schedule — see
+	// internal/core/planner.go for the model-honesty note).
+	var plan core.RoutePlan
+	if cfg.algorithm == AlgorithmAuto {
+		plan = core.PlanRoute(u.n, inputs)
+	}
+
 	outputs := u.msgOut
 	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
 		var (
@@ -351,6 +360,8 @@ func (u *execUnit) route(ctx context.Context, cfg config, msgs [][]Message) (*Ro
 			out, rErr = baseline.RandomizedRoute(nd, inputs[nd.ID()], cfg.seed)
 		case NaiveDirect:
 			out, rErr = baseline.NaiveDirectRoute(nd, inputs[nd.ID()])
+		case AlgorithmAuto:
+			out, rErr = core.AutoRoute(nd, inputs[nd.ID()], plan)
 		default:
 			rErr = fmt.Errorf("congestedclique: unsupported algorithm %v", cfg.algorithm)
 		}
@@ -364,7 +375,7 @@ func (u *execUnit) route(ctx context.Context, cfg config, msgs [][]Message) (*Ro
 		return nil, runErr
 	}
 
-	res := &RouteResult{Delivered: make([][]Message, u.n), Stats: statsFromMetrics(u.nw.Metrics())}
+	res := &RouteResult{Delivered: make([][]Message, u.n), Strategy: strategyFromCore(plan.Strategy), Stats: statsFromMetrics(u.nw.Metrics())}
 	for i := range outputs {
 		if out := outputs[i]; len(out) > 0 {
 			d := make([]Message, len(out))
@@ -484,7 +495,7 @@ func (u *execUnit) sortStaged(ctx context.Context, cfg config, inputs [][]core.K
 			sErr error
 		)
 		switch cfg.algorithm {
-		case Deterministic, LowCompute:
+		case Deterministic, LowCompute, AlgorithmAuto:
 			res, sErr = core.Sort(nd, inputs[nd.ID()])
 		case Randomized:
 			res, sErr = baseline.RandomizedSampleSort(nd, inputs[nd.ID()], cfg.seed)
