@@ -1,0 +1,214 @@
+package congestedclique
+
+// Tests for the demand-aware sorting planner (AlgorithmAuto) at the public
+// API level: the classification surfaced through SortResult.Strategy, the
+// bit-identical-batches guarantee of every planner arm against the
+// deterministic pipeline, the fast arms' round advantage, and a fuzzer
+// comparing planned sorts against Algorithm 4 across workload shapes.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sortBatchesEqual deep-compares two sort results' batches, starts and
+// totals.
+func sortBatchesEqual(t *testing.T, label string, got, want *SortResult) {
+	t.Helper()
+	if got.Total != want.Total {
+		t.Fatalf("%s: total = %d, want %d", label, got.Total, want.Total)
+	}
+	if len(got.Batches) != len(want.Batches) {
+		t.Fatalf("%s: %d batches, want %d", label, len(got.Batches), len(want.Batches))
+	}
+	for i := range want.Batches {
+		if got.Starts[i] != want.Starts[i] || len(got.Batches[i]) != len(want.Batches[i]) {
+			t.Fatalf("%s: node %d got start=%d len=%d, want start=%d len=%d",
+				label, i, got.Starts[i], len(got.Batches[i]), want.Starts[i], len(want.Batches[i]))
+		}
+		for j := range want.Batches[i] {
+			if got.Batches[i][j] != want.Batches[i][j] {
+				t.Fatalf("%s: node %d batch[%d] = %+v, want %+v",
+					label, i, j, got.Batches[i][j], want.Batches[i][j])
+			}
+		}
+	}
+}
+
+// autoVsDeterministicSort runs the same instance under both algorithms and
+// checks the batches agree bit for bit, returning both results.
+func autoVsDeterministicSort(t *testing.T, label string, n int, values [][]int64) (auto, det *SortResult) {
+	t.Helper()
+	auto, err := Sort(n, values, WithAlgorithm(AlgorithmAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err = Sort(n, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortBatchesEqual(t, label, auto, det)
+	return auto, det
+}
+
+// TestAutoSortEmptyInstance pins the degenerate edge: a sort with no keys
+// costs zero rounds and zero words under the planner.
+func TestAutoSortEmptyInstance(t *testing.T) {
+	t.Parallel()
+	for _, values := range [][][]int64{nil, make([][]int64, 16), {{}, {}}} {
+		res, err := Sort(16, values, WithAlgorithm(AlgorithmAuto))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Strategy != SortStrategyEmpty {
+			t.Fatalf("strategy = %v, want empty", res.Strategy)
+		}
+		if res.Stats.Rounds != 0 || res.Stats.TotalWords != 0 || res.Stats.TotalMessages != 0 {
+			t.Fatalf("empty sort cost %+v, want all-zero", res.Stats)
+		}
+		if res.Total != 0 {
+			t.Fatalf("empty sort total = %d", res.Total)
+		}
+	}
+}
+
+// TestAutoSortPresorted pins the skip-redistribution arm: block-sorted input
+// finishes in two rounds with batches identical to the pipeline's.
+func TestAutoSortPresorted(t *testing.T) {
+	t.Parallel()
+	const n, per = 32, 8
+	values := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < per; k++ {
+			values[i] = append(values[i], int64(i*per+k))
+		}
+	}
+	auto, det := autoVsDeterministicSort(t, "presorted", n, values)
+	if auto.Strategy != SortStrategyPresorted {
+		t.Fatalf("strategy = %v, want presorted", auto.Strategy)
+	}
+	if auto.Stats.Rounds != 2 {
+		t.Fatalf("presorted arm took %d rounds, want 2", auto.Stats.Rounds)
+	}
+	if det.Strategy != 0 {
+		t.Fatalf("deterministic run reports strategy %v, want unplanned", det.Strategy)
+	}
+	if auto.Stats.TotalWords >= det.Stats.TotalWords {
+		t.Fatalf("presorted arm moved %d words, pipeline %d — no advantage",
+			auto.Stats.TotalWords, det.Stats.TotalWords)
+	}
+}
+
+// TestAutoSortNearSorted pins the near-sorted acceptance: rows that
+// partition the global order only after a local sort still take the
+// two-round arm.
+func TestAutoSortNearSorted(t *testing.T) {
+	t.Parallel()
+	const n, per = 32, 8
+	rng := rand.New(rand.NewSource(11))
+	values := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		row := make([]int64, per)
+		for k := 0; k < per; k++ {
+			row[k] = int64(i*per + k)
+		}
+		rng.Shuffle(per, func(a, b int) { row[a], row[b] = row[b], row[a] })
+		values[i] = row
+	}
+	auto, _ := autoVsDeterministicSort(t, "near-sorted", n, values)
+	if auto.Strategy != SortStrategyPresorted {
+		t.Fatalf("strategy = %v, want presorted", auto.Strategy)
+	}
+	if auto.Stats.Rounds != 2 {
+		t.Fatalf("near-sorted arm took %d rounds, want 2", auto.Stats.Rounds)
+	}
+}
+
+// TestAutoSortSmallDomain pins the Section 6.3 counting arm: a
+// duplicate-heavy instance over a tiny domain finishes in four rounds with
+// the pipeline's exact batches.
+func TestAutoSortSmallDomain(t *testing.T) {
+	t.Parallel()
+	const n, per = 256, 4
+	values := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < per; k++ {
+			values[i] = append(values[i], int64((i+k)%3))
+		}
+	}
+	auto, _ := autoVsDeterministicSort(t, "small-domain", n, values)
+	if auto.Strategy != SortStrategySmallDomain {
+		t.Fatalf("strategy = %v, want small-domain", auto.Strategy)
+	}
+	if auto.Stats.Rounds != 4 {
+		t.Fatalf("small-domain arm took %d rounds, want 4", auto.Stats.Rounds)
+	}
+}
+
+// TestAutoSortStrategyStrings pins the public enum's names as printed in
+// scenario tables.
+func TestAutoSortStrategyStrings(t *testing.T) {
+	t.Parallel()
+	for s, want := range map[SortStrategy]string{
+		0:                       "unplanned",
+		SortStrategyPipeline:    "pipeline",
+		SortStrategyPresorted:   "presorted",
+		SortStrategySmallDomain: "small-domain",
+		SortStrategyEmpty:       "empty",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("SortStrategy(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+// FuzzAutoSortMatchesDeterministic generates random instances across the
+// workload shapes (wide uniform, tiny domains, sorted and reverse blocks,
+// per-node clusters, all-equal) and checks that AlgorithmAuto produces
+// exactly the pipeline's batches, whatever strategy the planner picked.
+func FuzzAutoSortMatchesDeterministic(f *testing.F) {
+	f.Add(int64(1), uint8(16), uint8(4), uint8(0))
+	f.Add(int64(2), uint8(9), uint8(0), uint8(1))
+	f.Add(int64(3), uint8(25), uint8(12), uint8(2))
+	f.Add(int64(4), uint8(31), uint8(200), uint8(3))
+	f.Add(int64(5), uint8(20), uint8(6), uint8(4))
+	f.Add(int64(6), uint8(13), uint8(3), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, perRaw, modeRaw uint8) {
+		n := 8 + int(nRaw)%25 // 8..32
+		per := int(perRaw) % (n + 1)
+		mode := int(modeRaw) % 6
+		rng := rand.New(rand.NewSource(seed))
+		values := make([][]int64, n)
+		for i := 0; i < n; i++ {
+			count := rng.Intn(per + 1)
+			for k := 0; k < count; k++ {
+				var v int64
+				switch mode {
+				case 0:
+					v = rng.Int63n(1 << 40)
+				case 1:
+					v = int64(rng.Intn(3)) // tiny domain, mostly still > cap at these n
+				case 2:
+					v = int64(i*per + k) // sorted blocks (ragged rows may overlap)
+				case 3:
+					v = int64((n-i)*per - k)
+				case 4:
+					v = int64(i)*1000 + int64(rng.Intn(10))
+				case 5:
+					v = 42
+				}
+				values[i] = append(values[i], v)
+			}
+		}
+		auto, err := Sort(n, values, WithAlgorithm(AlgorithmAuto))
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := Sort(n, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortBatchesEqual(t, fmt.Sprintf("n=%d mode=%d strategy=%v", n, mode, auto.Strategy), auto, det)
+	})
+}

@@ -202,9 +202,11 @@ func TestAutoSparseWordAdvantage(t *testing.T) {
 	}
 }
 
-// TestAutoSortFallsBackDeterministic pins the documented fallback: sorting
-// under AlgorithmAuto runs the deterministic sorter with identical stats.
-func TestAutoSortFallsBackDeterministic(t *testing.T) {
+// TestAutoSortPipelineArmBitIdentical pins the sorting planner's general
+// arm: a full-load instance with a wide value domain is classified
+// SortStrategyPipeline and runs Algorithm 4 with stats bit-identical to
+// Deterministic (see auto_sort_test.go for the fast arms).
+func TestAutoSortPipelineArmBitIdentical(t *testing.T) {
 	t.Parallel()
 	const n = 16
 	values := benchSortWorkload(n)
@@ -215,6 +217,9 @@ func TestAutoSortFallsBackDeterministic(t *testing.T) {
 	det, err := Sort(n, values)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if auto.Strategy != SortStrategyPipeline {
+		t.Fatalf("strategy = %v, want pipeline", auto.Strategy)
 	}
 	if auto.Stats != det.Stats {
 		t.Fatalf("auto sort stats %+v diverge from deterministic %+v", auto.Stats, det.Stats)

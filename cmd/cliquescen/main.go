@@ -1,9 +1,10 @@
-// Command cliquescen runs the routing scenario catalog through the
-// demand-aware planner (AlgorithmAuto) and reports, per scenario, the chosen
-// strategy and its cost — rounds, per-edge words, total words, allocations
-// and wall time — next to the word cost of the full deterministic pipeline
-// on the identical instance. Every planned delivery is verified message by
-// message against the pipeline's before its numbers are reported.
+// Command cliquescen runs the routing and sorting scenario catalogs through
+// the demand-aware planners (AlgorithmAuto) and reports, per scenario, the
+// chosen strategy and its cost — rounds, per-edge words, total words,
+// allocations and wall time — next to the word cost of the full
+// deterministic pipeline on the identical instance. Every planned delivery
+// (or sorted batch) is verified element by element against the pipeline's
+// before its numbers are reported.
 //
 // With -json the results are merged into the scenarios section of
 // BENCH_protocol.json (the other sections, owned by cliquebench, are
@@ -69,14 +70,17 @@ func run() error {
 	}
 	if *list {
 		for _, s := range workload.Scenarios() {
-			fmt.Printf("%-18s %s\n", s.Name, s.Description)
+			fmt.Printf("%-20s %s\n", s.Name, s.Description)
+		}
+		for _, s := range workload.SortScenarios() {
+			fmt.Printf("%-20s %s\n", s.Name, s.Description)
 		}
 		return nil
 	}
 	if *iters < 1 {
 		return fmt.Errorf("-iters must be at least 1, got %d", *iters)
 	}
-	scenarios, err := selectScenarios(*names)
+	scenarios, sortScenarios, err := selectScenarios(*names)
 	if err != nil {
 		return err
 	}
@@ -96,6 +100,13 @@ func run() error {
 	}
 	for _, sc := range scenarios {
 		row, err := runScenario(cl, sc, *n, *seed, *iters, comparePipeline, *verifyRes)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		section.Entries = append(section.Entries, row)
+	}
+	for _, sc := range sortScenarios {
+		row, err := runSortScenario(cl, sc, *n, *seed, *iters, comparePipeline, *verifyRes)
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", sc.Name, err)
 		}
@@ -127,20 +138,29 @@ func run() error {
 	return nil
 }
 
-func selectScenarios(names string) ([]workload.Scenario, error) {
+// selectScenarios resolves the -scenarios flag against both catalogs:
+// routing scenarios and sorting scenarios may be mixed freely, and "all"
+// runs both catalogs in canonical order.
+func selectScenarios(names string) ([]workload.Scenario, []workload.SortScenario, error) {
 	if names == "all" || names == "" {
-		return workload.Scenarios(), nil
+		return workload.Scenarios(), workload.SortScenarios(), nil
 	}
-	var out []workload.Scenario
+	var routes []workload.Scenario
+	var sorts []workload.SortScenario
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
-		sc, ok := workload.ScenarioByName(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown scenario %q (known: %s)", name, strings.Join(workload.ScenarioNames(), ", "))
+		if sc, ok := workload.ScenarioByName(name); ok {
+			routes = append(routes, sc)
+			continue
 		}
-		out = append(out, sc)
+		if sc, ok := workload.SortScenarioByName(name); ok {
+			sorts = append(sorts, sc)
+			continue
+		}
+		known := append(workload.ScenarioNames(), workload.SortScenarioNames()...)
+		return nil, nil, fmt.Errorf("unknown scenario %q (known: %s)", name, strings.Join(known, ", "))
 	}
-	return out, nil
+	return routes, sorts, nil
 }
 
 // runScenario measures one scenario on the shared session handle: a warm-up
@@ -210,6 +230,93 @@ func runScenario(cl *cc.Clique, sc workload.Scenario, n int, seed int64, iters i
 		}
 	}
 	return row, nil
+}
+
+// runSortScenario is runScenario for the sorting catalog: a warm-up pass,
+// iters measured planner runs, the sorting planner's verdict cross-checked
+// against the executed strategy, and (optionally) the deterministic
+// Algorithm 4 pipeline on the same instance for the word comparison and
+// batch-by-batch verification.
+func runSortScenario(cl *cc.Clique, sc workload.SortScenario, n int, seed int64, iters int, comparePipeline, verify bool) (experiments.ScenarioBench, error) {
+	si, err := sc.Build(n, seed)
+	if err != nil {
+		return experiments.ScenarioBench{}, err
+	}
+	values, err := workload.SortScenarioValues(si)
+	if err != nil {
+		return experiments.ScenarioBench{}, err
+	}
+	ctx := context.Background()
+	auto, err := cl.Sort(ctx, values, cc.WithAlgorithm(cc.AlgorithmAuto))
+	if err != nil {
+		return experiments.ScenarioBench{}, err
+	}
+	m, err := experiments.MeasureOp(iters, func() error {
+		var opErr error
+		auto, opErr = cl.Sort(ctx, values, cc.WithAlgorithm(cc.AlgorithmAuto))
+		return opErr
+	})
+	if err != nil {
+		return experiments.ScenarioBench{}, err
+	}
+
+	// Re-derive the plan for its human-readable reason (the public API
+	// reports only the chosen strategy) and cross-check the two agree.
+	plan := core.PlanSort(n, si.Keys)
+	if plan.Strategy.String() != auto.Strategy.String() {
+		return experiments.ScenarioBench{}, fmt.Errorf("planner verdict %v disagrees with executed strategy %v", plan.Strategy, auto.Strategy)
+	}
+
+	row := experiments.ScenarioBench{
+		Scenario:      sc.Name,
+		N:             n,
+		Strategy:      auto.Strategy.String(),
+		Reason:        plan.Reason,
+		Rounds:        auto.Stats.Rounds,
+		MaxEdgeWords:  auto.Stats.MaxEdgeWords,
+		TotalMessages: auto.Stats.TotalMessages,
+		TotalWords:    auto.Stats.TotalWords,
+		NsPerOp:       m.NsPerOp,
+		AllocsPerOp:   m.AllocsPerOp,
+	}
+
+	if comparePipeline {
+		det, err := cl.Sort(ctx, values)
+		if err != nil {
+			return experiments.ScenarioBench{}, err
+		}
+		row.PipelineTotalWords = det.Stats.TotalWords
+		if row.TotalWords > 0 {
+			row.WordsVsPipeline = float64(det.Stats.TotalWords) / float64(row.TotalWords)
+		}
+		if verify {
+			if err := sameBatches(auto, det); err != nil {
+				return experiments.ScenarioBench{}, fmt.Errorf("planned batches diverge from the pipeline: %w", err)
+			}
+			row.Verified = true
+		}
+	}
+	return row, nil
+}
+
+// sameBatches compares two sort results batch by batch.
+func sameBatches(a, b *cc.SortResult) error {
+	if a.Total != b.Total || len(a.Batches) != len(b.Batches) {
+		return fmt.Errorf("total %d over %d batches vs total %d over %d batches",
+			a.Total, len(a.Batches), b.Total, len(b.Batches))
+	}
+	for i := range a.Batches {
+		if a.Starts[i] != b.Starts[i] || len(a.Batches[i]) != len(b.Batches[i]) {
+			return fmt.Errorf("node %d batch start %d len %d vs start %d len %d",
+				i, a.Starts[i], len(a.Batches[i]), b.Starts[i], len(b.Batches[i]))
+		}
+		for j := range a.Batches[i] {
+			if a.Batches[i][j] != b.Batches[i][j] {
+				return fmt.Errorf("node %d key %d: %+v vs %+v", i, j, a.Batches[i][j], b.Batches[i][j])
+			}
+		}
+	}
+	return nil
 }
 
 // sameDelivery compares two route results message by message (both are

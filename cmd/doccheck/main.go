@@ -8,10 +8,15 @@
 //     file is the authority on what is public (cmd/apisurface keeps it in
 //     sync with the code), so a symbol added to the surface without
 //     documentation fails the build.
+//  3. Internal-package doc coverage: every exported symbol (and exported
+//     method on an exported receiver) of the packages listed in -internal
+//     must carry a doc comment. Internal packages have no surface file, so
+//     the source itself is the authority: exporting a symbol there is a
+//     promise to the rest of the repository and must be documented.
 //
 // Usage:
 //
-//	doccheck [-dir .] [-surface API_SURFACE.txt]
+//	doccheck [-dir .] [-surface API_SURFACE.txt] [-internal internal/core,...]
 package main
 
 import (
@@ -25,14 +30,17 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		dir     = flag.String("dir", ".", "repository root")
-		surface = flag.String("surface", "API_SURFACE.txt", "API surface file (relative to -dir)")
+		dir      = flag.String("dir", ".", "repository root")
+		surface  = flag.String("surface", "API_SURFACE.txt", "API surface file (relative to -dir)")
+		internal = flag.String("internal", "internal/core,internal/clique,internal/workload",
+			"comma-separated internal package dirs (relative to -dir) whose exported symbols must all be documented; empty disables the check")
 	)
 	flag.Parse()
 
@@ -49,13 +57,25 @@ func main() {
 	}
 	problems = append(problems, docProblems...)
 
+	for _, pkg := range strings.Split(*internal, ",") {
+		pkg = strings.TrimSpace(pkg)
+		if pkg == "" {
+			continue
+		}
+		internalProblems, err := checkInternalDocCoverage(*dir, pkg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		problems = append(problems, internalProblems...)
+	}
+
 	if len(problems) > 0 {
 		for _, p := range problems {
 			log.Print(p)
 		}
 		log.Fatalf("doccheck: %d problem(s)", len(problems))
 	}
-	fmt.Println("doccheck: markdown links and public-symbol doc coverage OK")
+	fmt.Println("doccheck: markdown links, public-symbol and internal-package doc coverage OK")
 }
 
 // linkPattern matches markdown link and image targets: [text](target) and
@@ -178,6 +198,28 @@ func checkDocCoverage(dir, surfacePath string) ([]string, error) {
 		if !state {
 			problems = append(problems, fmt.Sprintf("public symbol %q has no doc comment (listed in %s)", sym, surfacePath))
 		}
+	}
+	return problems, nil
+}
+
+// checkInternalDocCoverage parses one internal package and reports every
+// exported symbol that lacks a doc comment. Unlike the root package there is
+// no surface file to drive the check: the parsed source is the authority.
+func checkInternalDocCoverage(root, pkg string) ([]string, error) {
+	documented, err := documentedSymbols(filepath.Join(root, filepath.FromSlash(pkg)))
+	if err != nil {
+		return nil, err
+	}
+	undocumented := make([]string, 0, len(documented))
+	for sym, ok := range documented {
+		if !ok {
+			undocumented = append(undocumented, sym)
+		}
+	}
+	sort.Strings(undocumented)
+	problems := make([]string, len(undocumented))
+	for i, sym := range undocumented {
+		problems[i] = fmt.Sprintf("exported symbol %q of %s has no doc comment", sym, pkg)
 	}
 	return problems, nil
 }

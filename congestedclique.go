@@ -119,18 +119,21 @@ const (
 	// back to, and silently running a different algorithm would misreport
 	// what was measured).
 	NaiveDirect
-	// AlgorithmAuto is the demand-aware planner: each Route call classifies
-	// its instance (total messages, per-pair multiplicity, source skew) and
-	// dispatches to the cheapest correct strategy — a direct-send fast path
-	// when every source-destination pair's load fits one frame and demand is
-	// sparse, a scatter/relay path for one-to-many demand, a zero-round path
-	// for empty instances, and the full deterministic pipeline otherwise
-	// (with statistics bit-identical to Deterministic whenever the pipeline
-	// is selected). RouteResult.Strategy reports the choice; see
-	// ARCHITECTURE.md for the dispatch rule. The planner covers routing
-	// only: Sort, SortKeys and the sorting-based corollary operations under
-	// AlgorithmAuto run the deterministic implementations, exactly like
-	// LowCompute.
+	// AlgorithmAuto is the demand-aware planner: each Route, Sort or
+	// SortKeys call classifies its instance and dispatches to the cheapest
+	// strategy that still produces the contractual output. Route instances
+	// (total messages, per-pair multiplicity, source skew) divert to a
+	// direct-send fast path, a scatter/relay path for one-to-many demand, or
+	// a zero-round path for empty instances; Sort instances (pre-sortedness,
+	// distinct-value census) divert to a two-round rank redistribution when
+	// the rows already partition the global order, or to the Section 6.3
+	// counting protocol when the distinct values fit its feasibility bound.
+	// Everything else runs the full deterministic pipeline, with statistics
+	// bit-identical to Deterministic. RouteResult.Strategy and
+	// SortResult.Strategy report the choice; see ARCHITECTURE.md for the
+	// dispatch rules. The sorting-based corollary operations (Rank,
+	// SelectKth, Median, Mode, CountSmallKeys) under AlgorithmAuto run the
+	// deterministic implementations, exactly like LowCompute.
 	AlgorithmAuto
 )
 
@@ -204,6 +207,66 @@ func strategyFromCore(s core.RouteStrategy) RouteStrategy {
 		return StrategyBroadcast
 	case core.StrategyEmpty:
 		return StrategyEmpty
+	default:
+		return 0
+	}
+}
+
+// SortStrategy identifies the strategy the demand-aware sorting planner
+// (AlgorithmAuto) selected for one Sort or SortKeys execution. The zero
+// value means the planner was not consulted — the operation ran under an
+// explicitly chosen algorithm.
+type SortStrategy int
+
+const (
+	// SortStrategyPipeline is the paper's full 37-round Algorithm 4
+	// (Theorem 4.5), selected for general instances. When the planner picks
+	// it, statistics are bit-identical to Deterministic.
+	SortStrategyPipeline SortStrategy = iota + 1
+	// SortStrategyPresorted skips the pipeline when the input rows already
+	// partition the global order (node i's keys all precede node i+1's,
+	// possibly after a free local sort): two rank-balanced redistribution
+	// rounds produce the contractual batches.
+	SortStrategyPresorted
+	// SortStrategySmallDomain handles duplicate-heavy instances whose
+	// distinct values fit the Section 6.3 feasibility bound: the two-round
+	// counting protocol plus a per-origin prefix pins every key's exact
+	// global rank, and two delivery rounds finish — four rounds total.
+	SortStrategySmallDomain
+	// SortStrategyEmpty is the degenerate no-key instance: zero rounds.
+	SortStrategyEmpty
+)
+
+// String returns the strategy name as printed by cmd/cliquescen.
+func (s SortStrategy) String() string {
+	switch s {
+	case SortStrategyPipeline:
+		return "pipeline"
+	case SortStrategyPresorted:
+		return "presorted"
+	case SortStrategySmallDomain:
+		return "small-domain"
+	case SortStrategyEmpty:
+		return "empty"
+	case 0:
+		return "unplanned"
+	default:
+		return fmt.Sprintf("sort-strategy(%d)", int(s))
+	}
+}
+
+// sortStrategyFromCore maps the sorting planner's internal verdict to the
+// public enum.
+func sortStrategyFromCore(s core.SortStrategy) SortStrategy {
+	switch s {
+	case core.SortStrategyPipeline:
+		return SortStrategyPipeline
+	case core.SortStrategyPresorted:
+		return SortStrategyPresorted
+	case core.SortStrategySmallDomain:
+		return SortStrategySmallDomain
+	case core.SortStrategyEmpty:
+		return SortStrategyEmpty
 	default:
 		return 0
 	}

@@ -2,6 +2,7 @@ package bipartite
 
 import (
 	"fmt"
+	"sync"
 )
 
 // A demand matrix D is the compact form of a bipartite multigraph: D[i][j]
@@ -250,113 +251,303 @@ func ColorDemandMatrix(demand [][]int, d int) (*DemandColoring, error) {
 		return u, nil
 	}
 
-	padded, err := PadToRegular(demand, d)
+	sc := demandScratchPool.Get().(*demandScratch)
+	defer demandScratchPool.Put(sc)
+	dc, err := colorDemandScratch(sc, demand, r, d)
 	if err != nil {
 		return nil, err
 	}
+	return dc, nil
+}
 
-	runs := make([][][]ColorRun, r)
-	for i := range runs {
-		runs[i] = make([][]ColorRun, c)
+// demandScratch holds the reusable intermediate state of colorDemandScratch.
+// Pooling it keeps ColorDemandMatrix down to the four allocations that make
+// up the returned DemandColoring; the coloring itself sits on the protocol
+// hot path (every non-uniform relay step colors a fresh demand matrix).
+type demandScratch struct {
+	work     []int     // n*n flattened padded working copy
+	rowDef   []int     // per-row padding deficit
+	colDef   []int     // per-column padding deficit
+	matchRow []int     // Kuhn's: row -> col
+	matchCol []int     // Kuhn's: col -> row
+	events   []peelRun // per-matching color runs, in peel order
+	counts   []int32   // per-cell surviving run count, then fill cursor
+
+	// adjBuf/adjLen hold per-row adjacency lists of the support (columns with
+	// strictly positive work, ascending): row i occupies adjBuf[i*n : i*n +
+	// adjLen[i]]. Maintained incrementally as peeling zeroes cells, so Kuhn's
+	// scans touch only the support instead of all n columns per row.
+	adjBuf []int32
+	adjLen []int32
+	// visitStamp/gen replace the per-row visited-flag clear of Kuhn's
+	// algorithm: column j counts as visited when visitStamp[j] == gen, and
+	// bumping gen unvisits every column at once. gen survives reset — a fresh
+	// (zeroed) stamp slice is always "all unvisited" for any gen >= 1.
+	visitStamp []int64
+	gen        int64
+}
+
+// peelRun records that peeling assigned the colors [start, start+len) to the
+// flattened cell index cell. Events for one cell appear in increasing color
+// order because colors are handed out monotonically.
+type peelRun struct {
+	cell  int32
+	start int32
+	len   int32
+}
+
+var demandScratchPool = sync.Pool{New: func() any { return new(demandScratch) }}
+
+func (sc *demandScratch) reset(n int) {
+	cells := n * n
+	if cap(sc.work) < cells {
+		sc.work = make([]int, cells)
+		sc.counts = make([]int32, cells)
 	}
+	sc.work = sc.work[:cells]
+	sc.counts = sc.counts[:cells]
+	if cap(sc.rowDef) < n {
+		sc.rowDef = make([]int, n)
+		sc.colDef = make([]int, n)
+		sc.matchRow = make([]int, n)
+		sc.matchCol = make([]int, n)
+		sc.visitStamp = make([]int64, n)
+	}
+	sc.rowDef = sc.rowDef[:n]
+	sc.colDef = sc.colDef[:n]
+	sc.matchRow = sc.matchRow[:n]
+	sc.matchCol = sc.matchCol[:n]
+	sc.visitStamp = sc.visitStamp[:n]
+	if cap(sc.adjBuf) < cells {
+		sc.adjBuf = make([]int32, cells)
+		sc.adjLen = make([]int32, n)
+	}
+	sc.adjBuf = sc.adjBuf[:cells]
+	sc.adjLen = sc.adjLen[:n]
+	sc.events = sc.events[:0]
+}
+
+// colorDemandScratch is the general (non-uniform) arm of ColorDemandMatrix.
+// It pads, peels, and trims entirely inside sc, then compacts the surviving
+// runs into an exact-size DemandColoring. The peeling order, the
+// northwest-corner padding, and Kuhn's column scan are identical to the
+// original nested-slice implementation, so the returned coloring — which
+// downstream relay steps turn into concrete send schedules pinned by the
+// stats goldens — is bit-identical.
+func colorDemandScratch(sc *demandScratch, demand [][]int, n, d int) (*DemandColoring, error) {
+	sc.reset(n)
+
+	// Pad to exact d-regularity in place (northwest-corner fill), as in
+	// PadToRegular but writing straight into the flat working copy.
+	for i := 0; i < n; i++ {
+		s := 0
+		row := demand[i]
+		copy(sc.work[i*n:(i+1)*n], row)
+		for _, v := range row {
+			s += v
+		}
+		if s > d {
+			return nil, fmt.Errorf("bipartite: row %d sum %d exceeds target degree %d", i, s, d)
+		}
+		sc.rowDef[i] = d - s
+	}
+	for j := 0; j < n; j++ {
+		s := 0
+		for i := 0; i < n; i++ {
+			s += sc.work[i*n+j]
+		}
+		if s > d {
+			return nil, fmt.Errorf("bipartite: column %d sum %d exceeds target degree %d", j, s, d)
+		}
+		sc.colDef[j] = d - s
+	}
+	for i, j := 0, 0; i < n && j < n; {
+		if sc.rowDef[i] == 0 {
+			i++
+			continue
+		}
+		if sc.colDef[j] == 0 {
+			j++
+			continue
+		}
+		add := sc.rowDef[i]
+		if sc.colDef[j] < add {
+			add = sc.colDef[j]
+		}
+		sc.work[i*n+j] += add
+		sc.rowDef[i] -= add
+		sc.colDef[j] -= add
+	}
+	for i := 0; i < n; i++ {
+		if sc.rowDef[i] != 0 {
+			return nil, fmt.Errorf("bipartite: padding failed, row %d still deficient by %d", i, sc.rowDef[i])
+		}
+	}
+
+	// Build the support adjacency lists (ascending column order, exactly the
+	// positive cells) that Kuhn's scans below walk instead of full rows.
+	for i := 0; i < n; i++ {
+		l := 0
+		row := sc.work[i*n : (i+1)*n]
+		for j, v := range row {
+			if v > 0 {
+				sc.adjBuf[i*n+l] = int32(j)
+				l++
+			}
+		}
+		sc.adjLen[i] = int32(l)
+	}
+
+	// Peel perfect matchings, logging each assigned run instead of growing
+	// per-cell slices.
 	remaining := d
 	nextColor := 0
-	work := make([][]int, r)
-	for i := range work {
-		work[i] = make([]int, c)
-		copy(work[i], padded[i])
-	}
-
 	for remaining > 0 {
-		match, err := perfectMatchingOnSupport(work)
-		if err != nil {
-			return nil, fmt.Errorf("bipartite: demand coloring failed with %d colors remaining: %w", remaining, err)
+		if err := sc.perfectMatching(n, remaining); err != nil {
+			return nil, err
 		}
 		t := remaining
-		for i, j := range match {
-			if work[i][j] < t {
-				t = work[i][j]
+		for i := 0; i < n; i++ {
+			if v := sc.work[i*n+sc.matchRow[i]]; v < t {
+				t = v
 			}
 		}
 		if t <= 0 {
 			return nil, fmt.Errorf("bipartite: internal error: matching with zero capacity")
 		}
-		for i, j := range match {
-			work[i][j] -= t
-			// Only record runs for real demand; padding beyond demand[i][j]
-			// is dummy and never transmitted. A cell's runs are recorded in
-			// increasing color order, so the first demand[i][j] colored units
-			// are exactly the real ones.
-			runs[i][j] = append(runs[i][j], ColorRun{Start: nextColor, Len: t})
+		for i := 0; i < n; i++ {
+			j := sc.matchRow[i]
+			sc.work[i*n+j] -= t
+			sc.events = append(sc.events, peelRun{cell: int32(i*n + j), start: int32(nextColor), len: int32(t)})
+			if sc.work[i*n+j] == 0 {
+				sc.removeAdj(n, i, j)
+			}
 		}
 		nextColor += t
 		remaining -= t
 	}
 
-	// Trim each cell's runs to its real demand (drop the dummy suffix).
-	for i := 0; i < r; i++ {
-		for j := 0; j < c; j++ {
-			need := demand[i][j]
-			var trimmed []ColorRun
-			for _, run := range runs[i][j] {
-				if need <= 0 {
-					break
-				}
-				take := run.Len
-				if take > need {
-					take = need
-				}
-				trimmed = append(trimmed, ColorRun{Start: run.Start, Len: take})
-				need -= take
-			}
-			if need > 0 {
-				return nil, fmt.Errorf("bipartite: cell (%d,%d) under-colored by %d", i, j, need)
-			}
-			runs[i][j] = trimmed
+	// Trim each cell to its real demand (padding beyond demand[i][j] is dummy
+	// and never transmitted; a cell's events are in increasing color order, so
+	// the first demand[i][j] colored units are exactly the real ones). First
+	// pass counts surviving runs per cell; sc.work is reused to track the
+	// remaining real need.
+	for i := 0; i < n; i++ {
+		copy(sc.work[i*n:(i+1)*n], demand[i])
+	}
+	for i := range sc.counts {
+		sc.counts[i] = 0
+	}
+	totalRuns := 0
+	for _, ev := range sc.events {
+		if sc.work[ev.cell] <= 0 {
+			continue
+		}
+		sc.counts[ev.cell]++
+		totalRuns++
+		sc.work[ev.cell] -= int(ev.len)
+	}
+	for cell, need := range sc.work {
+		if need > 0 {
+			return nil, fmt.Errorf("bipartite: cell (%d,%d) under-colored by %d", cell/n, cell%n, need)
 		}
 	}
 
+	// Compact into exact-size result storage: one flat ColorRun backing array
+	// carved into per-cell slices. sc.counts becomes the per-cell fill cursor.
+	backing := make([]ColorRun, totalRuns)
+	cells := make([][]ColorRun, n*n)
+	off := 0
+	for cell, cnt := range sc.counts {
+		if cnt == 0 {
+			continue
+		}
+		cells[cell] = backing[off : off : off+int(cnt)]
+		off += int(cnt)
+	}
+	for i := 0; i < n; i++ {
+		copy(sc.work[i*n:(i+1)*n], demand[i])
+	}
+	for _, ev := range sc.events {
+		need := sc.work[ev.cell]
+		if need <= 0 {
+			continue
+		}
+		take := int(ev.len)
+		if take > need {
+			take = need
+		}
+		cells[ev.cell] = append(cells[ev.cell], ColorRun{Start: int(ev.start), Len: take})
+		sc.work[ev.cell] = need - take
+	}
+	runs := make([][][]ColorRun, n)
+	for i := range runs {
+		runs[i] = cells[i*n : (i+1)*n : (i+1)*n]
+	}
 	return &DemandColoring{NumColors: d, Runs: runs}, nil
 }
 
-// perfectMatchingOnSupport finds a perfect matching in the bipartite graph
-// whose edges are the strictly positive cells of work, using Kuhn's
-// augmenting-path algorithm. It returns match[i] = j for every row i.
-func perfectMatchingOnSupport(work [][]int) ([]int, error) {
-	n := len(work)
-	matchRow := make([]int, n) // row -> col
-	matchCol := make([]int, n) // col -> row
-	for i := range matchRow {
-		matchRow[i] = -1
-		matchCol[i] = -1
-	}
-	visited := make([]bool, n)
-
-	var augment func(i int) bool
-	augment = func(i int) bool {
-		for j := 0; j < n; j++ {
-			if work[i][j] <= 0 || visited[j] {
-				continue
-			}
-			visited[j] = true
-			if matchCol[j] == -1 || augment(matchCol[j]) {
-				matchRow[i] = j
-				matchCol[j] = i
-				return true
-			}
-		}
-		return false
-	}
-
+// perfectMatching finds a perfect matching in the bipartite graph whose edges
+// are the strictly positive cells of sc.work (materialised as the adjacency
+// lists in sc.adjBuf), using Kuhn's augmenting-path algorithm; the result is
+// left in sc.matchRow. The adjacency lists enumerate the support in ascending
+// column order — the same columns, in the same order, the original full-row
+// scan visited after skipping zeros — keeping the peel sequence, and with it
+// the final coloring, deterministic and unchanged.
+func (sc *demandScratch) perfectMatching(n, remaining int) error {
 	for i := 0; i < n; i++ {
-		for k := range visited {
-			visited[k] = false
-		}
-		if !augment(i) {
-			return nil, fmt.Errorf("bipartite: no perfect matching on support (row %d unmatched); matrix is not doubly balanced", i)
+		sc.matchRow[i] = -1
+		sc.matchCol[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		sc.gen++
+		if !sc.augment(n, i) {
+			return fmt.Errorf("bipartite: demand coloring failed with %d colors remaining: %w", remaining,
+				fmt.Errorf("bipartite: no perfect matching on support (row %d unmatched); matrix is not doubly balanced", i))
 		}
 	}
-	return matchRow, nil
+	return nil
+}
+
+// augment searches for an augmenting path from row i over the support
+// adjacency lists (Kuhn's algorithm inner step). A column is visited for the
+// current source row when its stamp equals sc.gen.
+func (sc *demandScratch) augment(n, i int) bool {
+	row := sc.adjBuf[i*n : i*n+int(sc.adjLen[i])]
+	for _, jj := range row {
+		j := int(jj)
+		if sc.visitStamp[j] == sc.gen {
+			continue
+		}
+		sc.visitStamp[j] = sc.gen
+		if sc.matchCol[j] == -1 || sc.augment(n, sc.matchCol[j]) {
+			sc.matchRow[i] = j
+			sc.matchCol[j] = i
+			return true
+		}
+	}
+	return false
+}
+
+// removeAdj deletes column j from row i's support adjacency list (the cell
+// has reached zero). The list is ascending, so the position is found by
+// binary search and the tail shifted left.
+func (sc *demandScratch) removeAdj(n, i, j int) {
+	l := int(sc.adjLen[i])
+	row := sc.adjBuf[i*n : i*n+l]
+	lo, hi := 0, l
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(row[mid]) < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < l && int(row[lo]) == j {
+		copy(row[lo:], row[lo+1:])
+		sc.adjLen[i] = int32(l - 1)
+	}
 }
 
 // ExpandDemand converts a demand matrix into an explicit multigraph, mainly

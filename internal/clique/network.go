@@ -58,6 +58,39 @@ type Exchanger interface {
 	SharedComputeKeyed(key SharedKey, f func() interface{}) interface{}
 }
 
+// FlatExchanger is implemented by exchangers that additionally offer the flat
+// receive path: ExchangeFlat returns the round's traffic as raw [from, len,
+// payload...] records instead of an assembled Inbox. Both the physical Node
+// and the Mux's VNode implement it, so the flat-frame protocol layer can use
+// the cheap receive representation whether it runs directly on the engine or
+// multiplexed on a virtual node.
+type FlatExchanger interface {
+	Exchanger
+	// ExchangeFlat is Exchange returning the round's packets as a FlatInbox.
+	ExchangeFlat() (FlatInbox, error)
+}
+
+// FrameTagger is implemented by exchangers whose wire frames carry a leading
+// instance-tag word — the Mux's virtual nodes when they run directly on the
+// engine. A sender that can build the tag into its frames avoids the copy
+// SendFramed would otherwise make to prepend it, and a receiver reading the
+// (shared) FlatInbox of such an exchanger must filter records by the tag and
+// strip it before decoding. FrameTag reports ok == false when the exchanger
+// does not use tagged frames this way (a physical node, or a virtual node
+// whose underlying exchanger is itself tagged); callers then fall back to
+// SendFramed and receive pre-demultiplexed, untagged records.
+type FrameTagger interface {
+	// FrameTag returns the tag word senders must place in data[0] of
+	// SendTagged frames and receivers must filter ExchangeFlat records by.
+	FrameTag() (tag Word, ok bool)
+	// SendTagged queues one pre-tagged frame (data[0] must equal the tag).
+	// Accounting matches SendFramed plus one tag word per logical message,
+	// exactly as if the exchanger had prepended the tag itself. The frame
+	// must stay valid until the sender's next exchange on this instance
+	// returns; instances must not close with tagged sends still queued.
+	SendTagged(to int, data Packet, count, modelWords int)
+}
+
 // SharedKey identifies one shared deterministic computation without string
 // formatting: Label scopes the protocol instance, Path encodes the
 // algorithm's call path as packed step codes, and Group discriminates

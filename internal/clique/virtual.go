@@ -20,12 +20,30 @@ import (
 // parallel) and by the sorting pipeline (piggybacking the bucket-size
 // aggregation on the Step-6 routing rounds).
 //
-// Allocation behaviour: all tagged payloads of one physical round are carved
-// out of a single pooled word buffer (released once the engine has copied
-// them at the barrier), and the demultiplexed per-instance inboxes are
-// recycled round over round, so steady-state virtual rounds allocate nothing.
+// Allocation behaviour: instances queue their sends locally (no lock per
+// send). When the Mux runs directly on the engine ("passthrough" mode), the
+// instances are FrameTaggers: senders that build the tag into their frames
+// (SendTagged) are forwarded without any copy, and flat receivers share the
+// engine's raw FlatInbox, filtering records by tag themselves — the round's
+// traffic is never copied inside the Mux at all. Sends through the plain
+// Send/SendFramed path are tagged by copying into a per-instance buffer that
+// is truncated (and kept) once the engine has copied the round's payloads;
+// boxed receivers get recycled Inbox structures. A Mux stacked on another
+// Mux's virtual node cannot share inboxes this way (records then carry the
+// outer tag), so it falls back to copy-tagging and demultiplexing into
+// per-instance ring buffers.
 type Mux struct {
 	nd Exchanger
+
+	// passthrough is true when nd supports the flat path and is not itself
+	// tagged: tagged frames and the shared flat inbox travel through the Mux
+	// untouched. Fixed at construction.
+	passthrough bool
+	// ndTag is the tag of the underlying exchanger when it is itself a tagged
+	// virtual node (a stacked Mux): received records must be filtered by it
+	// and stripped before demultiplexing by this Mux's own instance tags.
+	ndTag    Word
+	ndTagged bool
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -33,16 +51,27 @@ type Mux struct {
 	arrived int
 	round   int
 	failed  error
-	// pending accumulates tagged packets queued by all instances this round.
+	// rawFlat is the engine's flat inbox of the round that just completed,
+	// shared by all flat instances in passthrough mode. Views stay valid under
+	// the engine's payload grace window, so overwriting it each round is safe.
+	rawFlat FlatInbox
+	// pending holds tagged packets handed over by instances that closed with
+	// sends still queued; they are delivered at the next physical round.
 	pending []pendingPacket
-	// tagBuf is the pooled buffer the round's tagged payloads are carved
-	// from. Growth is append-only, so earlier carved views stay valid when
-	// the backing array is reallocated.
-	tagBuf *[]Word
-	// inboxes[instance] is the demultiplexed inbox of the round that just
-	// completed.
+	// retired holds the tagged-payload buffers backing pending: they must
+	// survive until the engine has copied the packets at the next barrier.
+	retired []*[]Word
+	// inboxes[instance] is the demultiplexed boxed inbox of the round that
+	// just completed (flat instances receive through their own ring instead).
 	inboxes map[int]Inbox
 	vnodes  map[int]*VNode
+	// order lists the registered virtual nodes in ascending instance order:
+	// queued sends are forwarded to the physical node in this (deterministic)
+	// order at every barrier.
+	order []*VNode
+	// byID is the dense instance-id -> virtual-node table used by the demux
+	// hot loop (instance identifiers are small in every use).
+	byID []*VNode
 	// boxFree recycles instance inboxes retired by VNode.Exchange.
 	boxFree []Inbox
 }
@@ -54,6 +83,14 @@ func NewMux(nd Exchanger) *Mux {
 		nd:      nd,
 		inboxes: make(map[int]Inbox),
 		vnodes:  make(map[int]*VNode),
+	}
+	if _, ok := nd.(FlatExchanger); ok {
+		if ft, okT := nd.(FrameTagger); okT {
+			if tag, on := ft.FrameTag(); on {
+				m.ndTag, m.ndTagged = tag, true
+			}
+		}
+		m.passthrough = !m.ndTagged
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
@@ -74,6 +111,12 @@ func (m *Mux) Instance(id int) (*VNode, error) {
 	}
 	vn := &VNode{mux: m, instance: id}
 	m.vnodes[id] = vn
+	m.order = append(m.order, vn)
+	sort.Slice(m.order, func(a, b int) bool { return m.order[a].instance < m.order[b].instance })
+	for id >= len(m.byID) {
+		m.byID = append(m.byID, nil)
+	}
+	m.byID[id] = vn
 	m.active++
 	return vn, nil
 }
@@ -127,20 +170,81 @@ func (m *Mux) Run(programs map[int]func(Exchanger) error) error {
 }
 
 // VNode is the virtual node handed to one logical instance. It implements
-// Exchanger by delegating identity, instrumentation and shared computation to
-// the underlying physical node and by funnelling communication through the
-// Mux barrier.
+// Exchanger (and FlatExchanger) by delegating identity, instrumentation and
+// shared computation to the underlying physical node and by funnelling
+// communication through the Mux barrier.
 type VNode struct {
 	mux      *Mux
 	instance int
 	round    int
 	closed   bool
-	// prevBox is the inbox handed out last round, recycled at the next
-	// Exchange.
+	// pending queues this instance's sends between barriers. It is written by
+	// the instance goroutine without holding the Mux lock: the writes are
+	// published to the delivering goroutine by the mutex acquisition when the
+	// instance arrives at the barrier.
+	pending []pendingPacket
+	// tagBuf is the pooled buffer this instance's tagged payloads are carved
+	// from. Growth is append-only, so earlier carved views stay valid when
+	// the backing array is reallocated.
+	tagBuf *[]Word
+	// tagHint remembers the previous round's tagged volume so a freshly
+	// acquired tagBuf can be sized in one step instead of re-running the
+	// geometric growth every round.
+	tagHint int
+	// prevBox is the boxed inbox handed out last round, recycled at the next
+	// exchange.
 	prevBox Inbox
+	// wantFlat is the receive mode the instance requested for the round being
+	// delivered (set at every barrier arrival).
+	wantFlat bool
+	// flatRing cycles the per-round flat record buffers handed out by
+	// ExchangeFlat, mirroring the engine's payload ring so received payload
+	// views stay valid for PayloadGraceRounds further exchanges. The buffers
+	// are pooled: acquired on first use, returned when the instance closes.
+	flatRing [payloadRingDepth]*[]Word
+	flatSlot int
+	// flatHint remembers the flat volume of a recent round so a freshly
+	// acquired ring buffer can be sized in one step (pooled buffers arrive
+	// with arbitrary, often tiny, capacity).
+	flatHint int
 }
 
-var _ Exchanger = (*VNode)(nil)
+var (
+	_ Exchanger     = (*VNode)(nil)
+	_ FlatExchanger = (*VNode)(nil)
+	_ FrameTagger   = (*VNode)(nil)
+)
+
+// FrameTag implements FrameTagger: in passthrough mode the instance
+// identifier is the frame tag, and senders/receivers that honour it skip the
+// Mux's internal copies entirely. On a stacked Mux (the underlying exchanger
+// is itself tagged) ok is false and the copy-tagging fallback applies.
+func (v *VNode) FrameTag() (Word, bool) {
+	return Word(v.instance), v.mux.passthrough
+}
+
+// SendTagged queues one pre-tagged frame without copying it. data[0] must be
+// this instance's tag; the frame must stay valid until this instance's next
+// exchange returns (the engine copies it at the barrier inside that call).
+// The accounted cost adds one tag word per logical message, identical to what
+// SendFramed charges for the tag it prepends.
+func (v *VNode) SendTagged(to int, data Packet, count, modelWords int) {
+	if !v.mux.passthrough {
+		panic(fmt.Sprintf("clique: SendTagged on instance %d of a stacked Mux (node %d)", v.instance, v.ID()))
+	}
+	if to < 0 || to >= v.N() {
+		panic(fmt.Sprintf("clique: instance %d on node %d sent to invalid destination %d (n=%d)",
+			v.instance, v.ID(), to, v.N()))
+	}
+	if count < 1 || modelWords < 0 {
+		panic(fmt.Sprintf("clique: instance %d on node %d tagged send with count %d, model %d",
+			v.instance, v.ID(), count, modelWords))
+	}
+	if len(data) == 0 || data[0] != Word(v.instance) {
+		panic(fmt.Sprintf("clique: instance %d on node %d tagged send without its tag", v.instance, v.ID()))
+	}
+	v.pending = append(v.pending, pendingPacket{to: to, data: data, count: int32(count), model: int32(modelWords + count)})
+}
 
 // ID returns the physical node identifier.
 func (v *VNode) ID() int { return v.mux.nd.ID() }
@@ -179,7 +283,9 @@ func (v *VNode) Send(to int, data Packet) {
 // Exchanger). The instance tag the Mux adds is per-message overhead in the
 // unbatched model, so the accounted cost forwarded to the physical node is
 // modelWords plus one tag word per logical message — exactly what count
-// individually tagged packets would have cost.
+// individually tagged packets would have cost. The packet is queued locally
+// (no Mux lock) and handed to the physical node at this instance's next
+// barrier arrival.
 func (v *VNode) SendFramed(to int, data Packet, count, modelWords int) {
 	if to < 0 || to >= v.N() {
 		panic(fmt.Sprintf("clique: instance %d on node %d sent to invalid destination %d (n=%d)",
@@ -189,19 +295,19 @@ func (v *VNode) SendFramed(to int, data Packet, count, modelWords int) {
 		panic(fmt.Sprintf("clique: instance %d on node %d framed send with count %d, model %d",
 			v.instance, v.ID(), count, modelWords))
 	}
-	m := v.mux
-	m.mu.Lock()
-	if m.tagBuf == nil {
-		m.tagBuf = acquireWords()
+	if v.tagBuf == nil {
+		v.tagBuf = acquireWords()
+		if cap(*v.tagBuf) < v.tagHint {
+			*v.tagBuf = make([]Word, 0, v.tagHint+v.tagHint/4)
+		}
 	}
-	buf := *m.tagBuf
+	buf := *v.tagBuf
 	pos := len(buf)
 	buf = append(buf, Word(v.instance))
 	buf = append(buf, data...)
-	*m.tagBuf = buf
+	*v.tagBuf = buf
 	tagged := buf[pos:len(buf):len(buf)]
-	m.pending = append(m.pending, pendingPacket{to: to, data: tagged, count: int32(count), model: int32(modelWords + count)})
-	m.mu.Unlock()
+	v.pending = append(v.pending, pendingPacket{to: to, data: tagged, count: int32(count), model: int32(modelWords + count)})
 }
 
 // Exchange advances this instance by one round. It blocks until every other
@@ -212,32 +318,7 @@ func (v *VNode) SendFramed(to int, data Packet, count, modelWords int) {
 func (v *VNode) Exchange() (Inbox, error) {
 	m := v.mux
 	m.mu.Lock()
-	if v.closed {
-		m.mu.Unlock()
-		return nil, errors.New("clique: Exchange called on closed virtual node")
-	}
-	if m.failed != nil {
-		err := m.failed
-		m.mu.Unlock()
-		return nil, err
-	}
-	// Retire last round's inbox into the recycle list.
-	if v.prevBox != nil {
-		clear(v.prevBox)
-		m.boxFree = append(m.boxFree, v.prevBox)
-		v.prevBox = nil
-	}
-	generation := m.round
-	m.arrived++
-	if m.arrived == m.active {
-		m.deliverLocked()
-	} else {
-		for m.round == generation && m.failed == nil {
-			m.cond.Wait()
-		}
-	}
-	if m.failed != nil {
-		err := m.failed
+	if err := v.barrierLocked(false); err != nil {
 		m.mu.Unlock()
 		return nil, err
 	}
@@ -253,6 +334,76 @@ func (v *VNode) Exchange() (Inbox, error) {
 	return inbox, nil
 }
 
+// ExchangeFlat is Exchange for the flat receive path. In passthrough mode it
+// returns the engine's raw round inbox, shared by all instances: records keep
+// their leading tag word, and the caller filters by FrameTag (this is what
+// makes the receive path copy-free). On a stacked Mux the records are instead
+// demultiplexed into a per-instance ring buffer with the tag already
+// stripped. Either way the records arrive in ascending physical-sender order
+// and payload views stay valid for PayloadGraceRounds further exchanges of
+// this instance.
+func (v *VNode) ExchangeFlat() (FlatInbox, error) {
+	m := v.mux
+	m.mu.Lock()
+	if err := v.barrierLocked(true); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	var flat FlatInbox
+	if m.passthrough {
+		flat = m.rawFlat
+	} else if buf := v.flatRing[v.flatSlot]; buf != nil {
+		flat = FlatInbox(*buf)
+	}
+	m.mu.Unlock()
+
+	v.round++
+	return flat, nil
+}
+
+// barrierLocked retires last round's receive buffers, publishes the receive
+// mode, arrives at the Mux barrier and waits for the round to turn over.
+// Callers must hold m.mu and check the returned error before reading any
+// per-round state.
+func (v *VNode) barrierLocked(flat bool) error {
+	m := v.mux
+	if v.closed {
+		return errors.New("clique: Exchange called on closed virtual node")
+	}
+	if m.failed != nil {
+		return m.failed
+	}
+	// Retire last round's boxed inbox into the recycle list and rotate the
+	// flat ring: the slot about to be rewritten is the one filled
+	// payloadRingDepth exchanges ago, which is exactly the engine's grace
+	// window.
+	if v.prevBox != nil {
+		clear(v.prevBox)
+		m.boxFree = append(m.boxFree, v.prevBox)
+		v.prevBox = nil
+	}
+	v.wantFlat = flat
+	if flat && !m.passthrough {
+		v.flatSlot = (v.flatSlot + 1) % payloadRingDepth
+		if buf := v.flatRing[v.flatSlot]; buf != nil {
+			if len(*buf) > v.flatHint {
+				v.flatHint = len(*buf)
+			}
+			*buf = (*buf)[:0]
+		}
+	}
+	generation := m.round
+	m.arrived++
+	if m.arrived == m.active {
+		m.deliverLocked()
+	} else {
+		for m.round == generation && m.failed == nil {
+			m.cond.Wait()
+		}
+	}
+	return m.failed
+}
+
 // Close removes the instance from the Mux barrier. It must be called exactly
 // once when the instance's program has finished (Mux.Run does this
 // automatically). Closing may complete a round on behalf of the remaining
@@ -266,6 +417,39 @@ func (v *VNode) Close() {
 	}
 	v.closed = true
 	m.active--
+	// Hand over sends queued since the last barrier (normally none): they are
+	// delivered at the next physical round, so their payloads must survive
+	// until the engine has copied them. The instance's own buffers (tag
+	// buffer, or the sender's frame storage for SendTagged) die with the
+	// program, so the payloads are copied into a buffer retired after the
+	// next physical exchange.
+	if len(v.pending) > 0 {
+		buf := acquireWords()
+		for _, pp := range v.pending {
+			*buf = append(*buf, pp.data...)
+		}
+		off := 0
+		for i := range v.pending {
+			l := len(v.pending[i].data)
+			v.pending[i].data = (*buf)[off : off+l : off+l]
+			off += l
+		}
+		m.retired = append(m.retired, buf)
+		m.pending = append(m.pending, v.pending...)
+		v.pending = nil
+	}
+	if v.tagBuf != nil {
+		releaseWords(v.tagBuf)
+		v.tagBuf = nil
+	}
+	// The program has returned, so nothing can read this instance's flat ring
+	// anymore; the buffers go back to the pool for the next Mux.
+	for i, bp := range v.flatRing {
+		if bp != nil {
+			releaseWords(bp)
+			v.flatRing[i] = nil
+		}
+	}
 	if m.active > 0 && m.arrived == m.active && m.failed == nil {
 		m.deliverLocked()
 	}
@@ -294,40 +478,144 @@ func (m *Mux) getBoxLocked() Inbox {
 // lock is an instance of this same Mux, and all of them are already parked at
 // the Mux barrier (m.arrived == m.active) or closed.
 func (m *Mux) deliverLocked() {
+	// Forward the queued sends in ascending instance order. Each instance's
+	// internal send order is preserved; the interleaving between instances is
+	// not observable (each instance only ever reads its own records, and the
+	// per-round edge accounting is order-independent).
+	for _, v := range m.order {
+		for _, pp := range v.pending {
+			m.nd.SendFramed(pp.to, pp.data, int(pp.count), int(pp.model))
+		}
+		v.pending = v.pending[:0]
+	}
 	for _, pp := range m.pending {
 		m.nd.SendFramed(pp.to, pp.data, int(pp.count), int(pp.model))
 	}
 	m.pending = m.pending[:0]
 
-	inbox, err := m.nd.Exchange()
-	// The engine has copied all payloads at the barrier, so the round's
-	// tagged-packet buffer can be recycled even on error.
-	if m.tagBuf != nil {
-		releaseWords(m.tagBuf)
-		m.tagBuf = nil
+	// Prefer the engine's flat receive path when the underlying node supports
+	// it: delivery is one append per packet and the demux below reads the
+	// records directly. The receive representation is invisible to the model
+	// accounting, so the choice cannot change any statistic.
+	var (
+		inbox Inbox
+		flat  FlatInbox
+		err   error
+	)
+	fe, useFlat := m.nd.(FlatExchanger)
+	if useFlat {
+		flat, err = fe.ExchangeFlat()
+	} else {
+		inbox, err = m.nd.Exchange()
 	}
+	// The engine has copied all payloads at the barrier, so the round's
+	// tagged-packet buffers can be truncated in place even on error. The
+	// buffer stays attached to its instance — per-round traffic is near
+	// constant, so after the first round no tagging allocation happens at all.
+	for _, v := range m.order {
+		if v.tagBuf != nil {
+			*v.tagBuf = (*v.tagBuf)[:0]
+		}
+	}
+	for i, b := range m.retired {
+		releaseWords(b)
+		m.retired[i] = nil
+	}
+	m.retired = m.retired[:0]
 	if err != nil {
 		m.failed = err
 		m.cond.Broadcast()
 		return
 	}
 
-	for from, packets := range inbox {
-		for _, p := range packets {
-			if len(p) == 0 {
-				continue
+	if useFlat {
+		if m.passthrough {
+			// Flat instances read the shared raw inbox directly (filtering by
+			// their own tag), so the demux scan is only needed when some
+			// instance asked for a boxed round.
+			m.rawFlat = flat
+			boxed := false
+			for _, v := range m.order {
+				if !v.closed && !v.wantFlat {
+					boxed = true
+					break
+				}
 			}
-			instance := int(p[0])
-			box, ok := m.inboxes[instance]
-			if !ok {
-				box = m.getBoxLocked()
-				m.inboxes[instance] = box
+			if !boxed {
+				m.round++
+				m.arrived = 0
+				m.cond.Broadcast()
+				return
 			}
-			box[from] = append(box[from], p[1:])
+		}
+		for i := 0; i < len(flat); {
+			from := int(flat[i])
+			l := int(flat[i+1])
+			p := Packet(flat[i+2 : i+2+l : i+2+l])
+			i += 2 + l
+			if m.ndTagged {
+				// Stacked Mux: records carry the underlying virtual node's tag.
+				if len(p) == 0 || p[0] != m.ndTag {
+					continue
+				}
+				p = p[1:]
+			}
+			m.demuxLocked(from, p)
+		}
+	} else {
+		for from, packets := range inbox {
+			for _, p := range packets {
+				m.demuxLocked(from, p)
+			}
 		}
 	}
 
 	m.round++
 	m.arrived = 0
 	m.cond.Broadcast()
+}
+
+// demuxLocked routes one received tagged packet to its instance, in the
+// receive representation that instance asked for this round. Packets for
+// unknown or closed instances are dropped (nothing could ever read them).
+func (m *Mux) demuxLocked(from int, p Packet) {
+	if len(p) == 0 {
+		return
+	}
+	instance := int(p[0])
+	var v *VNode
+	if instance >= 0 && instance < len(m.byID) {
+		v = m.byID[instance]
+	}
+	if v == nil || v.closed {
+		return
+	}
+	if v.wantFlat {
+		if m.passthrough {
+			// The instance reads the shared raw inbox; nothing to copy here.
+			return
+		}
+		// Stacked Mux: demultiplex into the instance's ring buffer. Flat
+		// records are appended in physical delivery order, which is ascending
+		// by sender (see FlatInbox); stripping the tag shortens the payload by
+		// one word.
+		bp := v.flatRing[v.flatSlot]
+		if bp == nil {
+			bp = acquireWords()
+			if cap(*bp) < v.flatHint {
+				*bp = make([]Word, 0, v.flatHint+v.flatHint/8)
+			}
+			v.flatRing[v.flatSlot] = bp
+		}
+		buf := append(*bp, Word(from), Word(len(p)-1))
+		buf = append(buf, p[1:]...)
+		*bp = buf
+		return
+	}
+	box, ok := m.inboxes[instance]
+	if !ok {
+		box = m.getBoxLocked()
+		m.inboxes[instance] = box
+	}
+	box[from] = append(box[from], p[1:])
 }

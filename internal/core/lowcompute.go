@@ -98,11 +98,11 @@ func lowComputeRouteParcels(c *comm, parcels []parcel, st step) ([]parcel, error
 	for _, h := range load {
 		cntSet[grp.groupOf(h.dstLocal)]++
 	}
-	contributions := make(map[int]int64, s)
+	contributions := make([]int64, s)
 	for b, v := range cntSet {
-		contributions[myGroup*s+b] = int64(v)
+		contributions[b] = int64(v)
 	}
-	if _, err := aggregateAndBroadcast(c, contributions, func(slot int) int { return slot }, s*s); err != nil {
+	if _, err := aggregateAndBroadcast(c, myGroup*s, contributions, s*s); err != nil {
 		return nil, fmt.Errorf("%s totals: %w", st.name, err)
 	}
 	c.ex.CountSteps(len(load) + s*s)

@@ -369,52 +369,45 @@ func groupRouteUnknownColored(c *comm, group []int, mine []item, st step, greedy
 }
 
 // aggregateAndBroadcast makes slot sums globally known in two rounds: every
-// member sends its contribution for slot k to the slot's aggregator, the
-// aggregator sums the contributions and broadcasts the result to all
-// members. This is the pattern of Algorithm 2 Step 1 and of the bucket-size
-// aggregation used by the sorting pipeline.
+// member sends its contribution for slot k to the slot's aggregator (the
+// member with local index k), the aggregator sums the contributions and
+// broadcasts the result to all members. This is the pattern of Algorithm 2
+// Step 1 and of the bucket-size aggregation used by the sorting pipeline.
 //
-// contributions maps slot -> this node's contribution (absent slots
-// contribute nothing); aggregatorOf assigns each slot to a member (local
-// index). The per-edge load is bounded by the maximum number of slots a
-// single node contributes to a single aggregator, respectively the maximum
-// number of slots per aggregator, both of which are small constants in all
-// uses.
-func aggregateAndBroadcast(c *comm, contributions map[int]int64, aggregatorOf func(int) int, numSlots int) ([]int64, error) {
+// vals[b] is this node's contribution to slot base+b; every caller
+// contributes a contiguous slot range (zero contributions included), which
+// keeps the interface dense and allocation-free. numSlots must not exceed the
+// comm size, so each member aggregates at most its own slot.
+func aggregateAndBroadcast(c *comm, base int, vals []int64, numSlots int) ([]int64, error) {
 	if !c.isMember() {
 		return nil, fmt.Errorf("core: aggregateAndBroadcast: node %d is not a member", c.ex.ID())
 	}
-	for slot, v := range contributions {
+	for b, v := range vals {
+		slot := base + b
 		if slot < 0 || slot >= numSlots {
 			return nil, fmt.Errorf("core: aggregateAndBroadcast: slot %d out of range", slot)
 		}
-		c.send(aggregatorOf(slot), clique.Word(slot), clique.Word(v))
+		c.send(slot, clique.Word(slot), clique.Word(v))
 	}
 	rx, err := c.exchange()
 	if err != nil {
 		return nil, err
 	}
 
-	// Sum the contributions of the slots this node aggregates.
-	sums := make(map[int]int64)
-	for slot := 0; slot < numSlots; slot++ {
-		if aggregatorOf(slot) == c.me {
-			sums[slot] = 0
-		}
-	}
+	// Sum the contributions of the slot this node aggregates (its own index).
+	var mySum int64
 	for _, p := range rx.all() {
 		if len(p) < 2 {
 			continue
 		}
-		slot := int(p[0])
-		if _, mine := sums[slot]; !mine {
-			return nil, fmt.Errorf("core: aggregateAndBroadcast: node %d received contribution for foreign slot %d", c.ex.ID(), slot)
+		if slot := int(p[0]); slot != c.me || slot >= numSlots {
+			return nil, fmt.Errorf("core: aggregateAndBroadcast: node %d received contribution for foreign slot %d", c.ex.ID(), int(p[0]))
 		}
-		sums[slot] += int64(p[1])
+		mySum += int64(p[1])
 	}
-	for slot, sum := range sums {
+	if c.me < numSlots {
 		for to := 0; to < c.size(); to++ {
-			c.send(to, clique.Word(slot), clique.Word(sum))
+			c.send(to, clique.Word(c.me), clique.Word(mySum))
 		}
 	}
 	rx, err = c.exchange()
@@ -422,7 +415,7 @@ func aggregateAndBroadcast(c *comm, contributions map[int]int64, aggregatorOf fu
 		return nil, err
 	}
 	out := make([]int64, numSlots)
-	seen := make([]bool, numSlots)
+	seen := c.cursors(numSlots)
 	for _, p := range rx.all() {
 		if len(p) < 2 {
 			continue
@@ -432,10 +425,10 @@ func aggregateAndBroadcast(c *comm, contributions map[int]int64, aggregatorOf fu
 			return nil, fmt.Errorf("core: aggregateAndBroadcast: broadcast slot %d out of range", slot)
 		}
 		out[slot] = int64(p[1])
-		seen[slot] = true
+		seen[slot] = 1
 	}
 	for slot, ok := range seen {
-		if !ok {
+		if ok == 0 {
 			return nil, fmt.Errorf("core: aggregateAndBroadcast: slot %d never broadcast", slot)
 		}
 	}
@@ -444,16 +437,20 @@ func aggregateAndBroadcast(c *comm, contributions map[int]int64, aggregatorOf fu
 
 // spreadBroadcast makes a set of slot payloads globally known in two rounds:
 // the holder of slot k sends it to member k mod size, which broadcasts it to
-// everyone. Exactly one member must hold each slot in 0..numSlots-1. This is
-// the delimiter announcement of Algorithm 4 Step 4. The returned payloads
-// borrow the engine's receive arena (valid for the grace window).
-func spreadBroadcast(c *comm, held map[int]clique.Packet, numSlots int) (map[int]clique.Packet, error) {
+// everyone. held[k] is the payload of slot k at its (unique) holder, nil
+// everywhere else. This is the delimiter announcement of Algorithm 4 Step 4.
+// The returned payloads borrow the engine's receive arena (valid for the
+// grace window); absent slots come back nil.
+func spreadBroadcast(c *comm, held []clique.Packet, numSlots int) ([]clique.Packet, error) {
 	if !c.isMember() {
 		return nil, fmt.Errorf("core: spreadBroadcast: node %d is not a member", c.ex.ID())
 	}
 	size := c.size()
 	for slot, payload := range held {
-		if slot < 0 || slot >= numSlots {
+		if payload == nil {
+			continue
+		}
+		if slot >= numSlots {
 			return nil, fmt.Errorf("core: spreadBroadcast: slot %d out of range", slot)
 		}
 		c.stageOpen(slot % size)
@@ -481,7 +478,7 @@ func spreadBroadcast(c *comm, held map[int]clique.Packet, numSlots int) (map[int
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[int]clique.Packet, numSlots)
+	out := make([]clique.Packet, numSlots)
 	for _, p := range rx.all() {
 		if len(p) < 1 {
 			continue

@@ -212,11 +212,11 @@ func routeSquare(c *comm, parcels []parcel, st step) ([]parcel, error) {
 	for _, h := range load {
 		cntSet[grp.groupOf(h.dstLocal)]++
 	}
-	contributions := make(map[int]int64, s)
+	contributions := make([]int64, s)
 	for b, v := range cntSet {
-		contributions[myGroup*s+b] = int64(v)
+		contributions[b] = int64(v)
 	}
-	tFlat, err := aggregateAndBroadcast(c, contributions, func(slot int) int { return slot }, s*s)
+	tFlat, err := aggregateAndBroadcast(c, myGroup*s, contributions, s*s)
 	if err != nil {
 		return nil, fmt.Errorf("%s step2.1: %w", st.name, err)
 	}
@@ -492,8 +492,10 @@ func countUnitsByResidue(dc *bipartite.DemandColoring, row, col, lo, hi, s int, 
 		c0 := run.Start + (ovLo - runLo)
 		c1 := run.Start + (ovHi - runLo)
 		span := c1 - c0
-		for t := 0; t < s; t++ {
-			out[t] += span / s
+		if full := span / s; full > 0 {
+			for t := 0; t < s; t++ {
+				out[t] += full
+			}
 		}
 		for k := 0; k < span%s; k++ {
 			out[(c0+k)%s]++

@@ -93,24 +93,18 @@ func sortLarge(c *comm, myKeys []Key, label string) (*SortResult, error) {
 	n := c.size()
 	s := isqrt(n) // group size (floor of sqrt(n))
 	numGroups := ceilDiv(n, s)
-	groupOf := func(local int) int { return local / s }
-	groupMembersOf := func(g int) []int {
-		lo := g * s
-		hi := min(lo+s, n)
-		members := make([]int, hi-lo)
-		for i := range members {
-			members[i] = lo + i
-		}
-		return members
+	myGroup := c.me / s
+	lo := myGroup * s
+	myGroupMembers := make([]int, min(lo+s, n)-lo)
+	for i := range myGroupMembers {
+		myGroupMembers[i] = lo + i
 	}
-	myGroup := groupOf(c.me)
-	myGroupMembers := groupMembersOf(myGroup)
 
 	// Step 1 (local): sort the input and select every sigma1-th key.
 	input := append([]Key(nil), myKeys...)
 	sortKeys(input)
 	sigma1 := ceilDiv(n, s)
-	var selected []Key
+	selected := make([]Key, 0, len(input)/sigma1+1)
 	for i := sigma1 - 1; i < len(input); i += sigma1 {
 		selected = append(selected, input[i])
 	}
@@ -137,7 +131,7 @@ func sortLarge(c *comm, myKeys []Key, label string) (*SortResult, error) {
 	// other nodes participate as relays.
 	var sampleGroup []int
 	if myGroup == 0 {
-		sampleGroup = groupMembersOf(0)
+		sampleGroup = myGroupMembers
 	}
 	sampleSort, err := groupSort(c, sampleGroup, samples, n, st.sub("s3", kcSortS3))
 	if err != nil {
@@ -146,7 +140,7 @@ func sortLarge(c *comm, myKeys []Key, label string) (*SortResult, error) {
 
 	// Step 4 (2 rounds): pick numGroups-1 delimiters (the g-quantiles of the
 	// sorted samples) and make them globally known.
-	heldDelims := make(map[int]clique.Packet)
+	heldDelims := make([]clique.Packet, numGroups-1)
 	if myGroup == 0 {
 		totalSamples := 0
 		myOffset := 0
@@ -172,8 +166,8 @@ func sortLarge(c *comm, myKeys []Key, label string) (*SortResult, error) {
 	}
 	delims := make([]Key, 0, numGroups-1)
 	for k := 0; k < numGroups-1; k++ {
-		p, ok := delimPackets[k]
-		if !ok {
+		p := delimPackets[k]
+		if p == nil {
 			// Fewer samples than groups: missing delimiters collapse to the
 			// previous one, which simply leaves some buckets empty.
 			if len(delims) > 0 {
@@ -192,12 +186,16 @@ func sortLarge(c *comm, myKeys []Key, label string) (*SortResult, error) {
 
 	// Step 5 (local): split my input into buckets by the delimiters. Bucket j
 	// receives the keys in (delims[j-1], delims[j]]; the last bucket is
-	// unbounded above.
-	buckets := make([][]Key, numGroups)
-	for _, k := range input {
-		j := sort.Search(len(delims), func(i int) bool { return k.Less(delims[i]) || k == delims[i] })
-		buckets[j] = append(buckets[j], k)
+	// unbounded above. The input is sorted and the delimiters are
+	// non-decreasing (quantiles of a sorted sample, with missing slots
+	// collapsing onto their predecessor), so bucket j is the contiguous range
+	// input[bstart[j]:bstart[j+1]] found by binary search.
+	bstart := make([]int, numGroups+1)
+	for j := 1; j < numGroups; j++ {
+		d := delims[j-1]
+		bstart[j] = sort.Search(len(input), func(i int) bool { return d.Less(input[i]) })
 	}
+	bstart[numGroups] = len(input)
 
 	// Step 6 (16 rounds): route every key to its bucket's group, spreading
 	// each bucket evenly over the group members; concurrently aggregate the
@@ -211,7 +209,7 @@ func sortLarge(c *comm, myKeys []Key, label string) (*SortResult, error) {
 			// routedKeys are value copies, so the sub-instance's buffers can
 			// go back to the pool as soon as the program ends.
 			defer sub.release()
-			parcels := buildBucketParcels(sub, buckets, groupMembersOf)
+			parcels := buildBucketParcels(sub, input, bstart, s, numGroups)
 			received, rErr := routeParcels(sub, parcels, st.sub("s6.route", kcSortS6))
 			if rErr != nil {
 				return rErr
@@ -222,11 +220,11 @@ func sortLarge(c *comm, myKeys []Key, label string) (*SortResult, error) {
 		2: func(ex clique.Exchanger) error {
 			sub := fullCommOn(ex, c, label+"/s6agg")
 			defer sub.release()
-			contributions := make(map[int]int64, numGroups)
-			for j, b := range buckets {
-				contributions[j] = int64(len(b))
+			contributions := make([]int64, numGroups)
+			for j := 0; j < numGroups; j++ {
+				contributions[j] = int64(bstart[j+1] - bstart[j])
 			}
-			sums, aErr := aggregateAndBroadcast(sub, contributions, func(slot int) int { return slot }, numGroups)
+			sums, aErr := aggregateAndBroadcast(sub, 0, contributions, numGroups)
 			if aErr != nil {
 				return aErr
 			}
@@ -277,49 +275,81 @@ func indexIn(members []int, x int) int {
 // buildBucketParcels bundles the keys of every bucket into parcels addressed
 // to the members of the bucket's group, spreading each bucket evenly over the
 // group and rotating the start member by the sender's identifier so the
-// rounding excess does not pile up on the same member. The parcel payloads
-// live in the comm's arena.
-func buildBucketParcels(c *comm, buckets [][]Key, groupMembersOf func(int) []int) []parcel {
-	var parcels []parcel
-	for j, bucket := range buckets {
-		if len(bucket) == 0 {
+// rounding excess does not pile up on the same member. Bucket j is the
+// contiguous input range [bstart[j], bstart[j+1]) and its group occupies the
+// nodes [j*s, min((j+1)*s, n)): key t of the bucket goes to member slot
+// (t+me) mod w, so a slot's keys are the stride-w subsequence starting at
+// (slot-me) mod w — no per-member staging is needed. The parcel payloads live
+// in the comm's arena.
+func buildBucketParcels(c *comm, input []Key, bstart []int, s, numGroups int) []parcel {
+	n := c.size()
+	me := c.me
+
+	// Count the parcels so the slice is allocated exactly once.
+	total := 0
+	for j := 0; j < numGroups; j++ {
+		cnt := bstart[j+1] - bstart[j]
+		if cnt == 0 {
 			continue
 		}
-		members := groupMembersOf(j)
-		w := len(members)
-		perMember := make([][]Key, w)
-		for t, k := range bucket {
-			slot := (t + c.me) % w
-			perMember[slot] = append(perMember[slot], k)
+		lo := j * s
+		w := min(lo+s, n) - lo
+		for slot := 0; slot < w; slot++ {
+			t0 := ((slot-me)%w + w) % w
+			if t0 < cnt {
+				total += ceilDiv(ceilDiv(cnt-t0, w), keysPerBundle)
+			}
 		}
-		for slot, ks := range perMember {
-			dst := c.global(members[slot])
-			for lo := 0; lo < len(ks); lo += keysPerBundle {
-				hi := min(lo+keysPerBundle, len(ks))
+	}
+
+	parcels := make([]parcel, 0, total)
+	src := c.ex.ID()
+	for j := 0; j < numGroups; j++ {
+		b0 := bstart[j]
+		cnt := bstart[j+1] - b0
+		if cnt == 0 {
+			continue
+		}
+		lo := j * s
+		w := min(lo+s, n) - lo
+		for slot := 0; slot < w; slot++ {
+			t0 := ((slot-me)%w + w) % w
+			for t := t0; t < cnt; t += w * keysPerBundle {
+				bundled := ceilDiv(cnt-t, w)
+				if bundled > keysPerBundle {
+					bundled = keysPerBundle
+				}
 				mark := c.arenaMark()
-				c.arena = append(c.arena, clique.Word(hi-lo))
-				for _, k := range ks[lo:hi] {
+				c.arena = append(c.arena, clique.Word(bundled))
+				for u := 0; u < bundled; u++ {
+					k := input[b0+t+u*w]
 					c.arena = append(c.arena, k.Value, clique.Word(k.Origin), clique.Word(k.Seq))
 				}
-				parcels = append(parcels, parcel{Src: c.ex.ID(), Dst: dst, Words: c.arenaView(mark)})
+				parcels = append(parcels, parcel{Src: src, Dst: lo + slot, Words: c.arenaView(mark)})
 			}
 		}
 	}
 	return parcels
 }
 
-// unbundleKeys decodes the key bundles produced by buildBucketParcels.
+// unbundleKeys decodes the key bundles produced by buildBucketParcels. It
+// validates and counts in a first sweep so the key slice is allocated exactly
+// once.
 func unbundleKeys(parcels []parcel) ([]Key, error) {
-	var keys []Key
+	total := 0
 	for _, p := range parcels {
 		if len(p.Words) < 1 {
 			return nil, fmt.Errorf("core: empty key bundle")
 		}
 		count := int(p.Words[0])
-		want := 1 + count*keyWords
-		if count < 0 || len(p.Words) < want {
+		if count < 0 || len(p.Words) < 1+count*keyWords {
 			return nil, fmt.Errorf("core: malformed key bundle (%d keys, %d words)", count, len(p.Words))
 		}
+		total += count
+	}
+	keys := make([]Key, 0, total)
+	for _, p := range parcels {
+		count := int(p.Words[0])
 		for i := 0; i < count; i++ {
 			k, err := decodeKey(p.Words[1+i*keyWords:])
 			if err != nil {
@@ -364,11 +394,45 @@ func dealByRank(c *comm, run []Key, start, total int, context string) (*SortResu
 		c.stageClose()
 		packetIdx++
 	}
+	return dealDeliver(c, perNode, total, context)
+}
+
+// dealRanked is dealByRank for keys whose global ranks are not contiguous
+// (the small-domain sorting arm, where a node's keys interleave with every
+// other node's in the global order): the caller supplies each key's exact
+// rank and the two relay rounds are otherwise identical.
+func dealRanked(c *comm, ranked []rankedKey, total int, context string) (*SortResult, error) {
+	n := c.size()
+	perNode := ceilDiv(total, n)
+	if perNode == 0 {
+		perNode = 1
+	}
+	const bundle = keysPerBundle
+	packetIdx := 0
+	for lo := 0; lo < len(ranked); lo += bundle {
+		hi := min(lo+bundle, len(ranked))
+		c.stageOpen((c.me + packetIdx) % n)
+		c.stageWords(clique.Word(hi - lo))
+		for t := lo; t < hi; t++ {
+			rk := ranked[t]
+			c.stageWords(clique.Word(rk.rank), rk.key.Value, clique.Word(rk.key.Origin), clique.Word(rk.key.Seq))
+		}
+		c.stageClose()
+		packetIdx++
+	}
+	return dealDeliver(c, perNode, total, context)
+}
+
+// dealDeliver finishes the two-round redistribution once round 1's ranked
+// bundles are staged: exchange, forward every key to the node owning its
+// rank range, and assemble the contiguous batch.
+func dealDeliver(c *comm, perNode, total int, context string) (*SortResult, error) {
+	n := c.size()
 	rx, err := c.exchange()
 	if err != nil {
 		return nil, fmt.Errorf("%s deal: %w", context, err)
 	}
-	var relayed []rankedKey
+	relayed := c.rankScratch[0][:0]
 	for _, p := range rx.all() {
 		if len(p) < 1 {
 			continue
@@ -386,6 +450,7 @@ func dealByRank(c *comm, run []Key, start, total int, context string) (*SortResu
 			relayed = append(relayed, rankedKey{rank: int(p[base]), key: k})
 		}
 	}
+	c.rankScratch[0] = relayed
 
 	// Round 2: forward every key to the node owning its rank range.
 	for _, rk := range relayed {
@@ -396,7 +461,7 @@ func dealByRank(c *comm, run []Key, start, total int, context string) (*SortResu
 	if err != nil {
 		return nil, fmt.Errorf("%s deliver: %w", context, err)
 	}
-	var mine []rankedKey
+	mine := c.rankScratch[1][:0]
 	for _, p := range rx.all() {
 		if len(p) < 1+keyWords {
 			continue
@@ -407,11 +472,13 @@ func dealByRank(c *comm, run []Key, start, total int, context string) (*SortResu
 		}
 		mine = append(mine, rankedKey{rank: int(p[0]), key: k})
 	}
+	c.rankScratch[1] = mine
 	slices.SortFunc(mine, func(a, b rankedKey) int { return a.rank - b.rank })
 
 	res := &SortResult{Total: total}
 	if len(mine) > 0 {
 		res.Start = mine[0].rank
+		res.Batch = make([]Key, 0, len(mine))
 	} else {
 		res.Start = min(c.me*perNode, total)
 	}

@@ -59,6 +59,7 @@ func groupSort(c *comm, group []int, myKeys []Key, capacity int, st step) (*grou
 			sigma = 1
 		}
 		maxSel = ceilDiv(capacity, sigma)
+		selected = make([]Key, 0, len(input)/sigma+1)
 		for i := sigma - 1; i < len(input); i += sigma {
 			selected = append(selected, input[i])
 		}
@@ -83,11 +84,11 @@ func groupSort(c *comm, group []int, myKeys []Key, capacity int, st step) (*grou
 	}
 
 	var delims []Key
-	var buckets [][]Key
+	var bstart []int
 	if w > 0 {
 		// Step 3 (local): merge the samples and pick the w-quantiles as
 		// delimiters.
-		var samples []Key
+		samples := make([]Key, 0, w*maxSel)
 		for _, perSender := range announced {
 			for _, p := range perSender {
 				if len(p) < 1+keyWords || p[0] != 1 {
@@ -114,20 +115,28 @@ func groupSort(c *comm, group []int, myKeys []Key, capacity int, st step) (*grou
 		}
 
 		// Step 4 (local): split my input into buckets by the delimiters; the
-		// last bucket is unbounded above.
-		buckets = make([][]Key, w)
-		for _, k := range input {
-			j := sort.Search(len(delims), func(i int) bool { return k.Less(delims[i]) || k == delims[i] })
-			buckets[j] = append(buckets[j], k)
+		// last bucket is unbounded above. The input is sorted and the
+		// delimiters are non-decreasing, so bucket j is the contiguous range
+		// input[bstart[j]:bstart[j+1]] found by binary search (keys above the
+		// last delimiter fall into bucket len(delims)).
+		bstart = make([]int, w+1)
+		for j := 1; j < w; j++ {
+			if j-1 < len(delims) {
+				d := delims[j-1]
+				bstart[j] = sort.Search(len(input), func(i int) bool { return d.Less(input[i]) })
+			} else {
+				bstart[j] = len(input)
+			}
 		}
+		bstart[w] = len(input)
 	}
 
 	// Step 5 (2 rounds): announce the bucket counts.
 	var counts []int
 	if w > 0 {
 		counts = make([]int, w)
-		for j := range buckets {
-			counts[j] = len(buckets[j])
+		for j := 0; j < w; j++ {
+			counts[j] = bstart[j+1] - bstart[j]
 		}
 	}
 	allCounts, err := announceIntVector(c, group, counts, st.sub("counts", kcCounts))
@@ -141,7 +150,8 @@ func groupSort(c *comm, group []int, myKeys []Key, capacity int, st step) (*grou
 	if w > 0 {
 		slot := c.itemSlot()
 		items = *slot
-		for j, bucket := range buckets {
+		for j := 0; j < w; j++ {
+			bucket := input[bstart[j]:bstart[j+1]]
 			for lo := 0; lo < len(bucket); lo += keysPerBundle {
 				hi := min(lo+keysPerBundle, len(bucket))
 				mark := c.arenaMark()
@@ -168,8 +178,15 @@ func groupSort(c *comm, group []int, myKeys []Key, capacity int, st step) (*grou
 	}
 
 	// Step 7 (local): sort the received keys; they form my bucket of the
-	// group-wide order.
-	var myBucket []Key
+	// group-wide order. The announced counts already pin the bucket size, so
+	// the bucket is allocated exactly once.
+	bucketSizes := make([]int, w)
+	for j := 0; j < w; j++ {
+		for a := 0; a < w; a++ {
+			bucketSizes[j] += allCounts[a][j]
+		}
+	}
+	myBucket := make([]Key, 0, bucketSizes[myIdx])
 	for _, it := range received {
 		if len(it.words) < 1 {
 			return nil, fmt.Errorf("core: groupSort(%s) step7: empty bundle", st.name)
@@ -187,13 +204,6 @@ func groupSort(c *comm, group []int, myKeys []Key, capacity int, st step) (*grou
 		}
 	}
 	sortKeys(myBucket)
-
-	bucketSizes := make([]int, w)
-	for j := 0; j < w; j++ {
-		for a := 0; a < w; a++ {
-			bucketSizes[j] += allCounts[a][j]
-		}
-	}
 	if bucketSizes[myIdx] != len(myBucket) {
 		return nil, fmt.Errorf("core: groupSort(%s): node %d received %d keys, announced bucket size %d",
 			st.name, c.ex.ID(), len(myBucket), bucketSizes[myIdx])

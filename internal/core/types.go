@@ -178,11 +178,19 @@ type comm struct {
 	me      int // local index of this node, or -1 if it is not a member
 	label   string
 
-	// flatEx is non-nil when ex is a physical node, enabling the engine's
-	// flat receive path: delivery hands this comm raw [from, len, payload...]
-	// records instead of assembling an Inbox. Virtual (Mux) instances fall
-	// back to the boxed path.
-	flatEx *clique.Node
+	// flatEx is non-nil when ex supports the flat receive path (both the
+	// physical node and the Mux's virtual nodes do): delivery hands this comm
+	// raw [from, len, payload...] records instead of assembling an Inbox.
+	// Exchangers without the capability fall back to the boxed path.
+	flatEx clique.FlatExchanger
+
+	// tagEx is non-nil when ex is a passthrough virtual node: frames are
+	// staged with frameTag as their leading word and handed over zero-copy via
+	// SendTagged, and received flat records are shared by all instances on the
+	// node, so this comm filters them by frameTag and strips it before
+	// decoding.
+	tagEx    clique.FrameTagger
+	frameTag clique.Word
 
 	// commScratch holds every reusable buffer of the instance. It is
 	// acquired from a process-wide pool at newComm and returned by release,
@@ -231,6 +239,10 @@ type commScratch struct {
 	heldCursor  int
 	itemScratch [4][]item
 	itemCursor  int
+
+	// rankScratch backs the two rankedKey accumulators of dealByRank (relayed
+	// keys, then own keys); both are dead once the batch has been copied out.
+	rankScratch [2][]rankedKey
 
 	// posScratch maps a local member index to its position inside the group
 	// currently being processed (-1 outside); groupPositions/releasePositions
@@ -346,15 +358,21 @@ func newComm(ex clique.Exchanger, label string, members []int) (*comm, error) {
 	if idx := scratch.local[ex.ID()]; idx >= 0 {
 		me = int(idx)
 	}
-	nd, _ := ex.(*clique.Node)
-	return &comm{
+	nd, _ := ex.(clique.FlatExchanger)
+	c := &comm{
 		ex:          ex,
 		members:     members,
 		me:          me,
 		label:       label,
 		flatEx:      nd,
 		commScratch: scratch,
-	}, nil
+	}
+	if ft, ok := ex.(clique.FrameTagger); ok {
+		if tag, on := ft.FrameTag(); on {
+			c.tagEx, c.frameTag = ft, tag
+		}
+	}
+	return c, nil
 }
 
 // fullComm is the common case of an instance spanning the whole clique.
@@ -391,8 +409,15 @@ func (c *comm) localOf(global int) (int, bool) {
 
 // stageOpen starts a new logical message bound for the member with the given
 // local index. Messages must be closed (stageClose) before the next open.
+// On a tagged exchanger the record carries two extra header slots (tag and a
+// count slot pre-set to 1) so that a destination's only message doubles as a
+// complete tagged frame without any assembly copy.
 func (c *comm) stageOpen(localTo int) {
-	c.stage = append(c.stage, clique.Word(localTo), 0)
+	if c.tagEx != nil {
+		c.stage = append(c.stage, clique.Word(localTo), c.frameTag, 1, 0)
+	} else {
+		c.stage = append(c.stage, clique.Word(localTo), 0)
+	}
 	c.stageLenAt = len(c.stage) - 1
 	c.stageDst = localTo
 }
@@ -412,7 +437,11 @@ func (c *comm) stageClose() {
 		c.dstTouched = append(c.dstTouched, int32(d))
 		// Remember the record start: if this stays the destination's only
 		// message this round, flushFrames sends it straight from the log.
-		c.dstStart[d] = int32(c.stageLenAt - 1)
+		hdr := 1
+		if c.tagEx != nil {
+			hdr = 3
+		}
+		c.dstStart[d] = int32(c.stageLenAt - hdr)
 	}
 	c.dstLoad[d] += (l+1)<<32 | 1 // payload plus the length slot, one message
 }
@@ -444,17 +473,24 @@ func (c *comm) flushFrames() {
 	}
 	// Destinations with a single message are served straight from the
 	// staging log: the record layout [dst, len, words...] doubles as the
-	// frame [count=1, len, words...] once the dst slot is overwritten, so no
-	// assembly copy happens. The relay schedules of Corollaries 3.3/3.4
-	// spread traffic to one message per edge, making this the common case.
+	// frame [count=1, len, words...] once the dst slot is overwritten (on a
+	// tagged exchanger the record [dst, tag, 1, len, words...] already ends
+	// in a complete frame), so no assembly copy happens. The relay schedules
+	// of Corollaries 3.3/3.4 spread traffic to one message per edge, making
+	// this the common case.
+	tagged := c.tagEx != nil
+	hdrExtra := 0 // extra frame slots before the count slot (the tag)
+	if tagged {
+		hdrExtra = 1
+	}
 	total := 0
 	multi := false
 	for _, d := range c.dstTouched {
 		if uint32(c.dstLoad[d]) > 1 {
 			multi = true
 			c.dstStart[d] = int32(total)
-			c.dstOff[d] = int32(total + 1) // write cursor, past the count slot
-			total += 1 + int(c.dstLoad[d]>>32)
+			c.dstOff[d] = int32(total + 1 + hdrExtra) // write cursor, past tag and count slots
+			total += 1 + hdrExtra + int(c.dstLoad[d]>>32)
 		}
 	}
 	if multi {
@@ -465,28 +501,40 @@ func (c *comm) flushFrames() {
 		}
 		for i := 0; i < len(c.stage); {
 			d := int(c.stage[i])
-			l := int(c.stage[i+1])
+			l := int(c.stage[i+1+2*hdrExtra]) // length slot follows the record header
 			if uint32(c.dstLoad[d]) > 1 {
 				cur := int(c.dstOff[d])
-				copy(c.frameBuf[cur:cur+1+l], c.stage[i+1:i+2+l])
+				copy(c.frameBuf[cur:cur+1+l], c.stage[i+1+2*hdrExtra:i+2+2*hdrExtra+l])
 				c.dstOff[d] = int32(cur + 1 + l)
 			}
-			i += 2 + l
+			i += 2 + 2*hdrExtra + l
 		}
 	}
 	for _, d := range c.dstTouched {
 		load := c.dstLoad[d]
 		count := int(uint32(load))
-		size := 1 + int(load>>32)
+		size := 1 + int(load>>32) // untagged frame size: count slot plus records
+		start := int(c.dstStart[d])
 		if count == 1 {
-			start := int(c.dstStart[d])
-			frame := c.stage[start : start+size : start+size]
-			frame[0] = 1
-			c.ex.SendFramed(c.members[d], frame, 1, size-2)
+			if tagged {
+				// stage[start:] is [dst, tag, 1, len, words...]: everything
+				// after the dst slot is the finished tagged frame.
+				frame := c.stage[start+1 : start+2+size : start+2+size]
+				c.tagEx.SendTagged(c.members[d], frame, 1, size-2)
+			} else {
+				frame := c.stage[start : start+size : start+size]
+				frame[0] = 1
+				c.ex.SendFramed(c.members[d], frame, 1, size-2)
+			}
 		} else {
-			start := int(c.dstStart[d])
-			c.frameBuf[start] = clique.Word(count)
-			c.ex.SendFramed(c.members[d], c.frameBuf[start:start+size:start+size], count, size-1-count)
+			if tagged {
+				c.frameBuf[start] = c.frameTag
+				c.frameBuf[start+1] = clique.Word(count)
+				c.tagEx.SendTagged(c.members[d], c.frameBuf[start:start+1+size:start+1+size], count, size-1-count)
+			} else {
+				c.frameBuf[start] = clique.Word(count)
+				c.ex.SendFramed(c.members[d], c.frameBuf[start:start+size:start+size], count, size-1-count)
+			}
 		}
 		c.dstLoad[d] = 0
 	}
@@ -514,11 +562,15 @@ func (c *comm) exchange() (*rxBuf, error) {
 		// Flat path: decode the raw [from, len, payload...] records the
 		// deliverer wrote into the receive arena. Records arrive in
 		// ascending sender order, so the per-sender index is built in the
-		// same sweep.
+		// same sweep. On a tagged exchanger the inbox is shared by every
+		// instance on the node: records of other instances are skipped by
+		// tag, and this instance's records carry the tag as their first
+		// payload word.
 		flat, err := nd.ExchangeFlat()
 		if err != nil {
 			return nil, fmt.Errorf("core: instance %q exchange: %w", c.label, err)
 		}
+		tagged := c.tagEx != nil
 		cur := 0
 		for i := 0; i < len(flat); {
 			if i+2 > len(flat) {
@@ -531,6 +583,13 @@ func (c *comm) exchange() (*rxBuf, error) {
 			}
 			frame := clique.Packet(flat[i+2 : i+2+l : i+2+l])
 			i += 2 + l
+			if tagged {
+				if l < 1 || frame[0] != c.frameTag {
+					continue // another instance's record
+				}
+				frame = frame[1:]
+				l--
+			}
 			if from < 0 || from >= len(c.local) {
 				return nil, fmt.Errorf("core: instance %q: flat record from invalid node %d", c.label, from)
 			}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+
+	"congestedclique/internal/core"
+)
+
+// TestSortScenarioCatalogShape checks that every sorting scenario builds a
+// valid Problem 4.1 instance (at most n keys per node, canonical
+// Origin/Seq labels) and that names are unique.
+func TestSortScenarioCatalogShape(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range SortScenarios() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate sorting scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Description == "" {
+			t.Fatalf("scenario %q has no description", s.Name)
+		}
+		for _, n := range []int{8, 16, 64} {
+			si, err := s.Build(n, 1)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", s.Name, n, err)
+			}
+			if si.N != n || len(si.Keys) != n {
+				t.Fatalf("%s n=%d: instance has N=%d and %d rows", s.Name, n, si.N, len(si.Keys))
+			}
+			for i, row := range si.Keys {
+				if len(row) > n {
+					t.Fatalf("%s n=%d: node %d holds %d keys (> n)", s.Name, n, i, len(row))
+				}
+				for k, key := range row {
+					if key.Origin != i || key.Seq != k {
+						t.Fatalf("%s n=%d: key at (%d,%d) labeled origin=%d seq=%d", s.Name, n, i, k, key.Origin, key.Seq)
+					}
+				}
+			}
+			if _, err := SortScenarioValues(si); err != nil {
+				t.Fatalf("%s n=%d: %v", s.Name, n, err)
+			}
+		}
+		if _, err := s.Build(scenarioMinN-1, 1); err == nil {
+			t.Fatalf("%s accepted n below the catalog minimum", s.Name)
+		}
+	}
+}
+
+// TestSortScenarioDeterminism checks Build is a pure function of (n, seed).
+func TestSortScenarioDeterminism(t *testing.T) {
+	for _, s := range SortScenarios() {
+		a, err := s.Build(32, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Build(32, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Keys {
+			if len(a.Keys[i]) != len(b.Keys[i]) {
+				t.Fatalf("%s: node %d row lengths differ across rebuilds", s.Name, i)
+			}
+			for k := range a.Keys[i] {
+				if a.Keys[i][k] != b.Keys[i][k] {
+					t.Fatalf("%s: node %d key %d differs across rebuilds", s.Name, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestSortScenarioPlannerClassification pins the sorting planner's verdict
+// for every catalog scenario — the dispatch table the catalog was designed
+// to exercise. A new scenario must be added here with its expected strategy.
+func TestSortScenarioPlannerClassification(t *testing.T) {
+	want := map[string]map[int]core.SortStrategy{
+		"sort-uniform-full": {16: core.SortStrategyPipeline, 256: core.SortStrategyPipeline},
+		"sort-presorted":    {16: core.SortStrategyPresorted, 256: core.SortStrategyPresorted},
+		"sort-near-sorted":  {16: core.SortStrategyPresorted, 256: core.SortStrategyPresorted},
+		// The duplicate-heavy domain is floored at 2 distinct values, so at
+		// n=16 (distinct cap 0) the scenario honestly degrades to the
+		// pipeline; by n=256 (cap 3) the counting arm admits it.
+		"sort-duplicate-heavy": {16: core.SortStrategyPipeline, 256: core.SortStrategySmallDomain},
+	}
+	for _, s := range SortScenarios() {
+		expected, ok := want[s.Name]
+		if !ok {
+			t.Errorf("sorting scenario %q has no expected planner strategy in this test — add it", s.Name)
+			continue
+		}
+		for n, strategy := range expected {
+			si, err := s.Build(n, 1)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", s.Name, n, err)
+			}
+			plan := core.PlanSort(n, si.Keys)
+			if plan.Strategy != strategy {
+				t.Errorf("%s n=%d: planner chose %v, want %v (%s)", s.Name, n, plan.Strategy, strategy, plan.Reason)
+			}
+		}
+	}
+	for name := range want {
+		if _, ok := SortScenarioByName(name); !ok {
+			t.Errorf("expected strategy listed for unknown sorting scenario %q", name)
+		}
+	}
+}

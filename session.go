@@ -251,9 +251,10 @@ func (c *Clique) callConfig(opts []Option) (config, error) {
 // sortBasedConfig is callConfig for the sorting-based corollary operations
 // (Rank, SelectKth, Median, Mode, CountSmallKeys), which only have
 // deterministic implementations. LowCompute and AlgorithmAuto fall back to
-// the deterministic path exactly like Sort does (the planner covers routing
-// only); Randomized and NaiveDirect are rejected rather than silently
-// running a different algorithm than the caller asked to measure.
+// the deterministic path (the planner covers Route, Sort and SortKeys;
+// the corollary protocols always run their pinned deterministic schedules);
+// Randomized and NaiveDirect are rejected rather than silently running a
+// different algorithm than the caller asked to measure.
 func (c *Clique) sortBasedConfig(op string, opts []Option) (config, error) {
 	cfg, err := applyCallOptions(c.cfg, opts)
 	if err != nil {
@@ -392,9 +393,12 @@ func (u *execUnit) route(ctx context.Context, cfg config, msgs [][]Message) (*Ro
 // Sort sorts the values of the clique: values[i] are node i's keys (at most
 // n per node). Node i's batch of the globally sorted sequence is returned in
 // Batches[i]. The default algorithm is the paper's 37-round deterministic
-// Algorithm 4 (Theorem 4.5); WithAlgorithm(Randomized) selects the
-// sample-sort baseline, LowCompute falls back to Deterministic (documented
-// on the constant), and NaiveDirect is rejected with
+// Algorithm 4 (Theorem 4.5); WithAlgorithm(AlgorithmAuto) consults the
+// demand-aware sorting planner, which diverts pre-sorted and small-domain
+// instances to cheaper schedules with identical output
+// (SortResult.Strategy reports the choice); WithAlgorithm(Randomized)
+// selects the sample-sort baseline, LowCompute falls back to Deterministic
+// (documented on the constant), and NaiveDirect is rejected with
 // ErrUnsupportedAlgorithm.
 func (c *Clique) Sort(ctx context.Context, values [][]int64, opts ...Option) (*SortResult, error) {
 	cfg, err := c.callConfig(opts)
@@ -489,14 +493,26 @@ func (u *execUnit) sortStaged(ctx context.Context, cfg config, inputs [][]core.K
 		u.sortOut = make([]*core.SortResult, u.n)
 	}
 	results := u.sortOut
+
+	// Under AlgorithmAuto the sorting planner classifies the staged instance
+	// once, centrally (the plan is a pure function of the instance, so every
+	// node dispatching on it agrees on the schedule — see
+	// internal/core/planner_sort.go for the model-honesty note).
+	var plan core.SortPlan
+	if cfg.algorithm == AlgorithmAuto {
+		plan = core.PlanSort(u.n, inputs)
+	}
+
 	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
 		var (
 			res  *core.SortResult
 			sErr error
 		)
 		switch cfg.algorithm {
-		case Deterministic, LowCompute, AlgorithmAuto:
+		case Deterministic, LowCompute:
 			res, sErr = core.Sort(nd, inputs[nd.ID()])
+		case AlgorithmAuto:
+			res, sErr = core.AutoSort(nd, inputs[nd.ID()], plan)
 		case Randomized:
 			res, sErr = baseline.RandomizedSampleSort(nd, inputs[nd.ID()], cfg.seed)
 		default:
@@ -513,9 +529,10 @@ func (u *execUnit) sortStaged(ctx context.Context, cfg config, inputs [][]core.K
 	}
 
 	out := &SortResult{
-		Batches: make([][]Key, u.n),
-		Starts:  make([]int, u.n),
-		Stats:   statsFromMetrics(u.nw.Metrics()),
+		Batches:  make([][]Key, u.n),
+		Starts:   make([]int, u.n),
+		Strategy: sortStrategyFromCore(plan.Strategy),
+		Stats:    statsFromMetrics(u.nw.Metrics()),
 	}
 	for i := range results {
 		res := results[i]

@@ -14,6 +14,10 @@ type SortResult struct {
 	Starts []int
 	// Total is the number of keys in the system.
 	Total int
+	// Strategy is the strategy the demand-aware sorting planner selected.
+	// It is set only when the operation ran under AlgorithmAuto; under an
+	// explicitly chosen algorithm it is the zero value ("unplanned").
+	Strategy SortStrategy
 	// Stats describes the execution cost.
 	Stats Stats
 }
@@ -22,6 +26,7 @@ type SortResult struct {
 // (at most n per node). It is the one-shot convenience form of Clique.Sort
 // (see Route for the one-shot contract). The default algorithm is the
 // paper's 37-round deterministic Algorithm 4 (Theorem 4.5);
+// WithAlgorithm(AlgorithmAuto) consults the demand-aware sorting planner,
 // WithAlgorithm(Randomized) selects the sample-sort baseline, LowCompute
 // falls back to the deterministic sorter, and NaiveDirect is rejected with
 // ErrUnsupportedAlgorithm.
