@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"congestedclique/internal/workload"
 )
@@ -175,6 +176,64 @@ func BenchmarkSortReuse(b *testing.B) {
 		values := benchSortWorkload(n)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			cl, err := New(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cl.Sort(ctx, values)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Rounds > 37 {
+					b.Fatalf("measured %d rounds, Theorem 4.5 claims <= 37", res.Stats.Rounds)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteWatchdog is BenchmarkRouteReuse with the round watchdog
+// armed (WithRoundDeadline). The deadline is far above any legitimate round,
+// so it never fires; the benchmark exists to guard the watchdog's fault-free
+// overhead — it must add zero allocs/op to a warm Route (the watchdog
+// goroutine, its timer and the arrival markers are allocated once per handle
+// and reused across runs), and cmd/benchguard holds it to the same baseline
+// discipline as the unwatched entries.
+func BenchmarkRouteWatchdog(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{64, 256} {
+		msgs := benchRouteWorkload(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cl, err := New(n, WithRoundDeadline(5*time.Minute))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cl.Route(ctx, msgs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Rounds > 16 {
+					b.Fatalf("measured %d rounds, Theorem 3.7 claims <= 16", res.Stats.Rounds)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSortWatchdog is BenchmarkRouteWatchdog for the sorting pipeline.
+func BenchmarkSortWatchdog(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{64, 256} {
+		values := benchSortWorkload(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cl, err := New(n, WithRoundDeadline(5*time.Minute))
 			if err != nil {
 				b.Fatal(err)
 			}

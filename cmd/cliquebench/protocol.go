@@ -253,6 +253,12 @@ func runConcurrencySweep(ctx context.Context, maxN int) (*experiments.Concurrenc
 			if err != nil {
 				return nil, fmt.Errorf("%s k=%d: %w", sweep.workload, k, err)
 			}
+			// loadgen tolerates operation errors (it records them per stream);
+			// a committed benchmark number must not — every op has to succeed.
+			if res.FailedOps > 0 {
+				return nil, fmt.Errorf("%s k=%d: %d of %d operations failed: %s",
+					sweep.workload, k, res.FailedOps, res.TotalOps, res.FirstError)
+			}
 			b := experiments.ConcurrencyBench{
 				Name:        fmt.Sprintf("%s/n=%d/k=%d", sweep.n, sweep.size, k),
 				N:           sweep.size,

@@ -47,6 +47,11 @@ type report struct {
 	P90Ms        float64 `json:"latency_p90_ms"`
 	P99Ms        float64 `json:"latency_p99_ms"`
 	Verified     int     `json:"verified_ops"`
+	SucceededOps int     `json:"succeeded_ops"`
+	FailedOps    int     `json:"failed_ops"`
+	StreamErrors []int   `json:"stream_errors,omitempty"`
+	FirstError   string  `json:"first_error,omitempty"`
+	Retries      int64   `json:"retries"`
 	// SpeedupVsSerial is aggregate throughput relative to the sweep's k=1
 	// entry (only set in sweep mode).
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
@@ -69,6 +74,11 @@ func toReport(r loadgen.Result) report {
 		P90Ms:        ms(r.P90),
 		P99Ms:        ms(r.P99),
 		Verified:     r.Verified,
+		SucceededOps: r.SucceededOps,
+		FailedOps:    r.FailedOps,
+		StreamErrors: r.StreamErrors,
+		FirstError:   r.FirstError,
+		Retries:      r.Retries,
 	}
 }
 
@@ -80,6 +90,9 @@ func main() {
 	ops := flag.Int("ops", 8, "operations per stream")
 	workloadKind := flag.String("workload", "mixed", "operation mix: route, sort, or mixed")
 	verify := flag.Bool("verify", true, "cross-check every result against a serial golden run")
+	faultEvery := flag.Int("fault-every", 0, "inject a deterministic transient fault into every k-th op of each stream (0 = none)")
+	retries := flag.Int("retries", 0, "retry budget (WithRetry) for injected-fault operations")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff between retries of injected-fault operations")
 	sweep := flag.String("sweep", "", "comma-separated pool sizes to sweep (e.g. 1,2,4,8); overrides -concurrency, streams follow k")
 	jsonPath := flag.String("json", "", "write the report as JSON to this file")
 	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
@@ -121,6 +134,9 @@ func main() {
 			OpsPerStream: *ops,
 			Workload:     *workloadKind,
 			Verify:       *verify,
+			FaultEvery:   *faultEvery,
+			Retries:      *retries,
+			RetryBackoff: *retryBackoff,
 		})
 		if err != nil {
 			log.Fatalf("cliqueload: k=%d: %v", k, err)
@@ -145,15 +161,21 @@ func main() {
 		}
 	}
 
-	fmt.Printf("%-4s %-8s %-9s %10s %12s %10s %10s %10s\n",
-		"k", "streams", "ops", "wall", "ops/sec", "p50", "p90", "p99")
+	fmt.Printf("%-4s %-8s %-9s %-7s %-8s %10s %12s %10s %10s %10s\n",
+		"k", "streams", "ops", "failed", "retries", "wall", "ops/sec", "p50", "p90", "p99")
 	for i, rep := range reports {
-		fmt.Printf("%-4d %-8d %-9d %10s %12.2f %9.1fms %9.1fms %9.1fms",
-			rep.Concurrency, rep.Streams, rep.TotalOps, wall[i].Round(time.Millisecond), rep.OpsPerSec, rep.P50Ms, rep.P90Ms, rep.P99Ms)
+		fmt.Printf("%-4d %-8d %-9d %-7d %-8d %10s %12.2f %9.1fms %9.1fms %9.1fms",
+			rep.Concurrency, rep.Streams, rep.TotalOps, rep.FailedOps, rep.Retries,
+			wall[i].Round(time.Millisecond), rep.OpsPerSec, rep.P50Ms, rep.P90Ms, rep.P99Ms)
 		if rep.SpeedupVsSerial > 0 {
 			fmt.Printf("  (%0.2fx vs k=1)", rep.SpeedupVsSerial)
 		}
 		fmt.Println()
+	}
+	for _, rep := range reports {
+		if rep.FailedOps > 0 {
+			fmt.Printf("k=%d stream errors: %v (first: %s)\n", rep.Concurrency, rep.StreamErrors, rep.FirstError)
+		}
 	}
 	if *verify {
 		total := 0

@@ -11,11 +11,18 @@
 // preserved); with -out the rendered table is additionally written to a
 // file, which CI uploads as an artifact.
 //
+// With -chaos the tool runs the chaos catalog instead: every scenario injects
+// a deterministic fault plan (node panic, straggler stall, cancellation at a
+// barrier turn-over) through the public option set, runs it twice to confirm
+// the replay is deterministic, and cross-checks every surviving run bit for
+// bit against a fault-free golden on the identical instance.
+//
 // Examples:
 //
 //	cliquescen -n 256
 //	cliquescen -n 256 -json BENCH_protocol.json
 //	cliquescen -n 64 -scenarios sparse,multicast,uniform-full -markdown
+//	cliquescen -n 64 -chaos -out chaos_table.txt
 package main
 
 import (
@@ -48,6 +55,7 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		names     = flag.String("scenarios", "all", "comma-separated scenario names (see -list), or all")
 		list      = flag.Bool("list", false, "list the scenario catalog and exit")
+		chaos     = flag.Bool("chaos", false, "run the chaos catalog (deterministic fault injection) instead of the bench catalog")
 		iters     = flag.Int("iters", 1, "measured iterations per scenario (after one warm-up)")
 		jsonPath  = flag.String("json", "", "merge results into the scenarios section of this BENCH_protocol.json")
 		outPath   = flag.String("out", "", "also write the rendered table to this file")
@@ -69,11 +77,30 @@ func run() error {
 		*verifyRes = false
 	}
 	if *list {
+		if *chaos {
+			for _, s := range workload.ChaosScenarios() {
+				fmt.Printf("%-24s %s\n", s.Name, s.Description)
+			}
+			return nil
+		}
 		for _, s := range workload.Scenarios() {
 			fmt.Printf("%-20s %s\n", s.Name, s.Description)
 		}
 		for _, s := range workload.SortScenarios() {
 			fmt.Printf("%-20s %s\n", s.Name, s.Description)
+		}
+		return nil
+	}
+	if *chaos {
+		rendered, err := runChaos(*n, *names, *markdown)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rendered)
+		if *outPath != "" {
+			if err := os.WriteFile(*outPath, []byte(rendered+"\n"), 0o644); err != nil {
+				return err
+			}
 		}
 		return nil
 	}

@@ -70,6 +70,8 @@ package congestedclique
 import (
 	"errors"
 	"fmt"
+	"slices"
+	"time"
 
 	"congestedclique/internal/clique"
 	"congestedclique/internal/core"
@@ -290,6 +292,51 @@ var ErrClosed = errors.New("congestedclique: clique handle closed")
 // round than the configured budget.
 var ErrBandwidthExceeded = clique.ErrBandwidthExceeded
 
+// ErrTransient classifies failures that a re-run of the same operation on a
+// fresh engine can be expected to recover from: injected faults
+// (ErrFaultInjected) and missed round deadlines (ErrRoundDeadline). Errors
+// returned by the session layer satisfy errors.Is(err, ErrTransient) exactly
+// for this family; WithRetry re-runs an operation only on transient
+// failures. Permanent errors — validation failures, ErrClosed,
+// ErrUnsupportedAlgorithm, ErrBandwidthExceeded, protocol errors and caller
+// context cancellations — are never retried: re-running them would either
+// fail identically or paper over a cancellation the caller asked for. See
+// docs/RESILIENCE.md for the full taxonomy.
+var ErrTransient = errors.New("congestedclique: transient failure")
+
+// ErrRoundDeadline is wrapped by errors reporting that a round failed to
+// turn over within the WithRoundDeadline budget; the message names the nodes
+// that had not arrived at the barrier. It is part of the ErrTransient family.
+var ErrRoundDeadline = clique.ErrRoundDeadline
+
+// ErrFaultInjected is wrapped by errors produced by the fault-injection
+// options (WithInjectedPanic, WithInjectedCancel); the message names the
+// faulty node and round. It is part of the ErrTransient family.
+var ErrFaultInjected = clique.ErrFaultInjected
+
+// transientError marks an error as retryable without disturbing the rest of
+// its chain: errors.Is sees ErrTransient through the Is hook and every
+// underlying sentinel (ErrFaultInjected, ErrRoundDeadline, ...) through
+// Unwrap.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return t.err.Error() }
+
+func (t *transientError) Unwrap() error { return t.err }
+
+// Is reports the ErrTransient identity.
+func (t *transientError) Is(target error) bool { return target == ErrTransient }
+
+// classifyTransient wraps err in the ErrTransient marker when it belongs to
+// the transient family (see ErrTransient), and returns it unchanged
+// otherwise.
+func classifyTransient(err error) error {
+	if errors.Is(err, clique.ErrFaultInjected) || errors.Is(err, clique.ErrRoundDeadline) {
+		return &transientError{err: err}
+	}
+	return err
+}
+
 // Stats summarises the cost of one protocol execution in the congested
 // clique's own currency.
 type Stats struct {
@@ -315,7 +362,10 @@ type Stats struct {
 // CumulativeStats aggregates the cost of every operation that completed
 // successfully on one Clique handle: totals are summed across operations,
 // maxima are taken over operations. Operations that returned an error
-// (including cancelled ones) are not counted.
+// (including cancelled ones) are not counted in the traffic aggregates — a
+// retried operation that eventually succeeds contributes only its successful
+// attempt. The Retries and FailedOperations counters track the failure side
+// of the ledger.
 type CumulativeStats struct {
 	// Operations is the number of protocol executions that completed without
 	// error.
@@ -329,6 +379,15 @@ type CumulativeStats struct {
 	// TotalMessages and TotalWords sum the traffic of all operations.
 	TotalMessages int64
 	TotalWords    int64
+	// Retries counts re-run attempts made under WithRetry across the
+	// handle's lifetime (a retried operation that succeeds on its second
+	// attempt adds one here and one to Operations).
+	Retries int64
+	// FailedOperations counts operations that passed validation but
+	// ultimately returned an error — after exhausting any retry budget.
+	// Rejected calls (malformed instances, handle-scoped options passed per
+	// call) are not counted; they never reached an engine.
+	FailedOperations int64
 }
 
 func statsFromCumulative(c clique.Cumulative) CumulativeStats {
@@ -365,6 +424,20 @@ type config struct {
 	sharedCache    bool
 	workers        int
 	maxConcurrency int
+	// roundDeadline arms the engine's round watchdog (WithRoundDeadline);
+	// handle-scoped because it shapes every engine of the pool.
+	roundDeadline time.Duration
+	// retries and retryBackoff are the WithRetry budget: up to retries
+	// re-runs after a transient failure, sleeping backoff, 2·backoff,
+	// 4·backoff, ... between attempts. Call-scoped.
+	retries      int
+	retryBackoff time.Duration
+	// faults is the call's injected fault schedule (WithInjectedPanic,
+	// WithInjectedStall, WithInjectedCancel). It is applied to the first
+	// attempt of an operation only, so a WithRetry re-run executes
+	// fault-free. Call-scoped; a handle default injects into every
+	// operation's first attempt (chaos soak testing).
+	faults []clique.Fault
 	// handleScoped is set to the option's name by every handle-scoped option
 	// so that per-call application can reject it with a useful message. It is
 	// reset before call options are applied and ignored by New.
@@ -468,6 +541,106 @@ func WithMaxConcurrency(k int) Option {
 	}
 }
 
+// WithRoundDeadline arms a round watchdog on every engine of the handle: if
+// any round of an operation fails to turn over within d, the operation fails
+// with an error wrapping ErrRoundDeadline (part of the ErrTransient family)
+// that names the unarrived nodes, instead of hanging the round barrier
+// forever on a stalled node. d must comfortably exceed the longest
+// legitimate round of the workload — the watchdog is a wall-clock safety
+// net, so whether a run straddling the deadline fails is timing-dependent.
+// It adds no allocations to fault-free operations. Handle-scoped: pass it to
+// New. See docs/RESILIENCE.md for guidance on choosing d.
+func WithRoundDeadline(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("congestedclique: round deadline must be positive, got %v", d)
+		}
+		c.roundDeadline = d
+		c.handleScoped = "WithRoundDeadline"
+		return nil
+	}
+}
+
+// WithRetry gives an operation a transparent retry budget: after a failure
+// in the ErrTransient family (injected fault, missed round deadline) the
+// operation re-runs on a fresh engine checked out of the pool, up to n more
+// times, sleeping backoff before the first retry and doubling it before each
+// further one (exponential backoff; backoff may be zero for immediate
+// retries). Permanent errors and caller context cancellations are returned
+// immediately. A successful retry is invisible in the result — outputs are
+// bit-identical to a fault-free run, and CumulativeStats traffic counts only
+// the successful attempt — but is counted in CumulativeStats.Retries.
+// Injected faults apply to the first attempt only, so a retried chaos run
+// recovers deterministically. May be passed to New (handle default) or to an
+// individual call.
+func WithRetry(n int, backoff time.Duration) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("congestedclique: retry count must be non-negative, got %d", n)
+		}
+		if backoff < 0 {
+			return fmt.Errorf("congestedclique: retry backoff must be non-negative, got %v", backoff)
+		}
+		c.retries = n
+		c.retryBackoff = backoff
+		return nil
+	}
+}
+
+// WithInjectedPanic schedules a deterministic chaos fault: the chosen node
+// panics when it reaches the barrier of the chosen round (its sends for that
+// round are lost, exactly like a real crash), and the operation fails with
+// an error wrapping ErrFaultInjected naming the node and round. The fault
+// applies to the operation's first attempt only — a WithRetry re-run
+// executes fault-free. May be passed to a call or, for chaos soaks, to New;
+// multiple injection options combine into one fault plan. The node id is
+// validated against the handle's n when the operation runs.
+func WithInjectedPanic(node, round int) Option {
+	return func(c *config) error {
+		if round < 0 {
+			return fmt.Errorf("congestedclique: injected panic round must be non-negative, got %d", round)
+		}
+		c.faults = append(slices.Clip(c.faults), clique.Fault{Kind: clique.FaultPanic, Node: node, Round: round})
+		return nil
+	}
+}
+
+// WithInjectedStall schedules a deterministic chaos fault: the chosen node
+// is delayed by d before arriving at the barrier of the chosen round. A
+// stall by itself only slows the operation down (results stay bit-identical
+// to a fault-free run); combined with WithRoundDeadline, a stall longer than
+// the deadline is converted into an ErrRoundDeadline failure, and the
+// stalled node is woken immediately rather than sleeping out d. First
+// attempt only, like WithInjectedPanic.
+func WithInjectedStall(node, round int, d time.Duration) Option {
+	return func(c *config) error {
+		if round < 0 {
+			return fmt.Errorf("congestedclique: injected stall round must be non-negative, got %d", round)
+		}
+		if d <= 0 {
+			return fmt.Errorf("congestedclique: injected stall duration must be positive, got %v", d)
+		}
+		c.faults = append(slices.Clip(c.faults), clique.Fault{Kind: clique.FaultStall, Node: node, Round: round, Stall: d})
+		return nil
+	}
+}
+
+// WithInjectedCancel schedules a deterministic chaos fault: the operation is
+// cancelled at the exact turn-over of the chosen round — after every node
+// has arrived at the barrier, instead of delivering — failing with an error
+// wrapping ErrFaultInjected. This is the deterministic analogue of a context
+// cancellation landing mid-operation, and exercises the same
+// barrier-release path. First attempt only, like WithInjectedPanic.
+func WithInjectedCancel(round int) Option {
+	return func(c *config) error {
+		if round < 0 {
+			return fmt.Errorf("congestedclique: injected cancel round must be non-negative, got %d", round)
+		}
+		c.faults = append(slices.Clip(c.faults), clique.Fault{Kind: clique.FaultCancel, Node: -1, Round: round})
+		return nil
+	}
+}
+
 func buildNetwork(n int, cfg config) (*clique.Network, error) {
 	opts := []clique.Option{clique.WithSharedCache(cfg.sharedCache)}
 	if cfg.strictBudget > 0 {
@@ -475,6 +648,9 @@ func buildNetwork(n int, cfg config) (*clique.Network, error) {
 	}
 	if cfg.workers > 0 {
 		opts = append(opts, clique.WithWorkers(cfg.workers))
+	}
+	if cfg.roundDeadline > 0 {
+		opts = append(opts, clique.WithRoundDeadline(cfg.roundDeadline))
 	}
 	return clique.New(n, opts...)
 }

@@ -136,8 +136,10 @@ func TestConcurrentStress(t *testing.T) {
 }
 
 // TestPanicMidRoundRecovery kills one node between barriers while every other
-// node is already parked; the run must neither deadlock nor lose the round,
-// and the panic must surface as that node's error.
+// node is already parked; the run must neither deadlock nor strand a node,
+// the panic must surface as the run's root-cause error, and the survivors
+// must abort at their next barrier instead of finishing rounds with a
+// silently missing member. The engine stays usable afterwards.
 func TestPanicMidRoundRecovery(t *testing.T) {
 	t.Parallel()
 	const n = 8
@@ -145,7 +147,7 @@ func TestPanicMidRoundRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = nw.Run(func(nd *Node) error {
+	program := func(nd *Node) error {
 		for r := 0; r < 3; r++ {
 			if nd.ID() == 3 && r == 1 {
 				panic("mid-round failure")
@@ -156,12 +158,32 @@ func TestPanicMidRoundRecovery(t *testing.T) {
 			}
 		}
 		return nil
-	})
+	}
+	err = nw.Run(program)
 	if err == nil || !contains(err.Error(), "node 3 panicked") {
 		t.Fatalf("want node 3 panic error, got %v", err)
 	}
+	// The crash is broadcast before the barrier releases, so the survivors
+	// fail out of round 1 rather than completing all 3 rounds without node 3.
+	if got := nw.Rounds(); got >= 3 {
+		t.Fatalf("rounds = %d, want < 3 (crash fails the run fast)", got)
+	}
+	// A failed run must not poison the engine: the same program without the
+	// crashing node completes all rounds on the same Network.
+	err = nw.Run(func(nd *Node) error {
+		for r := 0; r < 3; r++ {
+			nd.Send((nd.ID()+r)%n, Packet{Word(r)})
+			if _, err := nd.Exchange(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run after crash: %v", err)
+	}
 	if got := nw.Rounds(); got != 3 {
-		t.Fatalf("rounds = %d, want 3 (surviving nodes finish)", got)
+		t.Fatalf("rounds after recovery = %d, want 3", got)
 	}
 }
 

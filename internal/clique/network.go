@@ -106,7 +106,18 @@ type SharedKey struct {
 // swapping outboxes into inboxes, which both wakes the waiters and publishes
 // (in the memory-model sense) everything the delivery phase wrote.
 type generation struct {
-	done chan struct{}
+	done     chan struct{}
+	released atomic.Bool
+}
+
+// release closes done exactly once. The barrier has two legitimate releasers
+// — the round's deliverer (or a failing node completing the round on a
+// straggler's behalf) and the round watchdog — and they may race, so every
+// close of a generation goes through this CAS.
+func (g *generation) release() {
+	if g.released.CompareAndSwap(false, true) {
+		close(g.done)
+	}
 }
 
 // failure boxes the first engine-level error so it can live in an
@@ -239,6 +250,22 @@ type Network struct {
 	// goroutines in Run (see WithWorkers).
 	sem chan struct{}
 
+	// Fault injection and round watchdog (see fault.go). pendingFaults is
+	// armed by SetFaultPlan and consumed into faults by the next beginRun;
+	// failCh, allocated only for runs whose plan contains a stall, is closed
+	// by the first failure so injected stalls are interruptible. arrivals is
+	// the watchdog's per-node barrier-arrival tracker (allocated once, on the
+	// first deadline-enabled run); the wd* channels drive the persistent
+	// watchdog goroutine, which exists from the first such run until Close.
+	pendingFaults *FaultPlan
+	faults        *FaultPlan
+	failCh        chan struct{}
+	arrivals      []atomic.Int32
+	wdKick        chan struct{}
+	wdHalt        chan struct{}
+	wdAck         chan struct{}
+	wdStarted     bool
+
 	metricsMu sync.Mutex
 	metrics   Metrics
 	cum       Cumulative
@@ -340,7 +367,19 @@ func (nw *Network) releaseBuffers() {
 			}
 			b.setFrom[t] = b.setFrom[t][:0]
 		}
-		b.hdrArena[t] = b.hdrArena[t][:0]
+		// A run that failed between publish and delivery (injected
+		// cancellation, watchdog fire, delivery panic) leaves published
+		// outboxes unconsumed; their pendingPacket entries reference
+		// caller-owned payload memory, which a pooled buffer set must never
+		// pin. Clear the full backing arrays, not just the live prefixes.
+		if out := b.outboxes[t]; out != nil {
+			clear(out[:cap(out)])
+			b.outboxes[t] = nil
+		}
+		b.inboxes[t] = nil
+		ha := b.hdrArena[t]
+		clear(ha[:cap(ha)])
+		b.hdrArena[t] = ha[:0]
 		for p := range b.wordArena {
 			if b.wordArena[p][t] != nil {
 				b.wordArena[p][t] = b.wordArena[p][t][:0]
@@ -409,6 +448,15 @@ func (nw *Network) beginRun() error {
 		nw.resetRun()
 	}
 	nw.runs++
+	// Consume the armed fault plan (if any): it applies to this run only.
+	// The failure-broadcast channel is allocated only when the plan stalls a
+	// node, keeping the fault-free path allocation-free.
+	nw.faults = nw.pendingFaults
+	nw.pendingFaults = nil
+	nw.failCh = nil
+	if nw.faults.hasStall() {
+		nw.failCh = make(chan struct{})
+	}
 	return nil
 }
 
@@ -493,6 +541,7 @@ func (nw *Network) Close() error {
 		return nil
 	}
 	nw.closed.Store(true)
+	nw.closeWatchdog()
 	nw.releaseBuffers()
 	return nil
 }
@@ -567,12 +616,26 @@ func (nw *Network) Run(program func(*Node) error) error {
 // their pending Exchange. No node is left stranded, and the Network remains
 // usable for further runs afterwards.
 //
+// With WithRoundDeadline(d) a round watchdog additionally monitors barrier
+// progress: a round that fails to turn over within d fails the run through
+// the same release path with an error wrapping ErrRoundDeadline that names
+// the unarrived nodes, instead of hanging the barrier forever. A fault plan
+// armed with SetFaultPlan is consumed by this run (see FaultPlan).
+//
 // Error reporting is deterministic: if any node program returns an error (or
 // panics, which is converted to an error), the error of the lowest-numbered
 // failing node wins, regardless of the temporal order in which nodes failed.
 // An engine-level failure (such as a strict edge-budget violation or a
 // context cancellation) is returned only if no node program reported an
 // error itself.
+//
+// A node panic — injected or real — fails the whole run fast: the crash is
+// recorded as the run's root-cause failure before the crashed node's barrier
+// slot is released, so every surviving node observes the "node X panicked"
+// error at its next Exchange instead of continuing rounds with a silently
+// missing member and failing later with a secondary protocol error. A node
+// program that returns normally before its peers, by contrast, is a graceful
+// departure: the others keep running.
 //
 // When WithWorkers(k) is set with 0 < k < n, at most k node goroutines
 // compute concurrently; nodes parked at the round barrier release their slot.
@@ -600,7 +663,9 @@ func (nw *Network) RunContext(ctx context.Context, program func(*Node) error) er
 
 	// The watcher is reaped synchronously before the run returns: a
 	// cancellation that races with run completion must either land in this
-	// run's failure slot or nowhere, never in a later run's.
+	// run's failure slot or nowhere, never in a later run's. The round
+	// watchdog (when WithRoundDeadline is set) follows the same discipline
+	// via its halt handshake.
 	var stop chan struct{}
 	var watch sync.WaitGroup
 	if done := ctx.Done(); done != nil {
@@ -610,11 +675,12 @@ func (nw *Network) RunContext(ctx context.Context, program func(*Node) error) er
 			defer watch.Done()
 			select {
 			case <-done:
-				nw.fail.CompareAndSwap(nil, &failure{err: fmt.Errorf("clique: run cancelled: %w", ctx.Err())})
+				nw.setFailure(fmt.Errorf("clique: run cancelled: %w", ctx.Err()))
 			case <-stop:
 			}
 		}()
 	}
+	watching := nw.startWatchdogRun()
 
 	errs := make([]error, nw.n)
 	var wg sync.WaitGroup
@@ -636,13 +702,22 @@ func (nw *Network) RunContext(ctx context.Context, program func(*Node) error) er
 			defer nw.leave(nd)
 			defer func() {
 				if r := recover(); r != nil {
-					errs[id] = fmt.Errorf("clique: node %d panicked: %v", id, r)
+					errs[id] = nodePanicError(id, r)
+					// A panic is a crash, not a retirement: record it as the
+					// run's root-cause failure before leave releases the
+					// barrier, so peers observe "node X panicked" at their
+					// next Exchange instead of failing later with secondary
+					// protocol errors about the silently missing member.
+					nw.setFailure(errs[id])
 				}
 			}()
 			errs[id] = program(nd)
 		}(i)
 	}
 	wg.Wait()
+	if watching {
+		nw.stopWatchdogRun()
+	}
 	if stop != nil {
 		close(stop)
 		watch.Wait()
@@ -794,7 +869,7 @@ func (nw *Network) RunRoundsContext(ctx context.Context, step StepFunc) error {
 	remaining := nw.n
 	for round := 0; remaining > 0; round++ {
 		if err := ctx.Err(); err != nil {
-			nw.fail.CompareAndSwap(nil, &failure{err: fmt.Errorf("clique: run cancelled: %w", err)})
+			nw.setFailure(fmt.Errorf("clique: run cancelled: %w", err))
 			break
 		}
 		for _, ch := range starts {
@@ -1040,6 +1115,22 @@ func (nd *Node) exchangeBarrier(flat bool) error {
 		return errors.New("clique: Exchange called after node program returned")
 	}
 
+	// Injected faults fire here, at the exact (node, round) coordinate of
+	// the node's barrier arrival: a panic crashes the node before it
+	// publishes (its queued sends are lost, like a real crash), a stall
+	// delays the arrival.
+	if f := nw.faults.at(nd.id, nd.round); f != nil {
+		switch f.Kind {
+		case FaultPanic:
+			panic(&injectedPanic{node: nd.id, round: nd.round})
+		case FaultStall:
+			nw.stallNode(f.Stall)
+			if f := nw.fail.Load(); f != nil {
+				return f.err
+			}
+		}
+	}
+
 	nd.retire()
 
 	// Publish the outbox and receive mode; the slots are not read until
@@ -1055,12 +1146,13 @@ func (nd *Node) exchangeBarrier(flat bool) error {
 	if nw.sem != nil {
 		nw.sem <- struct{}{} // release the compute slot while parked
 	}
+	nw.noteArrival(nd.id, nd.round, false)
 	active, arrived := stateParts(nw.state.Add(1))
 	if arrived == active {
 		if nw.fail.Load() == nil {
 			nw.deliver(g)
 		} else {
-			close(g.done) // free stragglers; the run is already failed
+			g.release() // free stragglers; the run is already failed
 		}
 	} else {
 		<-g.done
@@ -1105,12 +1197,13 @@ func (nw *Network) leave(nd *Node) {
 	nw.departed[nd.id] = true
 
 	g := nw.gen.Load()
+	nw.noteArrival(nd.id, 0, true)
 	active, arrived := stateParts(nw.state.Add(^activeOne + 1))
 	if active > 0 && arrived == active {
 		if nw.fail.Load() == nil {
 			nw.deliver(g)
 		} else {
-			close(g.done)
+			g.release()
 		}
 	}
 }
@@ -1126,17 +1219,28 @@ func (nw *Network) deliver(g *generation) {
 	// deliverer's own node reports the error through the usual recovery.
 	defer func() {
 		if r := recover(); r != nil {
-			nw.fail.CompareAndSwap(nil, &failure{err: fmt.Errorf("clique: delivery panicked: %v", r)})
+			nw.setFailure(fmt.Errorf("clique: delivery panicked: %v", r))
 			nw.state.Store(nw.state.Load() >> 32 << 32)
 			nw.gen.Store(&generation{done: make(chan struct{})})
-			close(g.done)
+			g.release()
 			panic(r)
 		}
 	}()
+	// An injected cancellation fails the run at this exact turn-over: the
+	// barrier is released without delivering the round, the deterministic
+	// analogue of a context cancellation landing between the last arrival
+	// and delivery.
+	if round := int(nw.round.Load()); nw.faults.cancelAt(round) {
+		nw.setFailure(fmt.Errorf("clique: run cancelled at round %d turn-over: %w", round, ErrFaultInjected))
+		nw.state.Store(nw.state.Load() >> 32 << 32)
+		nw.gen.Store(&generation{done: make(chan struct{})})
+		g.release()
+		return
+	}
 	nw.deliverRound()
 	nw.state.Store(nw.state.Load() >> 32 << 32)
 	nw.gen.Store(&generation{done: make(chan struct{})})
-	close(g.done)
+	g.release()
 }
 
 // deliverRound swaps every published outbox into the destination inboxes and
@@ -1291,9 +1395,9 @@ func (nw *Network) deliverRound() {
 	nw.recvTouch = recvTouch[:0]
 
 	if nw.cfg.maxWordsPerEdge > 0 && stats.MaxEdgeWords > nw.cfg.maxWordsPerEdge {
-		nw.fail.CompareAndSwap(nil, &failure{err: fmt.Errorf(
+		nw.setFailure(fmt.Errorf(
 			"clique: round %d: edge %d->%d carried %d words, budget %d: %w",
-			round, worstFrom, worstTo, stats.MaxEdgeWords, nw.cfg.maxWordsPerEdge, ErrBandwidthExceeded)})
+			round, worstFrom, worstTo, stats.MaxEdgeWords, nw.cfg.maxWordsPerEdge, ErrBandwidthExceeded))
 	}
 
 	nw.metricsMu.Lock()

@@ -1,6 +1,9 @@
 package clique
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // config holds the tunable behaviour of a Network. It is populated through
 // functional options so the zero configuration stays usable.
@@ -22,6 +25,11 @@ type config struct {
 	// (0 = GOMAXPROCS). For Network.Run it bounds, when 0 < workers < n, how
 	// many node goroutines compute concurrently.
 	workers int
+	// roundDeadline, when positive, arms the round watchdog of the blocking
+	// Run path: a round that fails to turn over within this duration fails
+	// the run with an error wrapping ErrRoundDeadline naming the unarrived
+	// nodes. Zero disables the watchdog.
+	roundDeadline time.Duration
 }
 
 func defaultConfig() config {
@@ -61,6 +69,28 @@ func WithWorkers(k int) Option {
 			return fmt.Errorf("clique: worker count must be non-negative, got %d", k)
 		}
 		c.workers = k
+		return nil
+	}
+}
+
+// WithRoundDeadline arms the round watchdog: if a round of a blocking run
+// (Run/RunContext) fails to turn over within d, the run fails with an error
+// wrapping ErrRoundDeadline that names the nodes that had not arrived at the
+// barrier, instead of hanging forever on a stalled or wedged node. Parked
+// nodes and injected stalls are woken immediately; a node blocked inside its
+// own compute phase cannot be reaped (goroutines are not killable) but the
+// run's error reporting no longer waits on it reaching the barrier. d must
+// exceed the longest legitimate round (compute plus delivery) of the
+// workload, or healthy slow rounds will be reported as failures. The
+// watchdog is a wall-clock mechanism: whether a run that straddles the
+// deadline fails is timing-dependent, unlike injected faults, which are
+// deterministic. RunRounds is engine-driven and does not use the watchdog.
+func WithRoundDeadline(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("clique: round deadline must be positive, got %v", d)
+		}
+		c.roundDeadline = d
 		return nil
 	}
 }

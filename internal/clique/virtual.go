@@ -96,6 +96,43 @@ func NewMux(nd Exchanger) *Mux {
 	return m
 }
 
+// runFailer is implemented by exchangers that can record a root-cause
+// failure for their whole run: *Node forwards to Network.setFailure, *VNode
+// recurses down its own Mux. Mux.fail uses it to propagate an instance
+// panic to the physical network, so peer nodes parked at the engine barrier
+// fail fast instead of deadlocking on the crashed node's missing arrival.
+type runFailer interface {
+	failRun(err error)
+}
+
+// failRun implements runFailer: the panic becomes the run's engine failure,
+// waking parked peers with the root cause at their next exchange.
+func (nd *Node) failRun(err error) {
+	nd.nw.setFailure(err)
+}
+
+// failRun implements runFailer for stacked Muxes by cascading the failure
+// down to the underlying exchanger.
+func (v *VNode) failRun(err error) {
+	v.mux.fail(err)
+}
+
+// fail records err as the Mux's failure (first writer wins), wakes every
+// instance parked at the Mux barrier, and propagates the failure to the
+// underlying exchanger so the physical run fails as a whole. Callers must
+// NOT hold m.mu.
+func (m *Mux) fail(err error) {
+	if f, ok := m.nd.(runFailer); ok {
+		f.failRun(err)
+	}
+	m.mu.Lock()
+	if m.failed == nil {
+		m.failed = err
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
 // Instance registers a new virtual node for the logical instance with the
 // given identifier. Identifiers must be non-negative and unique per Mux, and
 // identical across all physical nodes participating in the same logical
@@ -152,7 +189,18 @@ func (m *Mux) Run(programs map[int]func(Exchanger) error) error {
 			defer vn.Close()
 			defer func() {
 				if r := recover(); r != nil {
-					errs[slot] = fmt.Errorf("clique: instance %d panicked: %v", id, r)
+					if _, injected := r.(*injectedPanic); injected {
+						errs[slot] = nodePanicError(vn.ID(), r)
+					} else {
+						errs[slot] = fmt.Errorf("clique: instance %d panicked: %v", id, r)
+					}
+					// Same fail-fast rule as Network.RunContext: a panic is a
+					// crash of the whole run, not of one instance. Without the
+					// broadcast the physical barrier would wait forever for
+					// this node's exchange (the panic may have fired inside
+					// deliverLocked, before the physical arrival), deadlocking
+					// every other physical node.
+					m.fail(errs[slot])
 				}
 			}()
 			errs[slot] = programs[id](vn)
@@ -317,9 +365,12 @@ func (v *VNode) SendFramed(to int, data Packet, count, modelWords int) {
 // engine-owned and valid until this instance's next Exchange call.
 func (v *VNode) Exchange() (Inbox, error) {
 	m := v.mux
+	// Deferred so a panic inside the physical exchange (an injected fault, a
+	// delivery panic) does not leave the Mux lock held: Run's recovery must be
+	// able to take it to broadcast the failure.
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := v.barrierLocked(false); err != nil {
-		m.mu.Unlock()
 		return nil, err
 	}
 	inbox := m.inboxes[v.instance]
@@ -327,8 +378,6 @@ func (v *VNode) Exchange() (Inbox, error) {
 	if inbox == nil {
 		inbox = m.getBoxLocked()
 	}
-	m.mu.Unlock()
-
 	v.round++
 	v.prevBox = inbox
 	return inbox, nil
@@ -344,9 +393,10 @@ func (v *VNode) Exchange() (Inbox, error) {
 // this instance.
 func (v *VNode) ExchangeFlat() (FlatInbox, error) {
 	m := v.mux
+	// Deferred for the same panic-safety reason as Exchange.
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := v.barrierLocked(true); err != nil {
-		m.mu.Unlock()
 		return nil, err
 	}
 	var flat FlatInbox
@@ -355,8 +405,6 @@ func (v *VNode) ExchangeFlat() (FlatInbox, error) {
 	} else if buf := v.flatRing[v.flatSlot]; buf != nil {
 		flat = FlatInbox(*buf)
 	}
-	m.mu.Unlock()
-
 	v.round++
 	return flat, nil
 }

@@ -1,7 +1,9 @@
 package clique
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -178,6 +180,111 @@ func TestMuxPropagatesInstanceError(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("expected instance error to propagate")
+	}
+}
+
+// TestMuxPanicFailsRunFast pins the fail-fast rule on the multiplexed path:
+// a panic inside a Mux instance — whether injected by the engine's fault
+// plan mid physical exchange, or raised by the instance program itself —
+// must fail the whole run with the panic as root cause. Before the fix, the
+// Mux's recovery downgraded the panic to a graceful instance error without
+// broadcasting a failure, so peer nodes deadlocked at the physical barrier
+// waiting for the crashed node's exchange (the bug only reproduces on the
+// Mux path, which square-n routing never takes).
+func TestMuxPanicFailsRunFast(t *testing.T) {
+	t.Parallel()
+	const n, rounds = 4, 4
+
+	muxProgram := func(sums []int64, boom func(ex Exchanger, r int)) func(*Node) error {
+		relay := func(base Word) func(Exchanger) error {
+			return func(ex Exchanger) error {
+				acc := int64(base) * int64(ex.ID()+1)
+				for r := 0; r < rounds; r++ {
+					if boom != nil {
+						boom(ex, r)
+					}
+					ex.Send((ex.ID()+r+1)%ex.N(), Packet{base, Word(ex.ID())})
+					inbox, err := ex.Exchange()
+					if err != nil {
+						return err
+					}
+					for from := 0; from < ex.N(); from++ {
+						for _, p := range inbox.From(from) {
+							acc += int64(p[0]) * int64(p[1]+1)
+						}
+					}
+				}
+				if sums != nil {
+					sums[ex.ID()] += acc
+				}
+				return nil
+			}
+		}
+		return func(nd *Node) error {
+			mux := NewMux(nd)
+			return mux.Run(map[int]func(Exchanger) error{
+				0: relay(1000),
+				1: relay(2000),
+			})
+		}
+	}
+
+	for name, tc := range map[string]struct {
+		arm  func(nw *Network)
+		boom func(ex Exchanger, r int)
+		want string
+	}{
+		"injected-mid-exchange": {
+			arm: func(nw *Network) {
+				nw.SetFaultPlan(&FaultPlan{Faults: []Fault{{Kind: FaultPanic, Node: 2, Round: 1}}})
+			},
+			want: "node 2 panicked in round 1",
+		},
+		"instance-program-panic": {
+			boom: func(ex Exchanger, r int) {
+				if ex.ID() == 2 && r == 1 {
+					panic("instance bug")
+				}
+			},
+			want: "panicked",
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			nw, err := New(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer nw.Close()
+			golden := make([]int64, n)
+			if err := nw.Run(muxProgram(golden, nil)); err != nil {
+				t.Fatalf("fault-free run failed: %v", err)
+			}
+
+			if tc.arm != nil {
+				tc.arm(nw)
+			}
+			err = nw.Run(muxProgram(nil, tc.boom))
+			if err == nil {
+				t.Fatal("panicked run reported success")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the panic root cause %q", err, tc.want)
+			}
+			if tc.arm != nil && !errors.Is(err, ErrFaultInjected) {
+				t.Fatalf("injected panic lost its ErrFaultInjected identity: %v", err)
+			}
+
+			// A failed multiplexed run must not poison the engine.
+			again := make([]int64, n)
+			if err := nw.Run(muxProgram(again, nil)); err != nil {
+				t.Fatalf("clean run after mux panic failed: %v", err)
+			}
+			for i := range golden {
+				if golden[i] != again[i] {
+					t.Fatalf("node %d: post-panic run diverged: %d != %d", i, again[i], golden[i])
+				}
+			}
+		})
 	}
 }
 

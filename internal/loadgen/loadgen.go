@@ -37,6 +37,17 @@ type Config struct {
 	// BEFORE the measured pass, so the reported throughput and latencies
 	// never include comparison time — verified numbers stay honest.
 	Verify bool
+	// FaultEvery, when positive, issues every FaultEvery-th operation of each
+	// stream with an injected cancellation at round 1 (a deterministic
+	// transient fault). Without retries those operations fail and are counted
+	// per stream; with Retries > 0 they recover and must still verify against
+	// the golden.
+	FaultEvery int
+	// Retries and RetryBackoff configure WithRetry on the injected-fault
+	// operations (fault-free operations run without a retry budget, keeping
+	// the common path identical to a plain load run).
+	Retries      int
+	RetryBackoff time.Duration
 }
 
 // Result is the outcome of one load run.
@@ -58,6 +69,21 @@ type Result struct {
 	// Config.Verify is off). The measured pass runs the same operation count
 	// again without comparisons.
 	Verified int
+	// SucceededOps and FailedOps split TotalOps for the measured pass: an
+	// operation error no longer aborts the measured window — it is counted
+	// against its stream and the stream keeps issuing operations. OpsPerSec
+	// and the latency percentiles cover successful operations only.
+	SucceededOps int
+	FailedOps    int
+	// StreamErrors is the per-stream failed-operation count of the measured
+	// pass (always Streams entries).
+	StreamErrors []int
+	// FirstError is the first operation error observed in the measured pass
+	// (stream order, then op order), "" when every operation succeeded.
+	FirstError string
+	// Retries is the number of transparent re-runs WithRetry performed during
+	// the measured pass (from the handle's CumulativeStats).
+	Retries int64
 }
 
 // golden holds the serial reference results of the run's workloads.
@@ -91,6 +117,10 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Concurrency < 1 || cfg.Streams < 1 || cfg.OpsPerStream < 1 {
 		return Result{}, fmt.Errorf("loadgen: concurrency, streams and ops must be positive (got k=%d, streams=%d, ops=%d)",
 			cfg.Concurrency, cfg.Streams, cfg.OpsPerStream)
+	}
+	if cfg.FaultEvery < 0 || cfg.Retries < 0 {
+		return Result{}, fmt.Errorf("loadgen: fault interval and retries must be non-negative (got every=%d, retries=%d)",
+			cfg.FaultEvery, cfg.Retries)
 	}
 	wantRoute := cfg.Workload == "route" || cfg.Workload == "mixed"
 	wantSort := cfg.Workload == "sort" || cfg.Workload == "mixed"
@@ -134,12 +164,28 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 
 	totalOps := cfg.Streams * cfg.OpsPerStream
 
+	// Injected-fault operations carry their own option set: a deterministic
+	// cancellation at round 1, plus the configured retry budget.
+	var faultOpts []cc.Option
+	if cfg.FaultEvery > 0 {
+		faultOpts = append(faultOpts, cc.WithInjectedCancel(1))
+		if cfg.Retries > 0 {
+			faultOpts = append(faultOpts, cc.WithRetry(cfg.Retries, cfg.RetryBackoff))
+		}
+	}
+
 	// pass drives Streams concurrent goroutines of OpsPerStream operations
-	// each against the pooled handle. With verify set every result is
-	// deep-compared against the serial golden; with latencies non-nil the
-	// per-op durations are recorded.
-	pass := func(latencies []time.Duration, verify bool) (time.Duration, error) {
-		errs := make([]error, cfg.Streams)
+	// each against the pooled handle. An operation error is counted against
+	// its stream and the stream moves on — the window is never aborted — but
+	// a verification MISMATCH (verify set, result diverging from the serial
+	// golden) fails the whole run: it means a successful operation returned
+	// wrong data, which no error budget excuses. With latencies non-nil the
+	// per-op durations of successful operations are recorded.
+	pass := func(latencies []time.Duration, ok []bool, verify bool) (time.Duration, []int, int, string, error) {
+		streamErrs := make([]int, cfg.Streams)
+		firstErrs := make([]string, cfg.Streams)
+		mismatches := make([]error, cfg.Streams)
+		verifiedBy := make([]int, cfg.Streams)
 		var wg sync.WaitGroup
 		start := time.Now()
 		for s := 0; s < cfg.Streams; s++ {
@@ -148,69 +194,110 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 				defer wg.Done()
 				for op := 0; op < cfg.OpsPerStream; op++ {
 					doRoute := wantRoute && (!wantSort || (s+op)%2 == 0)
+					var opts []cc.Option
+					if cfg.FaultEvery > 0 && (op+1)%cfg.FaultEvery == 0 {
+						opts = faultOpts
+					}
 					opStart := time.Now()
 					var routed *cc.RouteResult
 					var sorted *cc.SortResult
 					var err error
 					if doRoute {
-						routed, err = cl.Route(ctx, msgs)
+						routed, err = cl.Route(ctx, msgs, opts...)
 					} else {
-						sorted, err = cl.Sort(ctx, values)
+						sorted, err = cl.Sort(ctx, values, opts...)
+					}
+					if err != nil {
+						streamErrs[s]++
+						if firstErrs[s] == "" {
+							firstErrs[s] = fmt.Sprintf("stream %d op %d: %v", s, op, err)
+						}
+						continue
 					}
 					if latencies != nil {
 						latencies[s*cfg.OpsPerStream+op] = time.Since(opStart)
+						ok[s*cfg.OpsPerStream+op] = true
 					}
-					if err == nil && verify {
+					if verify {
+						var vErr error
 						if doRoute {
-							err = g.checkRoute(routed)
+							vErr = g.checkRoute(routed)
 						} else {
-							err = g.checkSort(sorted)
+							vErr = g.checkSort(sorted)
 						}
-					}
-					if err != nil {
-						errs[s] = fmt.Errorf("stream %d op %d: %w", s, op, err)
-						return
+						if vErr != nil {
+							mismatches[s] = fmt.Errorf("stream %d op %d: %w", s, op, vErr)
+							return
+						}
+						verifiedBy[s]++
 					}
 				}
 			}(s)
 		}
 		wg.Wait()
 		wall := time.Since(start)
-		for _, err := range errs {
+		for _, err := range mismatches {
 			if err != nil {
-				return wall, err
+				return wall, nil, 0, "", err
 			}
 		}
-		return wall, nil
+		verified := 0
+		firstErr := ""
+		for s := 0; s < cfg.Streams; s++ {
+			verified += verifiedBy[s]
+			if firstErr == "" && firstErrs[s] != "" {
+				firstErr = firstErrs[s]
+			}
+		}
+		return wall, streamErrs, verified, firstErr, nil
 	}
 
 	// Verification pass first (results checked, nothing measured), then the
 	// measured pass with no comparison work inside the timed window.
 	verified := 0
 	if cfg.Verify {
-		if _, err := pass(nil, true); err != nil {
+		var err error
+		if _, _, verified, _, err = pass(nil, nil, true); err != nil {
 			return Result{}, err
 		}
-		verified = totalOps
 	}
+	retryBase := cl.CumulativeStats().Retries
 	latencies := make([]time.Duration, totalOps)
-	wall, err := pass(latencies, false)
+	okOps := make([]bool, totalOps)
+	wall, streamErrs, _, firstErr, err := pass(latencies, okOps, false)
 	if err != nil {
 		return Result{}, err
 	}
+	retries := cl.CumulativeStats().Retries - retryBase
 
-	slices.Sort(latencies)
+	// Percentiles and throughput speak for successful operations only.
+	succeeded := latencies[:0]
+	for i, d := range latencies {
+		if okOps[i] {
+			succeeded = append(succeeded, d)
+		}
+	}
+	failed := 0
+	for _, c := range streamErrs {
+		failed += c
+	}
+	slices.Sort(succeeded)
 	res := Result{
-		Config:     cfg,
-		Cores:      runtime.NumCPU(),
-		Gomaxprocs: runtime.GOMAXPROCS(0),
-		TotalOps:   totalOps,
-		Wall:       wall,
-		OpsPerSec:  float64(totalOps) / wall.Seconds(),
-		P50:        percentile(latencies, 50),
-		P90:        percentile(latencies, 90),
-		P99:        percentile(latencies, 99),
-		Verified:   verified,
+		Config:       cfg,
+		Cores:        runtime.NumCPU(),
+		Gomaxprocs:   runtime.GOMAXPROCS(0),
+		TotalOps:     totalOps,
+		Wall:         wall,
+		OpsPerSec:    float64(len(succeeded)) / wall.Seconds(),
+		P50:          percentile(succeeded, 50),
+		P90:          percentile(succeeded, 90),
+		P99:          percentile(succeeded, 99),
+		Verified:     verified,
+		SucceededOps: len(succeeded),
+		FailedOps:    failed,
+		StreamErrors: streamErrs,
+		FirstError:   firstErr,
+		Retries:      retries,
 	}
 	return res, nil
 }

@@ -25,11 +25,59 @@ func TestRunMixedVerified(t *testing.T) {
 	}
 }
 
+// TestRunRecordsStreamErrors injects a deterministic fault into every 2nd op
+// of each stream with no retry budget: the measured window must complete with
+// the failures counted per stream instead of aborting, and the percentiles
+// must speak for the successful operations only.
+func TestRunRecordsStreamErrors(t *testing.T) {
+	cfg := Config{N: 16, Concurrency: 2, Streams: 2, OpsPerStream: 4, Workload: "route", FaultEvery: 2}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps != 8 || res.FailedOps != 4 || res.SucceededOps != 4 {
+		t.Fatalf("TotalOps=%d FailedOps=%d SucceededOps=%d, want 8/4/4", res.TotalOps, res.FailedOps, res.SucceededOps)
+	}
+	if len(res.StreamErrors) != 2 || res.StreamErrors[0] != 2 || res.StreamErrors[1] != 2 {
+		t.Fatalf("StreamErrors = %v, want [2 2]", res.StreamErrors)
+	}
+	if res.FirstError == "" {
+		t.Fatal("FirstError empty with failed operations")
+	}
+	if res.P50 <= 0 {
+		t.Fatalf("percentiles must cover the successful ops: p50=%v", res.P50)
+	}
+}
+
+// TestRunRetriesRecoverInjectedFaults gives the injected-fault operations a
+// retry budget: every operation must recover (the fault plan is consumed by
+// the first attempt), verify bit-identical to the serial golden, and the
+// retry count must surface in the result.
+func TestRunRetriesRecoverInjectedFaults(t *testing.T) {
+	cfg := Config{N: 16, Concurrency: 2, Streams: 2, OpsPerStream: 4, Workload: "mixed", Verify: true, FaultEvery: 2, Retries: 1}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedOps != 0 || res.SucceededOps != 8 {
+		t.Fatalf("FailedOps=%d SucceededOps=%d, want 0/8", res.FailedOps, res.SucceededOps)
+	}
+	if res.Verified != 8 {
+		t.Fatalf("Verified=%d, want 8", res.Verified)
+	}
+	// 2 faulted ops per stream in the measured pass, one retry each.
+	if res.Retries != 4 {
+		t.Fatalf("Retries=%d, want 4", res.Retries)
+	}
+}
+
 func TestRunRejectsBadConfig(t *testing.T) {
 	for _, cfg := range []Config{
 		{N: 0, Concurrency: 1, Streams: 1, OpsPerStream: 1, Workload: "route"},
 		{N: 8, Concurrency: 0, Streams: 1, OpsPerStream: 1, Workload: "route"},
 		{N: 8, Concurrency: 1, Streams: 1, OpsPerStream: 1, Workload: "nope"},
+		{N: 8, Concurrency: 1, Streams: 1, OpsPerStream: 1, Workload: "route", FaultEvery: -1},
+		{N: 8, Concurrency: 1, Streams: 1, OpsPerStream: 1, Workload: "route", Retries: -1},
 	} {
 		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Fatalf("config %+v accepted, want error", cfg)

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"testing"
+
+	"congestedclique/internal/clique"
+)
+
+func TestChaosScenariosValidate(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, sc := range ChaosScenarios() {
+		if sc.Name == "" || sc.Description == "" {
+			t.Fatalf("chaos scenario %+v missing name or description", sc)
+		}
+		if seen[sc.Name] {
+			t.Fatalf("duplicate chaos scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		for _, n := range []int{8, 16, 64, 256} {
+			if err := ValidateChaosScenario(sc, n); err != nil {
+				t.Fatalf("scenario %s invalid at n=%d: %v", sc.Name, n, err)
+			}
+		}
+		if sc.Retries < 0 {
+			t.Fatalf("scenario %s has negative retries", sc.Name)
+		}
+	}
+}
+
+func TestChaosScenariosDeterministic(t *testing.T) {
+	for _, sc := range ChaosScenarios() {
+		a := sc.Faults(64)
+		b := sc.Faults(64)
+		if len(a) != len(b) {
+			t.Fatalf("scenario %s: fault schedule length varies between calls", sc.Name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("scenario %s: fault %d differs between calls: %+v vs %+v", sc.Name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestChaosScenarioByName(t *testing.T) {
+	for _, name := range ChaosScenarioNames() {
+		sc, ok := ChaosScenarioByName(name)
+		if !ok || sc.Name != name {
+			t.Fatalf("ChaosScenarioByName(%q) = %+v, %v", name, sc, ok)
+		}
+	}
+	if _, ok := ChaosScenarioByName("no-such-scenario"); ok {
+		t.Fatal("ChaosScenarioByName accepted an unknown name")
+	}
+}
+
+func TestValidateChaosScenarioRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   ChaosScenario
+	}{
+		{"unknown op", ChaosScenario{Name: "x", Op: "mode", Faults: func(int) []clique.Fault { return nil }, WantRecover: true}},
+		{"nil faults", ChaosScenario{Name: "x", Op: ChaosRoute, WantRecover: true}},
+		{"bad target", ChaosScenario{Name: "x", Op: ChaosRoute, WantRecover: true,
+			Faults: func(n int) []clique.Fault { return []clique.Fault{{Kind: clique.FaultPanic, Node: n, Round: 0}} }}},
+		{"no expectation", ChaosScenario{Name: "x", Op: ChaosRoute,
+			Faults: func(int) []clique.Fault { return nil }}},
+	}
+	for _, tc := range cases {
+		if err := ValidateChaosScenario(tc.sc, 8); err == nil {
+			t.Fatalf("%s: ValidateChaosScenario accepted an invalid scenario", tc.name)
+		}
+	}
+}

@@ -2,9 +2,12 @@ package congestedclique
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"congestedclique/internal/baseline"
 	"congestedclique/internal/clique"
@@ -54,6 +57,12 @@ type Clique struct {
 	// after Close so CumulativeStats stays readable).
 	idle    []*execUnit
 	engines []*execUnit
+
+	// retries counts WithRetry re-run attempts; failedOps counts operations
+	// that passed validation but ultimately returned an error (see
+	// CumulativeStats).
+	retries   atomic.Int64
+	failedOps atomic.Int64
 }
 
 // execUnit is one poolable executor: an engine plus the input staging and
@@ -182,7 +191,10 @@ func (c *Clique) CumulativeStats() CumulativeStats {
 	for _, u := range engines {
 		total.Merge(u.nw.CumulativeMetrics())
 	}
-	return statsFromCumulative(total)
+	cs := statsFromCumulative(total)
+	cs.Retries = c.retries.Load()
+	cs.FailedOperations = c.failedOps.Load()
+	return cs
 }
 
 // checkout obtains exclusive ownership of one executor, building a new one
@@ -243,6 +255,100 @@ func (c *Clique) release(u *execUnit) {
 	c.slots <- struct{}{}
 }
 
+// runOp is the execution wrapper every operation body runs under: it checks
+// an engine out of the pool, arms the call's fault plan (first attempt
+// only), runs body, and — when the failure is transient (see ErrTransient)
+// and the call carries a WithRetry budget — re-runs on a freshly
+// checked-out engine with exponential backoff. Failures are classified
+// before the retry decision, so the error a caller finally sees satisfies
+// errors.Is(err, ErrTransient) exactly when a (larger) retry budget could
+// have absorbed it. Engine-level cumulative statistics only ever count
+// completed runs, so a retried operation contributes exactly its successful
+// attempt.
+func runOp[T any](c *Clique, ctx context.Context, cfg config, body func(*execUnit) (T, error)) (T, error) {
+	var zero T
+	var err error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if werr := sleepBackoff(ctx, cfg.retryBackoff, attempt-1); werr != nil {
+				err = werr
+				break
+			}
+		}
+		var u *execUnit
+		u, err = c.checkout(ctx)
+		if err != nil {
+			// Pool-level failure (closed handle, cancelled wait): permanent.
+			break
+		}
+		var res T
+		res, err = func() (T, error) {
+			defer func() {
+				if len(cfg.faults) > 0 {
+					// Disarm before the unit returns to the pool: a plan the
+					// run consumed is already gone, and one that never ran
+					// (body failed before the engine run) must not leak into
+					// another caller's operation.
+					u.nw.SetFaultPlan(nil)
+				}
+				c.release(u)
+			}()
+			if attempt == 0 && len(cfg.faults) > 0 {
+				u.nw.SetFaultPlan(&clique.FaultPlan{Faults: cfg.faults})
+			}
+			return body(u)
+		}()
+		if err == nil {
+			return res, nil
+		}
+		err = classifyTransient(err)
+		if attempt >= cfg.retries || !errors.Is(err, ErrTransient) {
+			break
+		}
+	}
+	c.failedOps.Add(1)
+	return zero, err
+}
+
+// sleepBackoff sleeps the exponential backoff of retry number retry
+// (0-based): backoff << retry, capped at 16 doublings. A cancelled context
+// cuts the sleep short and fails the operation.
+func sleepBackoff(ctx context.Context, backoff time.Duration, retry int) error {
+	if backoff <= 0 {
+		return nil
+	}
+	if retry > 16 {
+		retry = 16
+	}
+	t := time.NewTimer(backoff << retry)
+	defer t.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-t.C:
+		return nil
+	case <-done:
+		return fmt.Errorf("congestedclique: operation cancelled during retry backoff: %w", ctx.Err())
+	}
+}
+
+// validateFaultCfg rejects malformed injection schedules (out-of-range
+// target nodes, and so on) before an engine is checked out; fault-free calls
+// pay nothing.
+func validateFaultCfg(n int, cfg config) error {
+	if len(cfg.faults) == 0 {
+		return nil
+	}
+	plan := clique.FaultPlan{Faults: cfg.faults}
+	if err := plan.Validate(n); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidInstance, err)
+	}
+	return nil
+}
+
 // callConfig layers per-call options over the handle defaults.
 func (c *Clique) callConfig(opts []Option) (config, error) {
 	return applyCallOptions(c.cfg, opts)
@@ -296,24 +402,24 @@ func (c *Clique) Route(ctx context.Context, msgs [][]Message, opts ...Option) (*
 	if err := validateRoute(c.n, msgs); err != nil {
 		return nil, err
 	}
-	u, err := c.checkout(ctx)
-	if err != nil {
+	if err := validateFaultCfg(c.n, cfg); err != nil {
 		return nil, err
 	}
-	defer c.release(u)
-	return u.route(ctx, cfg, msgs)
+	return runOp(c, ctx, cfg, func(u *execUnit) (*RouteResult, error) {
+		return u.route(ctx, cfg, msgs)
+	})
 }
 
 // routeValidated runs Route on an instance the caller has already validated
 // (the one-shot shim validates before building the handle, so the happy
 // path pays one validation scan, not two).
 func (c *Clique) routeValidated(ctx context.Context, msgs [][]Message) (*RouteResult, error) {
-	u, err := c.checkout(ctx)
-	if err != nil {
+	if err := validateFaultCfg(c.n, c.cfg); err != nil {
 		return nil, err
 	}
-	defer c.release(u)
-	return u.route(ctx, c.cfg, msgs)
+	return runOp(c, ctx, c.cfg, func(u *execUnit) (*RouteResult, error) {
+		return u.route(ctx, c.cfg, msgs)
+	})
 }
 
 // route is the routing pipeline body; the caller owns the unit and has
@@ -411,12 +517,12 @@ func (c *Clique) Sort(ctx context.Context, values [][]int64, opts ...Option) (*S
 	if err := rejectNaiveDirectSort(cfg); err != nil {
 		return nil, err
 	}
-	u, err := c.checkout(ctx)
-	if err != nil {
+	if err := validateFaultCfg(c.n, cfg); err != nil {
 		return nil, err
 	}
-	defer c.release(u)
-	return u.sortStaged(ctx, cfg, u.stageValues(values))
+	return runOp(c, ctx, cfg, func(u *execUnit) (*SortResult, error) {
+		return u.sortStaged(ctx, cfg, u.stageValues(values))
+	})
 }
 
 // SortKeys is Sort for callers that already carry Key structures (for
@@ -432,12 +538,12 @@ func (c *Clique) SortKeys(ctx context.Context, keys [][]Key, opts ...Option) (*S
 	if err := rejectNaiveDirectSort(cfg); err != nil {
 		return nil, err
 	}
-	u, err := c.checkout(ctx)
-	if err != nil {
+	if err := validateFaultCfg(c.n, cfg); err != nil {
 		return nil, err
 	}
-	defer c.release(u)
-	return u.sortKeys(ctx, cfg, keys)
+	return runOp(c, ctx, cfg, func(u *execUnit) (*SortResult, error) {
+		return u.sortKeys(ctx, cfg, keys)
+	})
 }
 
 // sortKeysValidated is SortKeys minus the validation scan, for the one-shot
@@ -446,12 +552,12 @@ func (c *Clique) sortKeysValidated(ctx context.Context, keys [][]Key) (*SortResu
 	if err := rejectNaiveDirectSort(c.cfg); err != nil {
 		return nil, err
 	}
-	u, err := c.checkout(ctx)
-	if err != nil {
+	if err := validateFaultCfg(c.n, c.cfg); err != nil {
 		return nil, err
 	}
-	defer c.release(u)
-	return u.sortKeys(ctx, c.cfg, keys)
+	return runOp(c, ctx, c.cfg, func(u *execUnit) (*SortResult, error) {
+		return u.sortKeys(ctx, c.cfg, keys)
+	})
 }
 
 // rejectNaiveDirectSort is the pre-checkout guard shared by the sorting
@@ -554,18 +660,19 @@ func (u *execUnit) sortStaged(ctx context.Context, cfg config, inputs [][]core.K
 // distinct values present in the system; duplicate values share an index
 // (Corollary 4.6).
 func (c *Clique) Rank(ctx context.Context, values [][]int64, opts ...Option) (*RankResult, error) {
-	if _, err := c.sortBasedConfig("Rank", opts); err != nil {
+	cfg, err := c.sortBasedConfig("Rank", opts)
+	if err != nil {
 		return nil, err
 	}
 	if err := validateValues(c.n, values); err != nil {
 		return nil, err
 	}
-	u, err := c.checkout(ctx)
-	if err != nil {
+	if err := validateFaultCfg(c.n, cfg); err != nil {
 		return nil, err
 	}
-	defer c.release(u)
-	return u.rank(ctx, values)
+	return runOp(c, ctx, cfg, func(u *execUnit) (*RankResult, error) {
+		return u.rank(ctx, values)
+	})
 }
 
 // rank is the rank pipeline body (the caller owns the unit).
@@ -613,112 +720,126 @@ func (c *Clique) Median(ctx context.Context, values [][]int64, opts ...Option) (
 	return c.selectWith(ctx, "Median", values, opts, core.Median)
 }
 
+// keyStats pairs a selection result with its execution statistics so the
+// single-key operations can run under the generic retry wrapper.
+type keyStats struct {
+	key   Key
+	stats Stats
+}
+
 // selectWith runs one single-key selection protocol (SelectKth, Median).
 func (c *Clique) selectWith(ctx context.Context, op string, values [][]int64, opts []Option, pick func(clique.Exchanger, []core.Key) (core.Key, error)) (Key, Stats, error) {
-	if _, err := c.sortBasedConfig(op, opts); err != nil {
+	cfg, err := c.sortBasedConfig(op, opts)
+	if err != nil {
 		return Key{}, Stats{}, err
 	}
 	if err := validateValues(c.n, values); err != nil {
 		return Key{}, Stats{}, err
 	}
-	u, err := c.checkout(ctx)
+	if err := validateFaultCfg(c.n, cfg); err != nil {
+		return Key{}, Stats{}, err
+	}
+	res, err := runOp(c, ctx, cfg, func(u *execUnit) (keyStats, error) {
+		inputs := u.stageValues(values)
+		if u.keyOut == nil {
+			u.keyOut = make([]core.Key, u.n)
+		}
+		picked := u.keyOut
+		runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
+			res, sErr := pick(nd, inputs[nd.ID()])
+			if sErr != nil {
+				return sErr
+			}
+			picked[nd.ID()] = res
+			return nil
+		})
+		if runErr != nil {
+			return keyStats{}, runErr
+		}
+		return keyStats{key: fromCoreKey(picked[0]), stats: statsFromMetrics(u.nw.Metrics())}, nil
+	})
 	if err != nil {
 		return Key{}, Stats{}, err
 	}
-	defer c.release(u)
-	inputs := u.stageValues(values)
-	if u.keyOut == nil {
-		u.keyOut = make([]core.Key, u.n)
-	}
-	picked := u.keyOut
-	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
-		res, sErr := pick(nd, inputs[nd.ID()])
-		if sErr != nil {
-			return sErr
-		}
-		picked[nd.ID()] = res
-		return nil
-	})
-	if runErr != nil {
-		return Key{}, Stats{}, runErr
-	}
-	return fromCoreKey(picked[0]), statsFromMetrics(u.nw.Metrics()), nil
+	return res.key, res.stats, nil
 }
 
 // Mode returns the most frequent value among all inputs (smallest value wins
 // ties), computed by sorting plus one summary round.
 func (c *Clique) Mode(ctx context.Context, values [][]int64, opts ...Option) (*ModeResult, error) {
-	if _, err := c.sortBasedConfig("Mode", opts); err != nil {
+	cfg, err := c.sortBasedConfig("Mode", opts)
+	if err != nil {
 		return nil, err
 	}
 	if err := validateValues(c.n, values); err != nil {
 		return nil, err
 	}
-	u, err := c.checkout(ctx)
-	if err != nil {
+	if err := validateFaultCfg(c.n, cfg); err != nil {
 		return nil, err
 	}
-	defer c.release(u)
-	inputs := u.stageValues(values)
-	var mode core.ModeResult
-	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
-		res, mErr := core.Mode(nd, inputs[nd.ID()])
-		if mErr != nil {
-			return mErr
+	return runOp(c, ctx, cfg, func(u *execUnit) (*ModeResult, error) {
+		inputs := u.stageValues(values)
+		var mode core.ModeResult
+		runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
+			res, mErr := core.Mode(nd, inputs[nd.ID()])
+			if mErr != nil {
+				return mErr
+			}
+			if nd.ID() == 0 {
+				mode = *res
+			}
+			return nil
+		})
+		if runErr != nil {
+			return nil, runErr
 		}
-		if nd.ID() == 0 {
-			mode = *res
-		}
-		return nil
+		return &ModeResult{Value: mode.Value, Count: mode.Count, Stats: statsFromMetrics(u.nw.Metrics())}, nil
 	})
-	if runErr != nil {
-		return nil, runErr
-	}
-	return &ModeResult{Value: mode.Value, Count: mode.Count, Stats: statsFromMetrics(u.nw.Metrics())}, nil
 }
 
 // CountSmallKeys counts keys drawn from a small domain [0, domain) in two
 // rounds of single-word messages (Section 6.3). The domain must satisfy
 // domain * ceil(log2(n+1))^2 <= n.
 func (c *Clique) CountSmallKeys(ctx context.Context, values [][]int, domain int, opts ...Option) (*HistogramResult, error) {
-	if _, err := c.sortBasedConfig("CountSmallKeys", opts); err != nil {
+	cfg, err := c.sortBasedConfig("CountSmallKeys", opts)
+	if err != nil {
 		return nil, err
 	}
 	if err := validateSmallKeys(c.n, values, domain); err != nil {
 		return nil, err
 	}
-	u, err := c.checkout(ctx)
-	if err != nil {
+	if err := validateFaultCfg(c.n, cfg); err != nil {
 		return nil, err
 	}
-	defer c.release(u)
-	inputs := u.intIn
-	for i := 0; i < u.n; i++ {
-		if i < len(values) {
-			inputs[i] = values[i]
-		} else {
-			inputs[i] = nil
+	return runOp(c, ctx, cfg, func(u *execUnit) (*HistogramResult, error) {
+		inputs := u.intIn
+		for i := 0; i < u.n; i++ {
+			if i < len(values) {
+				inputs[i] = values[i]
+			} else {
+				inputs[i] = nil
+			}
 		}
-	}
-	var counts []int64
-	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
-		res, cErr := core.SmallKeyCount(nd, inputs[nd.ID()], domain)
-		if cErr != nil {
-			return cErr
+		var counts []int64
+		runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
+			res, cErr := core.SmallKeyCount(nd, inputs[nd.ID()], domain)
+			if cErr != nil {
+				return cErr
+			}
+			if nd.ID() == 0 {
+				counts = res.Counts
+			}
+			return nil
+		})
+		// intIn aliases the caller's rows (unlike msgIn/keyIn, which hold
+		// unit-owned copies); drop the references so a long-lived handle never
+		// pins a past caller's memory.
+		clear(u.intIn)
+		if runErr != nil {
+			return nil, runErr
 		}
-		if nd.ID() == 0 {
-			counts = res.Counts
-		}
-		return nil
+		return &HistogramResult{Counts: counts, Stats: statsFromMetrics(u.nw.Metrics())}, nil
 	})
-	// intIn aliases the caller's rows (unlike msgIn/keyIn, which hold
-	// unit-owned copies); drop the references so a long-lived handle never
-	// pins a past caller's memory.
-	clear(u.intIn)
-	if runErr != nil {
-		return nil, runErr
-	}
-	return &HistogramResult{Counts: counts, Stats: statsFromMetrics(u.nw.Metrics())}, nil
 }
 
 // stageValues converts plain values into the unit's core-key staging

@@ -11,7 +11,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -515,4 +517,240 @@ func TestPoolValidationBeforeCheckout(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("validation blocked on a busy pool — it must run before checkout")
 	}
+}
+
+// TestPoolChaosHammer is the -race chaos hammer of the fault-injection
+// subsystem: 8 workers drive 512 mixed operations against a
+// WithMaxConcurrency(4) handle, with a seeded per-worker mix of clean
+// operations, injected panics (with and without a retry budget), injected
+// cancellations and absorbed stalls. Every failure must be a transient error
+// wrapping the expected sentinel, the handle must stay usable after every
+// failure (the next operations run on the same pool), every surviving result
+// must be bit-identical to the serial goldens, and the handle's cumulative
+// counters must account for every success, failure and retry exactly.
+func TestPoolChaosHammer(t *testing.T) {
+	t.Parallel()
+	const (
+		n       = 16
+		workers = 8
+		iters   = 64
+	)
+	g := newPoolGoldens(t, n)
+	ctx := context.Background()
+	cl, err := New(n, WithMaxConcurrency(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var succeeded, failed, retried atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			for it := 0; it < iters; it++ {
+				switch rng.Intn(6) {
+				case 0: // clean route
+					res, err := cl.Route(ctx, g.msgs)
+					if err == nil {
+						err = g.checkRoute(res)
+					}
+					if err != nil {
+						errs[w] = fmt.Errorf("worker %d iter %d clean route: %w", w, it, err)
+						return
+					}
+					succeeded.Add(1)
+				case 1: // clean sort
+					res, err := cl.Sort(ctx, g.values)
+					if err == nil {
+						err = g.checkSort(res)
+					}
+					if err != nil {
+						errs[w] = fmt.Errorf("worker %d iter %d clean sort: %w", w, it, err)
+						return
+					}
+					succeeded.Add(1)
+				case 2: // injected panic, no retry budget: must fail transient
+					_, err := cl.Route(ctx, g.msgs, WithInjectedPanic(rng.Intn(n), rng.Intn(3)))
+					if err == nil {
+						errs[w] = fmt.Errorf("worker %d iter %d: injected panic did not surface", w, it)
+						return
+					}
+					if !errors.Is(err, ErrTransient) || !errors.Is(err, ErrFaultInjected) {
+						errs[w] = fmt.Errorf("worker %d iter %d: panic error %v must wrap ErrTransient and ErrFaultInjected", w, it, err)
+						return
+					}
+					failed.Add(1)
+				case 3: // injected panic, one retry: must recover bit-identical
+					res, err := cl.Route(ctx, g.msgs, WithInjectedPanic(rng.Intn(n), rng.Intn(3)), WithRetry(1, 0))
+					if err == nil {
+						err = g.checkRoute(res)
+					}
+					if err != nil {
+						errs[w] = fmt.Errorf("worker %d iter %d retried panic route: %w", w, it, err)
+						return
+					}
+					succeeded.Add(1)
+					retried.Add(1)
+				case 4: // injected cancel, one retry: must recover bit-identical
+					res, err := cl.Sort(ctx, g.values, WithInjectedCancel(1), WithRetry(1, 0))
+					if err == nil {
+						err = g.checkSort(res)
+					}
+					if err != nil {
+						errs[w] = fmt.Errorf("worker %d iter %d retried cancel sort: %w", w, it, err)
+						return
+					}
+					succeeded.Add(1)
+					retried.Add(1)
+				case 5: // short stall, no deadline armed: absorbed, bit-identical
+					res, err := cl.Sort(ctx, g.values, WithInjectedStall(rng.Intn(n), 1, 200*time.Microsecond))
+					if err == nil {
+						err = g.checkSort(res)
+					}
+					if err != nil {
+						errs[w] = fmt.Errorf("worker %d iter %d stalled sort: %w", w, it, err)
+						return
+					}
+					succeeded.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := succeeded.Load() + failed.Load(); got != workers*iters {
+		t.Fatalf("accounted for %d operations, want %d", got, workers*iters)
+	}
+	// The cumulative counters must agree exactly with what the workers saw:
+	// Operations counts successes only, FailedOperations the final failures,
+	// Retries every transparent re-run (one per recovered injected fault).
+	cum := cl.CumulativeStats()
+	if int64(cum.Operations) != succeeded.Load() {
+		t.Fatalf("cumulative operations = %d, want %d", cum.Operations, succeeded.Load())
+	}
+	if cum.FailedOperations != failed.Load() {
+		t.Fatalf("cumulative failed operations = %d, want %d", cum.FailedOperations, failed.Load())
+	}
+	if cum.Retries != retried.Load() {
+		t.Fatalf("cumulative retries = %d, want %d", cum.Retries, retried.Load())
+	}
+	// The handle survived 512 chaotic operations; Close must still drain
+	// cleanly (the deferred Close would catch a failure, but assert the
+	// post-chaos handle also still runs a clean op first).
+	res, err := cl.Route(ctx, g.msgs)
+	if err != nil {
+		t.Fatalf("clean route after chaos: %v", err)
+	}
+	if err := g.checkRoute(res); err != nil {
+		t.Fatalf("post-chaos route diverged: %v", err)
+	}
+}
+
+// TestInjectedPanicNonSquareN pins fault injection on the multiplexed
+// routing path: non-square n runs Theorem 3.7's V1/V2 decomposition through
+// the Mux, where an injected panic fires inside the physical exchange driven
+// by a Mux instance goroutine. Before the Mux fail-fast fix this deadlocked
+// the whole run (the panic was downgraded to a graceful instance error and
+// peers waited forever at the engine barrier); it must instead fail fast as
+// a transient ErrFaultInjected, recover under WithRetry bit-identical to the
+// golden, and leave the handle usable.
+func TestInjectedPanicNonSquareN(t *testing.T) {
+	t.Parallel()
+	const n = 32 // not a perfect square: routing multiplexes sub-instances
+	g := newPoolGoldens(t, n)
+	ctx := context.Background()
+	cl, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := cl.Route(ctx, g.msgs, WithInjectedPanic(n/4, 2))
+		if err == nil {
+			t.Error("injected panic on the mux path did not surface")
+			return
+		}
+		if !errors.Is(err, ErrTransient) || !errors.Is(err, ErrFaultInjected) {
+			t.Errorf("mux-path panic error %v must wrap ErrTransient and ErrFaultInjected", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("injected panic on the mux path deadlocked the run")
+	}
+
+	res, err := cl.Route(ctx, g.msgs, WithInjectedPanic(n/4, 2), WithRetry(1, 0))
+	if err != nil {
+		t.Fatalf("retried mux-path panic did not recover: %v", err)
+	}
+	if err := g.checkRoute(res); err != nil {
+		t.Fatalf("recovered mux-path route diverged from golden: %v", err)
+	}
+}
+
+// FuzzPoolCancelAtRandomRound cancels Route operations at fuzzer-chosen
+// rounds, with and without a retry budget. Invariants: a cancellation that
+// fires surfaces as a deterministic transient error (two runs, identical
+// error text) naming the round; a retry recovers it bit-identical to the
+// golden; a cancellation scheduled past the last round never fires and the
+// operation succeeds; and the handle stays usable afterwards.
+func FuzzPoolCancelAtRandomRound(f *testing.F) {
+	f.Add(uint8(0), false)
+	f.Add(uint8(1), false)
+	f.Add(uint8(1), true)
+	f.Add(uint8(3), true)
+	f.Add(uint8(200), false)
+	const n = 8
+	msgs := benchRouteWorkload(n)
+	golden, err := Route(n, msgs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, round uint8, retry bool) {
+		ctx := context.Background()
+		cl, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		opts := []Option{WithInjectedCancel(int(round))}
+		if retry {
+			opts = append(opts, WithRetry(1, 0))
+		}
+		res, err := cl.Route(ctx, msgs, opts...)
+		if err != nil {
+			if retry {
+				t.Fatalf("round %d: retry must recover an injected cancellation, got %v", round, err)
+			}
+			if !errors.Is(err, ErrTransient) || !errors.Is(err, ErrFaultInjected) {
+				t.Fatalf("round %d: error %v must wrap ErrTransient and ErrFaultInjected", round, err)
+			}
+			_, err2 := cl.Route(ctx, msgs, opts...)
+			if err2 == nil || err2.Error() != err.Error() {
+				t.Fatalf("round %d: cancellation not deterministic: %q vs %q", round, err, err2)
+			}
+		} else if res.Stats != golden.Stats {
+			t.Fatalf("round %d: surviving run diverged from golden: %+v vs %+v", round, res.Stats, golden.Stats)
+		}
+		// The handle must stay usable after the injected failure.
+		clean, err := cl.Route(ctx, msgs)
+		if err != nil {
+			t.Fatalf("round %d: clean route after injection: %v", round, err)
+		}
+		if clean.Stats != golden.Stats {
+			t.Fatalf("round %d: post-injection route diverged from golden", round)
+		}
+	})
 }
