@@ -63,6 +63,29 @@ func appendFrameMessages(dst [][]clique.Word, frame clique.Packet) ([][]clique.W
 	return dst, nil
 }
 
+// AppendFrame encodes the logical messages msgs into dst as one flat frame
+// ([count, len_1, msg_1 words..., ...]) and returns the grown slice. It is the
+// encoding twin of DecodeFrame, exported for the service wire layer
+// (internal/service), which reuses the engine's frame layout for instance
+// payloads and results on the network.
+func AppendFrame(dst []clique.Word, msgs ...[]clique.Word) []clique.Word {
+	dst = append(dst, clique.Word(len(msgs)))
+	for _, m := range msgs {
+		dst = append(dst, clique.Word(len(m)))
+		dst = append(dst, m...)
+	}
+	return dst
+}
+
+// DecodeFrame decodes a flat frame into its logical messages, appending each
+// (as a view into the frame's backing words) to dst. Truncated or otherwise
+// malformed frames are rejected with an error, never a panic — the same
+// decoder the engine's receive path runs on every delivered frame, exported
+// for the service wire layer.
+func DecodeFrame(dst [][]clique.Word, frame []clique.Word) ([][]clique.Word, error) {
+	return appendFrameMessages(dst, frame)
+}
+
 // rxBuf is the decoded receive state of one comm round: the logical messages
 // of every received frame, flattened in ascending sender order. It is owned
 // by the comm and reused round over round; all slices are views into the

@@ -101,6 +101,60 @@ type ScenarioSection struct {
 	Entries []ScenarioBench `json:"entries"`
 }
 
+// ServiceBench is one measured load run against a cliqued server over the
+// wire protocol, produced by cmd/cliqueload -addr -protocol-json. Closed-loop
+// rows ("closed") measure latency at a fixed client-concurrency level;
+// open-loop rows ("open") hold an offered rate through saturation, where
+// SheddedOps counts bounded-queue rejections (named errors, not failures —
+// FailedOps stays the hard-failure count and must be zero for the shedding
+// claim to hold).
+type ServiceBench struct {
+	Mode         string  `json:"mode"`
+	Workload     string  `json:"workload"`
+	Streams      int     `json:"streams"`
+	Rate         float64 `json:"rate_ops_per_sec,omitempty"`
+	OfferedOps   int     `json:"offered_ops"`
+	SucceededOps int     `json:"succeeded_ops"`
+	SheddedOps   int     `json:"shedded_ops"`
+	FailedOps    int     `json:"failed_ops"`
+	Retries      int64   `json:"retries"`
+	VerifiedOps  int     `json:"verified_ops"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	P50Ms        float64 `json:"latency_p50_ms"`
+	P99Ms        float64 `json:"latency_p99_ms"`
+	P999Ms       float64 `json:"latency_p999_ms"`
+	WallMs       float64 `json:"wall_ms"`
+}
+
+// ServiceSection is the service block of BENCH_protocol.json: the network
+// front-end's throughput/latency profile as measured end to end by
+// cmd/cliqueload -addr against a running cliqued. The server-side pool and
+// queue configuration is recorded alongside so the rows are interpretable;
+// runs merge by (mode, streams, rate) so the section can be regenerated one
+// invocation at a time without losing the other rows.
+type ServiceSection struct {
+	Tool              string         `json:"tool"`
+	Schema            string         `json:"schema"`
+	N                 int            `json:"n"`
+	ServerConcurrency int            `json:"server_concurrency"`
+	QueueDepth        int            `json:"queue_depth"`
+	BatchMaxOps       int            `json:"batch_max_ops"`
+	Note              string         `json:"note"`
+	Runs              []ServiceBench `json:"runs"`
+}
+
+// MergeServiceRun replaces the section row with the same (mode, streams,
+// rate) key or appends a new one, keeping regeneration idempotent.
+func (s *ServiceSection) MergeServiceRun(run ServiceBench) {
+	for i, r := range s.Runs {
+		if r.Mode == run.Mode && r.Streams == run.Streams && r.Rate == run.Rate {
+			s.Runs[i] = run
+			return
+		}
+	}
+	s.Runs = append(s.Runs, run)
+}
+
 // ProtocolDoc is the schema of BENCH_protocol.json.
 type ProtocolDoc struct {
 	Tool     string          `json:"tool"`
@@ -119,6 +173,10 @@ type ProtocolDoc struct {
 	// (see ScenarioSection); owned by cmd/cliquescen and preserved by
 	// cmd/cliquebench.
 	Scenarios *ScenarioSection `json:"scenarios,omitempty"`
+	// Service records the network front-end's measured profile (see
+	// ServiceSection); owned by cmd/cliqueload -addr -protocol-json and
+	// preserved by the other writers.
+	Service *ServiceSection `json:"service,omitempty"`
 	// PreRefactorBaseline is the recorded per-parcel implementation the
 	// flat-frame layer is compared against.
 	PreRefactorBaseline []ProtocolBench `json:"pre_refactor_baseline"`

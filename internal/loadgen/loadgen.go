@@ -62,8 +62,9 @@ type Result struct {
 	Wall       time.Duration
 	// OpsPerSec is aggregate completed operations per second of wall time.
 	OpsPerSec float64
-	// P50, P90 and P99 are latency percentiles over all operations.
-	P50, P90, P99 time.Duration
+	// P50, P90, P99 and P999 are latency percentiles over all successful
+	// operations.
+	P50, P90, P99, P999 time.Duration
 	// Verified is the number of operations whose results were cross-checked
 	// against the serial golden in the verification pass (0 when
 	// Config.Verify is off). The measured pass runs the same operation count
@@ -82,8 +83,14 @@ type Result struct {
 	// (stream order, then op order), "" when every operation succeeded.
 	FirstError string
 	// Retries is the number of transparent re-runs WithRetry performed during
-	// the measured pass (from the handle's CumulativeStats).
+	// the measured pass (from the handle's CumulativeStats; in network mode,
+	// from the server's stats counters).
 	Retries int64
+	// SheddedOps counts operations rejected by the server's bounded
+	// admission queue (ErrOverloaded) in the measured pass. Always 0 for
+	// in-process runs, which have no admission queue. Shed operations are
+	// not FailedOps: shedding is the overload policy working as designed.
+	SheddedOps int
 }
 
 // golden holds the serial reference results of the run's workloads.
@@ -292,6 +299,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		P50:          percentile(succeeded, 50),
 		P90:          percentile(succeeded, 90),
 		P99:          percentile(succeeded, 99),
+		P999:         permille(succeeded, 999),
 		Verified:     verified,
 		SucceededOps: len(succeeded),
 		FailedOps:    failed,
@@ -308,6 +316,22 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 		return 0
 	}
 	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// permille returns the p-th permille (p999 = 99.9th percentile) of sorted
+// latencies, nearest-rank like percentile.
+func permille(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 999) / 1000
 	if idx < 1 {
 		idx = 1
 	}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// benchServer brings up a server on a loopback port and a connected client
+// for the end-to-end benchmarks. Client and server share the process, so
+// allocs/op covers the full round trip: request encode, frame transport,
+// decode, engine run, response encode, decode.
+func benchServer(b *testing.B, cfg Config) *Client {
+	b.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		b.Fatalf("NewServer: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	b.Cleanup(func() {
+		cl.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			b.Errorf("serve: %v", err)
+		}
+	})
+	return cl
+}
+
+// BenchmarkServiceRoute measures one full Route operation over the wire
+// protocol against a loopback server, per clique size.
+func BenchmarkServiceRoute(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cl := benchServer(b, Config{N: n, MaxConcurrency: 1})
+			rng := rand.New(rand.NewSource(1))
+			msgs := routeInstance(n, 4, rng)
+			if _, err := cl.Route(msgs, nil); err != nil {
+				b.Fatalf("warm route: %v", err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Route(msgs, nil); err != nil {
+					b.Fatalf("route: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServiceSort measures one full Sort operation over the wire
+// protocol against a loopback server.
+func BenchmarkServiceSort(b *testing.B) {
+	for _, n := range []int{64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cl := benchServer(b, Config{N: n, MaxConcurrency: 1})
+			rng := rand.New(rand.NewSource(2))
+			values := valuesInstance(n, n, rng)
+			if _, err := cl.Sort(values, nil); err != nil {
+				b.Fatalf("warm sort: %v", err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Sort(values, nil); err != nil {
+					b.Fatalf("sort: %v", err)
+				}
+			}
+		})
+	}
+}

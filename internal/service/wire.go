@@ -1,0 +1,835 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	cc "congestedclique"
+
+	"congestedclique/internal/clique"
+	"congestedclique/internal/core"
+)
+
+// The wire protocol: every request and response travels as one flat frame in
+// the [count, len_1, msg_1 words..., ...] layout of internal/core, prefixed
+// by a single 64-bit word count. All words are 64-bit big-endian; payload
+// words are clique.Word (int64) values reinterpreted as uint64.
+//
+//	stream   = { u64 frameWords | frameWords × u64 }
+//	frame    = [count, len_1, body_1..., ..., len_count, body_count...]
+//
+// body_1 is the header message; the remaining bodies are the operation's
+// payload rows. Frames are decoded with core.DecodeFrame — the exact decoder
+// the engine's receive path runs — so a truncated, oversized or otherwise
+// malformed frame errors out without panicking or over-allocating
+// (readFrame bounds the word count before allocating anything).
+
+// wireMagic is the first header word of every frame ("CLQD"); it rejects
+// peers speaking a different protocol before any payload is interpreted.
+const wireMagic = 0x434C5144
+
+// wireVersion is the protocol version; servers and clients reject frames
+// carrying any other version.
+const wireVersion = 1
+
+// reqHeaderWords is the exact length of a request header body:
+// [magic, version, reqID, op, deadlineMicros, arg, flags, faultCancelRound,
+// retries, retryBackoffMicros].
+const reqHeaderWords = 10
+
+// respHeaderWords is the exact length of a response header body:
+// [magic, version, reqID, status, strategy].
+const respHeaderWords = 5
+
+// flagNoBatch marks a request that opts out of server-side batching.
+const flagNoBatch = 1 << 0
+
+// maxErrWords bounds the error-string body of a response (the only
+// variable-length body whose size is not derived from the clique size n).
+const maxErrWords = 1 + 4096/8
+
+// Op identifies the requested operation on the wire.
+type Op uint8
+
+// Wire operation codes. The numeric values are part of the protocol.
+const (
+	// OpRoute solves the Information Distribution Task (Problem 3.1).
+	OpRoute Op = 1
+	// OpSort sorts plain values (Problem 4.1).
+	OpSort Op = 2
+	// OpSortKeys sorts caller-labelled keys.
+	OpSortKeys Op = 3
+	// OpRank computes distinct-value ranks (Corollary 4.6).
+	OpRank Op = 4
+	// OpSelectKth selects the key of global rank k (request Arg = k).
+	OpSelectKth Op = 5
+	// OpMedian selects the lower median.
+	OpMedian Op = 6
+	// OpMode computes the most frequent value.
+	OpMode Op = 7
+	// OpCountSmallKeys counts keys of a small domain (request Arg = domain).
+	OpCountSmallKeys Op = 8
+	// OpPing is the readiness probe; its reply carries the server's clique
+	// size so clients can size their response decode limit.
+	OpPing Op = 9
+	// OpServerStats returns the server's cumulative counters; it is answered
+	// inline by the connection reader, so it stays reachable under overload.
+	OpServerStats Op = 10
+)
+
+// String returns the operation name.
+func (o Op) String() string {
+	switch o {
+	case OpRoute:
+		return "route"
+	case OpSort:
+		return "sort"
+	case OpSortKeys:
+		return "sort-keys"
+	case OpRank:
+		return "rank"
+	case OpSelectKth:
+		return "select-kth"
+	case OpMedian:
+		return "median"
+	case OpMode:
+		return "mode"
+	case OpCountSmallKeys:
+		return "count-small-keys"
+	case OpPing:
+		return "ping"
+	case OpServerStats:
+		return "server-stats"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Status is the outcome code of a response.
+type Status uint8
+
+// Wire status codes. The numeric values are part of the protocol.
+const (
+	// StatusOK marks a successful operation; the response carries the result.
+	StatusOK Status = 0
+	// StatusInvalid reports a malformed instance or request (the session
+	// layer's ErrInvalidInstance family, or a semantically unparseable
+	// request body).
+	StatusInvalid Status = 1
+	// StatusOverloaded reports that the admission queue was full and the
+	// request was shed without reaching an engine (client-side ErrOverloaded).
+	StatusOverloaded Status = 2
+	// StatusDraining reports that the server is shutting down and no longer
+	// accepts work (client-side ErrDraining).
+	StatusDraining Status = 3
+	// StatusDeadlineExceeded reports that the request's deadline expired —
+	// in the queue or mid-run (client-side error wraps
+	// context.DeadlineExceeded).
+	StatusDeadlineExceeded Status = 4
+	// StatusUnsupported reports an operation or option the server refuses
+	// (unknown op code, fault injection while disabled, ...).
+	StatusUnsupported Status = 5
+	// StatusInternal reports an engine or protocol failure after admission.
+	StatusInternal Status = 6
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusInvalid:
+		return "invalid"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusDraining:
+		return "draining"
+	case StatusDeadlineExceeded:
+		return "deadline-exceeded"
+	case StatusUnsupported:
+		return "unsupported"
+	case StatusInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// ErrOverloaded is the named overload error: the server's bounded admission
+// queue was full and the request was shed rather than queued. Clients see it
+// wrapped in errors returned for StatusOverloaded responses.
+var ErrOverloaded = errors.New("service: server overloaded, request shed (admission queue full)")
+
+// ErrDraining is the named drain error: the server is shutting down, has
+// stopped accepting new work and only finishes requests admitted before the
+// drain began. Clients see it wrapped in errors returned for StatusDraining
+// responses.
+var ErrDraining = errors.New("service: server draining, new requests rejected")
+
+// Request is the decoded form of one wire request.
+type Request struct {
+	// ID is the caller-chosen request identifier echoed by the response.
+	ID uint64
+	// Op selects the operation.
+	Op Op
+	// Deadline is the request's relative deadline (0 = none / server
+	// default), counted from the moment the server reads the request.
+	Deadline time.Duration
+	// Arg is the operation argument: k for OpSelectKth, the domain for
+	// OpCountSmallKeys, 0 otherwise.
+	Arg int64
+	// NoBatch opts the request out of server-side batching.
+	NoBatch bool
+	// FaultCancelRound, when >= 0, asks the server to inject a deterministic
+	// cancellation at that round (WithInjectedCancel) — the chaos-testing
+	// hook used by faulted load runs. Servers reject it unless fault
+	// injection is explicitly enabled.
+	FaultCancelRound int
+	// Retries and RetryBackoff are the per-request transient-retry budget
+	// (WithRetry); zero Retries falls back to the server's default.
+	Retries      int
+	RetryBackoff time.Duration
+
+	// Exactly one payload field is set, matching Op.
+	Msgs   [][]cc.Message // OpRoute
+	Values [][]int64      // OpSort, OpRank, OpSelectKth, OpMedian, OpMode
+	Keys   [][]cc.Key     // OpSortKeys
+	Ints   [][]int        // OpCountSmallKeys
+}
+
+// RouteReply is the result payload of an OpRoute response.
+type RouteReply struct {
+	// Delivered lists, per node, the messages that reached it, in the
+	// canonical (Src, Dst, Seq) order (the wire format's delivery order; see
+	// docs/SERVICE.md).
+	Delivered [][]cc.Message
+	// Strategy is the planner's verdict for the run that served this request
+	// (informational; a batched request reports the merged run's strategy).
+	Strategy cc.RouteStrategy
+}
+
+// SortReply is the result payload of an OpSort / OpSortKeys response.
+type SortReply struct {
+	// Total is the global key count; Starts[i] and Batches[i] are node i's
+	// slice of the global sorted order, exactly as in cc.SortResult.
+	Total   int
+	Starts  []int
+	Batches [][]cc.Key
+	// Strategy is the sorting planner's verdict (informational).
+	Strategy cc.SortStrategy
+}
+
+// RankReply is the result payload of an OpRank response.
+type RankReply struct {
+	// DistinctTotal is the number of distinct values; Ranks mirrors the
+	// input shape, exactly as in cc.RankResult.
+	DistinctTotal int
+	Ranks         [][]int
+}
+
+// ModeReply is the result payload of an OpMode response.
+type ModeReply struct {
+	// Value is the most frequent value, Count its multiplicity.
+	Value int64
+	Count int64
+}
+
+// StatsReply is the result payload of an OpServerStats response.
+type StatsReply struct {
+	// N and MaxConcurrency describe the server's session handle; QueueDepth
+	// and BatchMaxOps its admission configuration.
+	N              int
+	MaxConcurrency int
+	QueueDepth     int
+	BatchMaxOps    int
+	// Draining reports whether a graceful shutdown is in progress.
+	Draining bool
+	// Operations..FailedOperations mirror cc.CumulativeStats of the handle.
+	Operations       int64
+	Rounds           int64
+	TotalMessages    int64
+	TotalWords       int64
+	Retries          int64
+	FailedOperations int64
+	// SheddedOps counts requests rejected by the full admission queue;
+	// DrainRejected counts requests rejected because the server was
+	// draining; BatchedRuns counts engine runs that served more than one
+	// request, BatchedOps the requests they served.
+	SheddedOps    int64
+	DrainRejected int64
+	BatchedRuns   int64
+	BatchedOps    int64
+}
+
+// Response is the decoded form of one wire response.
+type Response struct {
+	// ID echoes the request identifier.
+	ID uint64
+	// Status is the outcome; Err carries the error message for non-OK
+	// statuses.
+	Status Status
+	Err    string
+	// Strategy is the raw planner-strategy word from the header
+	// (route or sort strategy code depending on the operation; 0 when the
+	// planner was not consulted).
+	Strategy int64
+
+	// At most one result field is set, matching the request's Op.
+	Route  *RouteReply
+	Sort   *SortReply
+	Rank   *RankReply
+	Key    *cc.Key // OpSelectKth, OpMedian
+	Mode   *ModeReply
+	Counts []int64 // OpCountSmallKeys
+	PingN  int     // OpPing: the server's clique size
+	Stats  *StatsReply
+}
+
+// wireLimitWords bounds the frame size either side accepts for a clique of n
+// nodes: the largest legal payload is a full-load routing instance or result
+// (n rows of up to n messages at 3 words each), plus per-row length slots,
+// headers and the error-string allowance.
+func wireLimitWords(n int) int {
+	return 3*n*n + 4*n + reqHeaderWords + maxErrWords + 16
+}
+
+// handshakeLimitWords bounds the frames exchanged before a client knows the
+// server's n (the ping request and reply).
+const handshakeLimitWords = reqHeaderWords + maxErrWords + 64
+
+// errFrameTooLarge is wrapped by readFrame errors rejecting a frame whose
+// declared word count exceeds the caller's limit; the frame is rejected
+// before any allocation.
+var errFrameTooLarge = errors.New("service: frame exceeds size limit")
+
+// readFrame reads one length-prefixed frame, rejecting declared sizes above
+// maxWords before allocating. io.EOF is returned verbatim when the stream
+// ends cleanly between frames.
+func readFrame(r io.Reader, maxWords int) ([]clique.Word, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("service: read frame length: %w", err)
+	}
+	words := binary.BigEndian.Uint64(hdr[:])
+	if words == 0 {
+		return nil, errors.New("service: empty frame")
+	}
+	if words > uint64(maxWords) {
+		return nil, fmt.Errorf("%w: %d words, limit %d", errFrameTooLarge, words, maxWords)
+	}
+	buf := make([]byte, 8*int(words))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("service: read frame body: %w", err)
+	}
+	frame := make([]clique.Word, int(words))
+	for i := range frame {
+		frame[i] = clique.Word(binary.BigEndian.Uint64(buf[8*i:]))
+	}
+	return frame, nil
+}
+
+// appendFrameBytes appends the wire form of frame (length prefix plus
+// big-endian words) to dst and returns the grown slice.
+func appendFrameBytes(dst []byte, frame []clique.Word) []byte {
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(len(frame)))
+	dst = append(dst, hdr[:]...)
+	for _, w := range frame {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(w))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// beginBody opens a new logical message in a frame under construction,
+// returning the index of its length slot; endBody patches the slot once the
+// body's words have been appended. Together they stream a frame in the
+// core flat-frame layout without building per-body slices first.
+func beginBody(frame []clique.Word) ([]clique.Word, int) {
+	frame = append(frame, 0)
+	return frame, len(frame) - 1
+}
+
+func endBody(frame []clique.Word, lenAt int) []clique.Word {
+	frame[lenAt] = clique.Word(len(frame) - lenAt - 1)
+	return frame
+}
+
+// appendStringBody appends an error-string body: [byteLen, packed UTF-8
+// bytes, 8 per word]. Strings longer than the wire allowance are truncated.
+func appendStringBody(frame []clique.Word, s string) []clique.Word {
+	if len(s) > (maxErrWords-1)*8 {
+		s = s[:(maxErrWords-1)*8]
+	}
+	var at int
+	frame, at = beginBody(frame)
+	frame = append(frame, clique.Word(len(s)))
+	for i := 0; i < len(s); i += 8 {
+		var w uint64
+		for j := 0; j < 8 && i+j < len(s); j++ {
+			w |= uint64(s[i+j]) << (8 * (7 - j))
+		}
+		frame = append(frame, clique.Word(w))
+	}
+	return endBody(frame, at)
+}
+
+// unpackString decodes an error-string body written by appendStringBody.
+func unpackString(body []clique.Word) (string, error) {
+	if len(body) < 1 {
+		return "", errors.New("service: string body missing length")
+	}
+	n := int(body[0])
+	if n < 0 || n > (len(body)-1)*8 {
+		return "", fmt.Errorf("service: string body claims %d bytes in %d words", n, len(body)-1)
+	}
+	b := make([]byte, 0, n)
+	for i := 0; len(b) < n; i++ {
+		w := uint64(body[1+i])
+		for j := 0; j < 8 && len(b) < n; j++ {
+			b = append(b, byte(w>>(8*(7-j))))
+		}
+	}
+	return string(b), nil
+}
+
+// encodeRequest appends the wire frame of req to dst (a reusable scratch) and
+// returns it.
+func encodeRequest(dst []clique.Word, req *Request) []clique.Word {
+	frame := append(dst[:0], 0) // count slot, patched below
+	bodies := 1
+	var at int
+	frame, at = beginBody(frame)
+	fault := int64(req.FaultCancelRound)
+	if req.FaultCancelRound < 0 {
+		fault = -1
+	}
+	flags := clique.Word(0)
+	if req.NoBatch {
+		flags |= flagNoBatch
+	}
+	frame = append(frame,
+		wireMagic, wireVersion, clique.Word(req.ID), clique.Word(req.Op),
+		clique.Word(req.Deadline.Microseconds()), clique.Word(req.Arg), flags,
+		clique.Word(fault), clique.Word(req.Retries), clique.Word(req.RetryBackoff.Microseconds()))
+	frame = endBody(frame, at)
+
+	appendRow := func(write func([]clique.Word) []clique.Word) {
+		var lenAt int
+		frame, lenAt = beginBody(frame)
+		frame = write(frame)
+		frame = endBody(frame, lenAt)
+		bodies++
+	}
+	switch req.Op {
+	case OpRoute:
+		for _, row := range req.Msgs {
+			row := row
+			appendRow(func(f []clique.Word) []clique.Word {
+				for _, m := range row {
+					f = append(f, clique.Word(m.Dst), clique.Word(m.Seq), clique.Word(m.Payload))
+				}
+				return f
+			})
+		}
+	case OpSortKeys:
+		for _, row := range req.Keys {
+			row := row
+			appendRow(func(f []clique.Word) []clique.Word {
+				for _, k := range row {
+					f = append(f, clique.Word(k.Value), clique.Word(k.Origin), clique.Word(k.Seq))
+				}
+				return f
+			})
+		}
+	case OpSort, OpRank, OpSelectKth, OpMedian, OpMode:
+		for _, row := range req.Values {
+			row := row
+			appendRow(func(f []clique.Word) []clique.Word {
+				for _, v := range row {
+					f = append(f, clique.Word(v))
+				}
+				return f
+			})
+		}
+	case OpCountSmallKeys:
+		for _, row := range req.Ints {
+			row := row
+			appendRow(func(f []clique.Word) []clique.Word {
+				for _, v := range row {
+					f = append(f, clique.Word(v))
+				}
+				return f
+			})
+		}
+	}
+	frame[0] = clique.Word(bodies)
+	return frame
+}
+
+// decodeRequest parses a request frame for a clique of n nodes. Every
+// structural violation — wrong magic or version, short header, row counts or
+// shapes that cannot belong to a legal instance — errors out; nothing here
+// panics or allocates beyond the (already size-capped) frame's own footprint.
+func decodeRequest(frame []clique.Word, n int) (*Request, error) {
+	bodies, err := core.DecodeFrame(nil, frame)
+	if err != nil {
+		return nil, fmt.Errorf("service: request frame: %w", err)
+	}
+	if len(bodies) == 0 {
+		return nil, errors.New("service: request frame has no header")
+	}
+	h := bodies[0]
+	if len(h) != reqHeaderWords {
+		return nil, fmt.Errorf("service: request header has %d words, want %d", len(h), reqHeaderWords)
+	}
+	if h[0] != wireMagic {
+		return nil, fmt.Errorf("service: bad magic %#x", uint64(h[0]))
+	}
+	if h[1] != wireVersion {
+		return nil, fmt.Errorf("service: protocol version %d, want %d", h[1], wireVersion)
+	}
+	req := &Request{
+		ID:               uint64(h[2]),
+		Op:               Op(h[3]),
+		Arg:              int64(h[5]),
+		NoBatch:          h[6]&flagNoBatch != 0,
+		FaultCancelRound: int(h[7]),
+	}
+	if h[4] < 0 || h[8] < 0 || h[9] < 0 {
+		return nil, errors.New("service: negative deadline or retry field")
+	}
+	req.Deadline = time.Duration(h[4]) * time.Microsecond
+	req.Retries = int(h[8])
+	req.RetryBackoff = time.Duration(h[9]) * time.Microsecond
+	if req.FaultCancelRound < -1 {
+		return nil, fmt.Errorf("service: fault round %d out of range", req.FaultCancelRound)
+	}
+
+	rows := bodies[1:]
+	if len(rows) > n {
+		return nil, fmt.Errorf("service: request carries %d rows for a clique of %d nodes", len(rows), n)
+	}
+	switch req.Op {
+	case OpRoute:
+		req.Msgs = make([][]cc.Message, len(rows))
+		for i, row := range rows {
+			if len(row)%3 != 0 {
+				return nil, fmt.Errorf("service: route row %d has %d words, not a multiple of 3", i, len(row))
+			}
+			if len(row)/3 > n {
+				return nil, fmt.Errorf("service: route row %d carries %d messages, more than n=%d", i, len(row)/3, n)
+			}
+			ms := make([]cc.Message, len(row)/3)
+			for j := range ms {
+				ms[j] = cc.Message{Src: i, Dst: int(row[3*j]), Seq: int(row[3*j+1]), Payload: int64(row[3*j+2])}
+			}
+			req.Msgs[i] = ms
+		}
+	case OpSortKeys:
+		req.Keys = make([][]cc.Key, len(rows))
+		for i, row := range rows {
+			if len(row)%3 != 0 {
+				return nil, fmt.Errorf("service: key row %d has %d words, not a multiple of 3", i, len(row))
+			}
+			if len(row)/3 > n {
+				return nil, fmt.Errorf("service: key row %d carries %d keys, more than n=%d", i, len(row)/3, n)
+			}
+			ks := make([]cc.Key, len(row)/3)
+			for j := range ks {
+				ks[j] = cc.Key{Value: int64(row[3*j]), Origin: int(row[3*j+1]), Seq: int(row[3*j+2])}
+			}
+			req.Keys[i] = ks
+		}
+	case OpSort, OpRank, OpSelectKth, OpMedian, OpMode:
+		req.Values = make([][]int64, len(rows))
+		for i, row := range rows {
+			if len(row) > n {
+				return nil, fmt.Errorf("service: value row %d carries %d values, more than n=%d", i, len(row), n)
+			}
+			vs := make([]int64, len(row))
+			for j, w := range row {
+				vs[j] = int64(w)
+			}
+			req.Values[i] = vs
+		}
+	case OpCountSmallKeys:
+		req.Ints = make([][]int, len(rows))
+		for i, row := range rows {
+			if len(row) > n {
+				return nil, fmt.Errorf("service: key row %d carries %d keys, more than n=%d", i, len(row), n)
+			}
+			vs := make([]int, len(row))
+			for j, w := range row {
+				vs[j] = int(w)
+			}
+			req.Ints[i] = vs
+		}
+	case OpPing, OpServerStats:
+		if len(rows) != 0 {
+			return nil, fmt.Errorf("service: %v request carries %d payload rows, want none", req.Op, len(rows))
+		}
+	default:
+		return nil, fmt.Errorf("service: unknown op code %d", int(req.Op))
+	}
+	return req, nil
+}
+
+// encodeResponse appends the wire frame of resp to dst (a reusable scratch)
+// and returns it.
+func encodeResponse(dst []clique.Word, resp *Response) []clique.Word {
+	frame := append(dst[:0], 0)
+	bodies := 1
+	var at int
+	frame, at = beginBody(frame)
+	frame = append(frame, wireMagic, wireVersion, clique.Word(resp.ID),
+		clique.Word(resp.Status), clique.Word(resp.Strategy))
+	frame = endBody(frame, at)
+
+	if resp.Status != StatusOK {
+		frame = appendStringBody(frame, resp.Err)
+		frame[0] = 2
+		return frame
+	}
+
+	appendRow := func(write func([]clique.Word) []clique.Word) {
+		var lenAt int
+		frame, lenAt = beginBody(frame)
+		frame = write(frame)
+		frame = endBody(frame, lenAt)
+		bodies++
+	}
+	switch {
+	case resp.Route != nil:
+		for _, row := range resp.Route.Delivered {
+			row := row
+			appendRow(func(f []clique.Word) []clique.Word {
+				for _, m := range row {
+					f = append(f, clique.Word(m.Src), clique.Word(m.Seq), clique.Word(m.Payload))
+				}
+				return f
+			})
+		}
+	case resp.Sort != nil:
+		s := resp.Sort
+		appendRow(func(f []clique.Word) []clique.Word {
+			return append(f, clique.Word(s.Total))
+		})
+		for i := range s.Batches {
+			i := i
+			appendRow(func(f []clique.Word) []clique.Word {
+				f = append(f, clique.Word(s.Starts[i]))
+				for _, k := range s.Batches[i] {
+					f = append(f, clique.Word(k.Value), clique.Word(k.Origin), clique.Word(k.Seq))
+				}
+				return f
+			})
+		}
+	case resp.Rank != nil:
+		r := resp.Rank
+		appendRow(func(f []clique.Word) []clique.Word {
+			return append(f, clique.Word(r.DistinctTotal))
+		})
+		for _, row := range r.Ranks {
+			row := row
+			appendRow(func(f []clique.Word) []clique.Word {
+				for _, v := range row {
+					f = append(f, clique.Word(v))
+				}
+				return f
+			})
+		}
+	case resp.Key != nil:
+		k := *resp.Key
+		appendRow(func(f []clique.Word) []clique.Word {
+			return append(f, clique.Word(k.Value), clique.Word(k.Origin), clique.Word(k.Seq))
+		})
+	case resp.Mode != nil:
+		m := resp.Mode
+		appendRow(func(f []clique.Word) []clique.Word {
+			return append(f, clique.Word(m.Value), clique.Word(m.Count))
+		})
+	case resp.Counts != nil:
+		appendRow(func(f []clique.Word) []clique.Word {
+			for _, v := range resp.Counts {
+				f = append(f, clique.Word(v))
+			}
+			return f
+		})
+	case resp.Stats != nil:
+		st := resp.Stats
+		appendRow(func(f []clique.Word) []clique.Word {
+			draining := clique.Word(0)
+			if st.Draining {
+				draining = 1
+			}
+			return append(f,
+				clique.Word(st.N), clique.Word(st.MaxConcurrency),
+				clique.Word(st.QueueDepth), clique.Word(st.BatchMaxOps), draining,
+				clique.Word(st.Operations), clique.Word(st.Rounds),
+				clique.Word(st.TotalMessages), clique.Word(st.TotalWords),
+				clique.Word(st.Retries), clique.Word(st.FailedOperations),
+				clique.Word(st.SheddedOps), clique.Word(st.DrainRejected),
+				clique.Word(st.BatchedRuns), clique.Word(st.BatchedOps))
+		})
+	default:
+		// OpPing replies carry the clique size in PingN.
+		appendRow(func(f []clique.Word) []clique.Word {
+			return append(f, clique.Word(resp.PingN))
+		})
+	}
+	frame[0] = clique.Word(bodies)
+	return frame
+}
+
+// statsReplyWords is the exact body length of an OpServerStats reply.
+const statsReplyWords = 15
+
+// decodeResponse parses a response frame; op is the operation of the request
+// it answers (responses do not repeat the op on the wire — the caller matches
+// them by request ID). n bounds the result shape.
+func decodeResponse(frame []clique.Word, op Op, n int) (*Response, error) {
+	bodies, err := core.DecodeFrame(nil, frame)
+	if err != nil {
+		return nil, fmt.Errorf("service: response frame: %w", err)
+	}
+	if len(bodies) == 0 {
+		return nil, errors.New("service: response frame has no header")
+	}
+	h := bodies[0]
+	if len(h) != respHeaderWords {
+		return nil, fmt.Errorf("service: response header has %d words, want %d", len(h), respHeaderWords)
+	}
+	if h[0] != wireMagic {
+		return nil, fmt.Errorf("service: bad magic %#x", uint64(h[0]))
+	}
+	if h[1] != wireVersion {
+		return nil, fmt.Errorf("service: protocol version %d, want %d", h[1], wireVersion)
+	}
+	resp := &Response{ID: uint64(h[2]), Status: Status(h[3]), Strategy: int64(h[4])}
+	rows := bodies[1:]
+	if resp.Status != StatusOK {
+		if len(rows) != 1 {
+			return nil, fmt.Errorf("service: error response carries %d bodies, want 1", len(rows))
+		}
+		msg, err := unpackString(rows[0])
+		if err != nil {
+			return nil, err
+		}
+		resp.Err = msg
+		return resp, nil
+	}
+
+	switch op {
+	case OpRoute:
+		if len(rows) != n {
+			return nil, fmt.Errorf("service: route response carries %d rows, want n=%d", len(rows), n)
+		}
+		rep := &RouteReply{Delivered: make([][]cc.Message, n), Strategy: cc.RouteStrategy(resp.Strategy)}
+		for i, row := range rows {
+			if len(row)%3 != 0 {
+				return nil, fmt.Errorf("service: route response row %d has %d words, not a multiple of 3", i, len(row))
+			}
+			if len(row) == 0 {
+				continue
+			}
+			ms := make([]cc.Message, len(row)/3)
+			for j := range ms {
+				ms[j] = cc.Message{Src: int(row[3*j]), Dst: i, Seq: int(row[3*j+1]), Payload: int64(row[3*j+2])}
+			}
+			rep.Delivered[i] = ms
+		}
+		resp.Route = rep
+	case OpSort, OpSortKeys:
+		if len(rows) != n+1 {
+			return nil, fmt.Errorf("service: sort response carries %d rows, want n+1=%d", len(rows), n+1)
+		}
+		if len(rows[0]) != 1 {
+			return nil, fmt.Errorf("service: sort response total row has %d words, want 1", len(rows[0]))
+		}
+		rep := &SortReply{
+			Total:    int(rows[0][0]),
+			Starts:   make([]int, n),
+			Batches:  make([][]cc.Key, n),
+			Strategy: cc.SortStrategy(resp.Strategy),
+		}
+		for i, row := range rows[1:] {
+			if len(row) < 1 || (len(row)-1)%3 != 0 {
+				return nil, fmt.Errorf("service: sort response batch %d has %d words, want 1+3k", i, len(row))
+			}
+			rep.Starts[i] = int(row[0])
+			if len(row) == 1 {
+				continue
+			}
+			ks := make([]cc.Key, (len(row)-1)/3)
+			for j := range ks {
+				ks[j] = cc.Key{Value: int64(row[1+3*j]), Origin: int(row[2+3*j]), Seq: int(row[3+3*j])}
+			}
+			rep.Batches[i] = ks
+		}
+		resp.Sort = rep
+	case OpRank:
+		if len(rows) < 1 {
+			return nil, errors.New("service: rank response missing total row")
+		}
+		if len(rows[0]) != 1 {
+			return nil, fmt.Errorf("service: rank response total row has %d words, want 1", len(rows[0]))
+		}
+		rep := &RankReply{DistinctTotal: int(rows[0][0]), Ranks: make([][]int, len(rows)-1)}
+		for i, row := range rows[1:] {
+			rs := make([]int, len(row))
+			for j, w := range row {
+				rs[j] = int(w)
+			}
+			rep.Ranks[i] = rs
+		}
+		resp.Rank = rep
+	case OpSelectKth, OpMedian:
+		if len(rows) != 1 || len(rows[0]) != 3 {
+			return nil, errors.New("service: selection response must carry one 3-word row")
+		}
+		resp.Key = &cc.Key{Value: int64(rows[0][0]), Origin: int(rows[0][1]), Seq: int(rows[0][2])}
+	case OpMode:
+		if len(rows) != 1 || len(rows[0]) != 2 {
+			return nil, errors.New("service: mode response must carry one 2-word row")
+		}
+		resp.Mode = &ModeReply{Value: int64(rows[0][0]), Count: int64(rows[0][1])}
+	case OpCountSmallKeys:
+		if len(rows) != 1 {
+			return nil, fmt.Errorf("service: histogram response carries %d rows, want 1", len(rows))
+		}
+		counts := make([]int64, len(rows[0]))
+		for j, w := range rows[0] {
+			counts[j] = int64(w)
+		}
+		resp.Counts = counts
+	case OpPing:
+		if len(rows) != 1 || len(rows[0]) != 1 {
+			return nil, errors.New("service: ping response must carry one 1-word row")
+		}
+		resp.PingN = int(rows[0][0])
+	case OpServerStats:
+		if len(rows) != 1 || len(rows[0]) != statsReplyWords {
+			return nil, fmt.Errorf("service: stats response shape invalid")
+		}
+		r := rows[0]
+		resp.Stats = &StatsReply{
+			N: int(r[0]), MaxConcurrency: int(r[1]), QueueDepth: int(r[2]),
+			BatchMaxOps: int(r[3]), Draining: r[4] != 0,
+			Operations: int64(r[5]), Rounds: int64(r[6]), TotalMessages: int64(r[7]),
+			TotalWords: int64(r[8]), Retries: int64(r[9]), FailedOperations: int64(r[10]),
+			SheddedOps: int64(r[11]), DrainRejected: int64(r[12]),
+			BatchedRuns: int64(r[13]), BatchedOps: int64(r[14]),
+		}
+	default:
+		return nil, fmt.Errorf("service: unknown op %d decoding response", int(op))
+	}
+	return resp, nil
+}

@@ -1,0 +1,277 @@
+package service
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	cc "congestedclique"
+
+	"congestedclique/internal/clique"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	n := 8
+	reqs := []*Request{
+		{ID: 7, Op: OpRoute, Deadline: 250 * time.Millisecond, FaultCancelRound: -1,
+			Msgs: [][]cc.Message{
+				{{Src: 0, Dst: 3, Seq: 0, Payload: 42}, {Src: 0, Dst: 1, Seq: 1, Payload: -7}},
+				{},
+				{{Src: 2, Dst: 2, Seq: 0, Payload: 1 << 40}},
+			}},
+		{ID: 8, Op: OpSort, NoBatch: true, Retries: 2, RetryBackoff: time.Millisecond,
+			FaultCancelRound: 5,
+			Values:           [][]int64{{5, -1, 3}, {}, {9}}},
+		{ID: 9, Op: OpSortKeys, FaultCancelRound: -1,
+			Keys: [][]cc.Key{{{Value: 4, Origin: 0, Seq: 1}}, {{Value: -2, Origin: 1, Seq: 0}}}},
+		{ID: 10, Op: OpSelectKth, Arg: 3, FaultCancelRound: -1,
+			Values: [][]int64{{1, 2}, {3}}},
+		{ID: 11, Op: OpCountSmallKeys, Arg: 16, FaultCancelRound: -1,
+			Ints: [][]int{{1, 15, 0}, {3}}},
+		{ID: 12, Op: OpPing, FaultCancelRound: -1},
+		{ID: 13, Op: OpServerStats, FaultCancelRound: -1},
+	}
+	for _, want := range reqs {
+		frame := encodeRequest(nil, want)
+		got, err := decodeRequest(frame, n)
+		if err != nil {
+			t.Fatalf("decode %v: %v", want.Op, err)
+		}
+		normalizeReq(want)
+		normalizeReq(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", want.Op, got, want)
+		}
+	}
+}
+
+// normalizeReq maps empty payload rows to a canonical form: the wire cannot
+// distinguish nil from empty slices.
+func normalizeReq(r *Request) {
+	for i, row := range r.Msgs {
+		if len(row) == 0 {
+			r.Msgs[i] = []cc.Message{}
+		}
+	}
+	for i, row := range r.Values {
+		if len(row) == 0 {
+			r.Values[i] = []int64{}
+		}
+	}
+	for i, row := range r.Keys {
+		if len(row) == 0 {
+			r.Keys[i] = []cc.Key{}
+		}
+	}
+	for i, row := range r.Ints {
+		if len(row) == 0 {
+			r.Ints[i] = []int{}
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	n := 4
+	cases := []struct {
+		op   Op
+		resp *Response
+	}{
+		{OpRoute, &Response{ID: 1, Strategy: int64(cc.StrategyDirect), Route: &RouteReply{
+			Strategy: cc.StrategyDirect,
+			Delivered: [][]cc.Message{
+				{{Src: 1, Dst: 0, Seq: 0, Payload: 5}},
+				nil,
+				{{Src: 0, Dst: 2, Seq: 1, Payload: -9}, {Src: 3, Dst: 2, Seq: 0, Payload: 8}},
+				nil,
+			}}}},
+		{OpSort, &Response{ID: 2, Strategy: int64(cc.SortStrategyPresorted), Sort: &SortReply{
+			Total:    3,
+			Starts:   []int{0, 1, 3, 3},
+			Batches:  [][]cc.Key{{{Value: 1, Origin: 2, Seq: 0}}, {{Value: 2, Origin: 0, Seq: 0}, {Value: 3, Origin: 1, Seq: 1}}, nil, nil},
+			Strategy: cc.SortStrategyPresorted,
+		}}},
+		{OpRank, &Response{ID: 3, Rank: &RankReply{DistinctTotal: 2, Ranks: [][]int{{0, 1}, {}, {1}, {}}}}},
+		{OpMedian, &Response{ID: 4, Key: &cc.Key{Value: 11, Origin: 2, Seq: 3}}},
+		{OpMode, &Response{ID: 5, Mode: &ModeReply{Value: -3, Count: 9}}},
+		{OpCountSmallKeys, &Response{ID: 6, Counts: []int64{0, 4, 1}}},
+		{OpPing, &Response{ID: 7, PingN: n}},
+		{OpServerStats, &Response{ID: 8, Stats: &StatsReply{
+			N: n, MaxConcurrency: 2, QueueDepth: 8, BatchMaxOps: 4, Draining: true,
+			Operations: 10, Rounds: 160, TotalMessages: 99, TotalWords: 400,
+			Retries: 1, FailedOperations: 2, SheddedOps: 3, DrainRejected: 4,
+			BatchedRuns: 5, BatchedOps: 6,
+		}}},
+		{OpRoute, &Response{ID: 9, Status: StatusOverloaded, Err: ErrOverloaded.Error()}},
+		{OpSort, &Response{ID: 10, Status: StatusDraining, Err: ErrDraining.Error()}},
+	}
+	for _, tc := range cases {
+		frame := encodeResponse(nil, tc.resp)
+		got, err := decodeResponse(frame, tc.op, n)
+		if err != nil {
+			t.Fatalf("decode %v: %v", tc.op, err)
+		}
+		normalizeResp(tc.resp)
+		normalizeResp(got)
+		if !reflect.DeepEqual(got, tc.resp) {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", tc.op, got, tc.resp)
+		}
+	}
+}
+
+func normalizeResp(r *Response) {
+	if r.Route != nil {
+		for i, row := range r.Route.Delivered {
+			if len(row) == 0 {
+				r.Route.Delivered[i] = nil
+			}
+		}
+	}
+	if r.Sort != nil {
+		for i, row := range r.Sort.Batches {
+			if len(row) == 0 {
+				r.Sort.Batches[i] = nil
+			}
+		}
+	}
+	if r.Rank != nil {
+		for i, row := range r.Rank.Ranks {
+			if len(row) == 0 {
+				r.Rank.Ranks[i] = nil
+			}
+		}
+	}
+}
+
+func TestErrorStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "x", "exactly8", "a longer error message with details: n=64, op=route", strings.Repeat("y", 5000)} {
+		resp := &Response{ID: 1, Status: StatusInternal, Err: s}
+		frame := encodeResponse(nil, resp)
+		got, err := decodeResponse(frame, OpRoute, 4)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		want := s
+		if len(want) > (maxErrWords-1)*8 {
+			want = want[:(maxErrWords-1)*8]
+		}
+		if got.Err != want {
+			t.Errorf("error string %q came back %q", want, got.Err)
+		}
+	}
+}
+
+func TestDecodeRequestRejectsMalformed(t *testing.T) {
+	n := 4
+	valid := encodeRequest(nil, &Request{ID: 1, Op: OpRoute, FaultCancelRound: -1,
+		Msgs: [][]cc.Message{{{Src: 0, Dst: 1, Seq: 0, Payload: 7}}}})
+	if _, err := decodeRequest(valid, n); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+	mutate := func(f []clique.Word, at int, v clique.Word) []clique.Word {
+		out := append([]clique.Word(nil), f...)
+		out[at] = v
+		return out
+	}
+	cases := map[string][]clique.Word{
+		"empty":           {},
+		"zero bodies":     {0},
+		"bad magic":       mutate(valid, 2, 0xBAD),
+		"bad version":     mutate(valid, 3, 99),
+		"truncated":       valid[:len(valid)-1],
+		"trailing words":  append(append([]clique.Word(nil), valid...), 0),
+		"negative count":  mutate(valid, 0, -1),
+		"oversized count": mutate(valid, 0, 1<<40),
+		"short header":    {1, 2, wireMagic, wireVersion},
+		"unknown op":      mutate(valid, 5, 77),
+		"neg deadline":    mutate(valid, 6, -5),
+		"fault too low":   mutate(valid, 9, -2),
+		"row not triple":  mutate(valid, 12, 4),
+	}
+	for name, frame := range cases {
+		if _, err := decodeRequest(frame, n); err == nil {
+			t.Errorf("%s: malformed frame accepted", name)
+		}
+	}
+
+	// Shape violations against n: more rows than nodes, more messages than n
+	// in one row.
+	tooManyRows := encodeRequest(nil, &Request{Op: OpSort, FaultCancelRound: -1,
+		Values: [][]int64{{1}, {2}, {3}, {4}, {5}}})
+	if _, err := decodeRequest(tooManyRows, n); err == nil {
+		t.Error("request with more rows than nodes accepted")
+	}
+	wideRow := encodeRequest(nil, &Request{Op: OpSort, FaultCancelRound: -1,
+		Values: [][]int64{{1, 2, 3, 4, 5}}})
+	if _, err := decodeRequest(wideRow, n); err == nil {
+		t.Error("request with more values than n in one row accepted")
+	}
+}
+
+func TestReadFrameBoundsAllocation(t *testing.T) {
+	// A frame declaring an enormous word count must be rejected from the
+	// 8-byte prefix alone, before any allocation.
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], 1<<40)
+	_, err := readFrame(bytes.NewReader(hdr[:]), wireLimitWords(64))
+	if !errors.Is(err, errFrameTooLarge) {
+		t.Fatalf("oversized frame: got %v, want errFrameTooLarge", err)
+	}
+
+	binary.BigEndian.PutUint64(hdr[:], 0)
+	if _, err := readFrame(bytes.NewReader(hdr[:]), wireLimitWords(64)); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+
+	// Truncated body: prefix promises 4 words, stream ends after 1.
+	buf := appendFrameBytes(nil, []clique.Word{3, 1, 0, 0})
+	if _, err := readFrame(bytes.NewReader(buf[:16]), wireLimitWords(64)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+
+	// Clean EOF between frames is io.EOF verbatim.
+	if _, err := readFrame(bytes.NewReader(nil), 16); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+// FuzzWireDecode fuzzes the service wire decoder end to end: arbitrary bytes
+// go through the length-prefixed frame reader (with the server's allocation
+// bound) and then through both the request and the response decoder.
+// Whatever the input, the decoders must return an error or a value — never
+// panic — and must reject oversized frames before allocating.
+func FuzzWireDecode(f *testing.F) {
+	const n = 16
+	req := encodeRequest(nil, &Request{ID: 3, Op: OpRoute, FaultCancelRound: -1,
+		Msgs: [][]cc.Message{{{Src: 0, Dst: 5, Seq: 0, Payload: 99}}, {{Src: 1, Dst: 0, Seq: 0, Payload: -1}}}})
+	f.Add(appendFrameBytes(nil, req))
+	resp := encodeResponse(nil, &Response{ID: 3, Strategy: int64(cc.StrategyDirect), Route: &RouteReply{
+		Delivered: make([][]cc.Message, n), Strategy: cc.StrategyDirect}})
+	f.Add(appendFrameBytes(nil, resp))
+	f.Add(appendFrameBytes(nil, encodeResponse(nil, &Response{ID: 1, Status: StatusInternal, Err: "boom"})))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 3, 1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := readFrame(bytes.NewReader(data), wireLimitWords(n))
+		if err != nil {
+			return
+		}
+		if len(frame) > wireLimitWords(n) {
+			t.Fatalf("readFrame returned %d words above its %d limit", len(frame), wireLimitWords(n))
+		}
+		if req, err := decodeRequest(frame, n); err == nil {
+			// Whatever decodes must re-encode to a decodable frame.
+			if _, err := decodeRequest(encodeRequest(nil, req), n); err != nil {
+				t.Fatalf("re-encoded request rejected: %v", err)
+			}
+		}
+		for _, op := range []Op{OpRoute, OpSort, OpSortKeys, OpRank, OpSelectKth, OpMedian, OpMode, OpCountSmallKeys, OpPing, OpServerStats} {
+			decodeResponse(frame, op, n) //nolint:errcheck // must not panic
+		}
+	})
+}
