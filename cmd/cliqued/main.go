@@ -45,6 +45,8 @@ func main() {
 		alg           = flag.String("alg", "", "force an algorithm: deterministic | low-compute | randomized | naive-direct | auto (empty = session default)")
 		allowFaults   = flag.Bool("allow-fault-injection", false, "let requests inject deterministic cancellations (chaos/load testing only)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long a drain may run before in-flight work is aborted")
+		planCache     = flag.Int("plan-cache", 0, "cross-run plan cache capacity for AlgorithmAuto requests (0 = off; implies the charged census)")
+		census        = flag.Bool("census", false, "charge the planner census on the wire for AlgorithmAuto requests (implied by -plan-cache)")
 	)
 	flag.Parse()
 
@@ -59,6 +61,8 @@ func main() {
 		RetryBackoff:        *retryBackoff,
 		RoundDeadline:       *roundDeadline,
 		AllowFaultInjection: *allowFaults,
+		PlanCacheCapacity:   *planCache,
+		ChargedCensus:       *census,
 	}
 	if *alg != "" {
 		a, err := parseAlgorithm(*alg)
@@ -77,8 +81,14 @@ func main() {
 		log.Fatalf("cliqued: %v", err)
 	}
 	st := srv.Stats()
-	log.Printf("cliqued: serving n=%d concurrency=%d queue=%d batch=%d on %s",
-		st.N, st.MaxConcurrency, st.QueueDepth, st.BatchMaxOps, ln.Addr())
+	cacheNote := ""
+	if *planCache > 0 {
+		cacheNote = fmt.Sprintf(" plan-cache=%d", *planCache)
+	} else if *census {
+		cacheNote = " census=on"
+	}
+	log.Printf("cliqued: serving n=%d concurrency=%d queue=%d batch=%d%s on %s",
+		st.N, st.MaxConcurrency, st.QueueDepth, st.BatchMaxOps, cacheNote, ln.Addr())
 
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
@@ -100,8 +110,8 @@ func main() {
 			log.Fatalf("cliqued: drain incomplete: %v", err)
 		}
 		st := srv.Stats()
-		log.Printf("cliqued: drained cleanly: ops=%d failed=%d retries=%d shed=%d drain-rejected=%d batched-runs=%d",
-			st.Operations, st.FailedOperations, st.Retries, st.SheddedOps, st.DrainRejected, st.BatchedRuns)
+		log.Printf("cliqued: drained cleanly: ops=%d failed=%d retries=%d shed=%d drain-rejected=%d batched-runs=%d cache-hits=%d cache-misses=%d",
+			st.Operations, st.FailedOperations, st.Retries, st.SheddedOps, st.DrainRejected, st.BatchedRuns, st.PlanCacheHits, st.PlanCacheMisses)
 	case err := <-serveErr:
 		if err != nil {
 			log.Fatalf("cliqued: serve: %v", err)

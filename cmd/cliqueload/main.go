@@ -72,6 +72,10 @@ type report struct {
 	StreamErrors []int   `json:"stream_errors,omitempty"`
 	FirstError   string  `json:"first_error,omitempty"`
 	Retries      int64   `json:"retries"`
+	// PlanCacheHits/PlanCacheMisses are the server-side plan-cache counter
+	// deltas over the run (network mode against a -plan-cache server only).
+	PlanCacheHits   int64 `json:"plan_cache_hits,omitempty"`
+	PlanCacheMisses int64 `json:"plan_cache_misses,omitempty"`
 	// SpeedupVsSerial is aggregate throughput relative to the sweep's k=1
 	// entry (only set in in-process sweep mode).
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
@@ -81,28 +85,30 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 func toReport(r loadgen.Result) report {
 	return report{
-		Mode:         "in-process",
-		N:            r.N,
-		Concurrency:  r.Concurrency,
-		Streams:      r.Streams,
-		OpsPerStream: r.OpsPerStream,
-		Workload:     r.Workload,
-		Cores:        r.Cores,
-		Gomaxprocs:   r.Gomaxprocs,
-		TotalOps:     r.TotalOps,
-		WallMs:       ms(r.Wall),
-		OpsPerSec:    r.OpsPerSec,
-		P50Ms:        ms(r.P50),
-		P90Ms:        ms(r.P90),
-		P99Ms:        ms(r.P99),
-		P999Ms:       ms(r.P999),
-		Verified:     r.Verified,
-		SucceededOps: r.SucceededOps,
-		FailedOps:    r.FailedOps,
-		SheddedOps:   r.SheddedOps,
-		StreamErrors: r.StreamErrors,
-		FirstError:   r.FirstError,
-		Retries:      r.Retries,
+		Mode:            "in-process",
+		N:               r.N,
+		Concurrency:     r.Concurrency,
+		Streams:         r.Streams,
+		OpsPerStream:    r.OpsPerStream,
+		Workload:        r.Workload,
+		Cores:           r.Cores,
+		Gomaxprocs:      r.Gomaxprocs,
+		TotalOps:        r.TotalOps,
+		WallMs:          ms(r.Wall),
+		OpsPerSec:       r.OpsPerSec,
+		P50Ms:           ms(r.P50),
+		P90Ms:           ms(r.P90),
+		P99Ms:           ms(r.P99),
+		P999Ms:          ms(r.P999),
+		Verified:        r.Verified,
+		SucceededOps:    r.SucceededOps,
+		FailedOps:       r.FailedOps,
+		SheddedOps:      r.SheddedOps,
+		StreamErrors:    r.StreamErrors,
+		FirstError:      r.FirstError,
+		Retries:         r.Retries,
+		PlanCacheHits:   r.PlanCacheHits,
+		PlanCacheMisses: r.PlanCacheMisses,
 	}
 }
 
@@ -367,21 +373,23 @@ func writeServiceSection(o netOptions, st *service.StatsReply, mode string, repo
 	}
 	for _, rep := range reports {
 		sec.MergeServiceRun(experiments.ServiceBench{
-			Mode:         mode,
-			Workload:     rep.Workload,
-			Streams:      rep.Streams,
-			Rate:         rep.Rate,
-			OfferedOps:   rep.TotalOps,
-			SucceededOps: rep.SucceededOps,
-			SheddedOps:   rep.SheddedOps,
-			FailedOps:    rep.FailedOps,
-			Retries:      rep.Retries,
-			VerifiedOps:  rep.Verified,
-			OpsPerSec:    rep.OpsPerSec,
-			P50Ms:        rep.P50Ms,
-			P99Ms:        rep.P99Ms,
-			P999Ms:       rep.P999Ms,
-			WallMs:       rep.WallMs,
+			Mode:            mode,
+			Workload:        rep.Workload,
+			Streams:         rep.Streams,
+			Rate:            rep.Rate,
+			OfferedOps:      rep.TotalOps,
+			SucceededOps:    rep.SucceededOps,
+			SheddedOps:      rep.SheddedOps,
+			FailedOps:       rep.FailedOps,
+			Retries:         rep.Retries,
+			PlanCacheHits:   rep.PlanCacheHits,
+			PlanCacheMisses: rep.PlanCacheMisses,
+			VerifiedOps:     rep.Verified,
+			OpsPerSec:       rep.OpsPerSec,
+			P50Ms:           rep.P50Ms,
+			P99Ms:           rep.P99Ms,
+			P999Ms:          rep.P999Ms,
+			WallMs:          rep.WallMs,
 		})
 	}
 	doc.Service = sec
@@ -404,6 +412,9 @@ func formatTable(reports []report) string {
 			rep.OpsPerSec, rep.P50Ms, rep.P90Ms, rep.P99Ms, rep.P999Ms)
 		if rep.SpeedupVsSerial > 0 {
 			fmt.Fprintf(&b, "  (%0.2fx vs k=1)", rep.SpeedupVsSerial)
+		}
+		if rep.PlanCacheHits+rep.PlanCacheMisses > 0 {
+			fmt.Fprintf(&b, "  (cache %d hits / %d misses)", rep.PlanCacheHits, rep.PlanCacheMisses)
 		}
 		b.WriteByte('\n')
 	}

@@ -2,14 +2,22 @@
 // the demand-aware planners (AlgorithmAuto) and reports, per scenario, the
 // chosen strategy and its cost — rounds, per-edge words, total words,
 // allocations and wall time — next to the word cost of the full
-// deterministic pipeline on the identical instance. Every planned delivery
-// (or sorted batch) is verified element by element against the pipeline's
-// before its numbers are reported.
+// deterministic pipeline on the identical instance, and (for routing
+// scenarios) of the randomized Valiant-style two-hop baseline. Every planned
+// delivery (or sorted batch) is verified element by element against the
+// pipeline's before its numbers are reported.
 //
 // With -json the results are merged into the scenarios section of
 // BENCH_protocol.json (the other sections, owned by cliquebench, are
 // preserved); with -out the rendered table is additionally written to a
 // file, which CI uploads as an artifact.
+//
+// With -temporal the tool runs the temporal catalog instead: bursty
+// sequences of routing instances executed step by step on one handle with
+// the cross-run plan cache armed (WithPlanCache, census charged) next to a
+// plain AlgorithmAuto handle, every step deep-compared between the two. The
+// recorded speedup is net of all caching overhead; results merge into the
+// temporal section of BENCH_protocol.json.
 //
 // With -chaos the tool runs the chaos catalog instead: every scenario injects
 // a deterministic fault plan (node panic, straggler stall, cancellation at a
@@ -56,6 +64,8 @@ func run() error {
 		names     = flag.String("scenarios", "all", "comma-separated scenario names (see -list), or all")
 		list      = flag.Bool("list", false, "list the scenario catalog and exit")
 		chaos     = flag.Bool("chaos", false, "run the chaos catalog (deterministic fault injection) instead of the bench catalog")
+		temporal  = flag.Bool("temporal", false, "run the temporal catalog (cross-run plan cache on bursty instance sequences) instead of the bench catalog")
+		cacheCap  = flag.Int("plan-cache", 8, "plan-cache capacity for -temporal runs")
 		iters     = flag.Int("iters", 1, "measured iterations per scenario (after one warm-up)")
 		jsonPath  = flag.String("json", "", "merge results into the scenarios section of this BENCH_protocol.json")
 		outPath   = flag.String("out", "", "also write the rendered table to this file")
@@ -83,6 +93,12 @@ func run() error {
 			}
 			return nil
 		}
+		if *temporal {
+			for _, s := range workload.TemporalScenarios() {
+				fmt.Printf("%-20s %s\n", s.Name, s.Description)
+			}
+			return nil
+		}
 		for _, s := range workload.Scenarios() {
 			fmt.Printf("%-20s %s\n", s.Name, s.Description)
 		}
@@ -90,6 +106,9 @@ func run() error {
 			fmt.Printf("%-20s %s\n", s.Name, s.Description)
 		}
 		return nil
+	}
+	if *temporal {
+		return runTemporalCatalog(*n, *seed, *names, *cacheCap, *jsonPath, *outPath, *markdown)
 	}
 	if *chaos {
 		rendered, err := runChaos(*n, *names, *markdown)
@@ -249,6 +268,18 @@ func runScenario(cl *cc.Clique, sc workload.Scenario, n int, seed int64, iters i
 		if row.TotalWords > 0 {
 			row.WordsVsPipeline = float64(det.Stats.TotalWords) / float64(row.TotalWords)
 		}
+		// The randomized Valiant-style two-hop baseline on the identical
+		// instance: what the planner's deterministic verdict is buying
+		// relative to the classic randomized solution.
+		rnd, err := cl.Route(ctx, msgs, cc.WithAlgorithm(cc.Randomized), cc.WithSeed(seed))
+		if err != nil {
+			return experiments.ScenarioBench{}, err
+		}
+		row.RandomizedTotalWords = rnd.Stats.TotalWords
+		row.RandomizedRounds = rnd.Stats.Rounds
+		if row.TotalWords > 0 {
+			row.WordsVsRandomized = float64(rnd.Stats.TotalWords) / float64(row.TotalWords)
+		}
 		if verify {
 			if err := sameDelivery(auto, det); err != nil {
 				return experiments.ScenarioBench{}, fmt.Errorf("planned delivery diverges from the pipeline: %w", err)
@@ -367,16 +398,23 @@ func sameDelivery(a, b *cc.RouteResult) error {
 
 func renderTable(section *experiments.ScenarioSection, markdown bool) string {
 	t := tables.New(
-		fmt.Sprintf("Scenario catalog, n=%d seed=%d (planner AlgorithmAuto vs deterministic pipeline)", section.N, section.Seed),
-		"scenario", "strategy", "rounds", "max edge words", "messages", "words", "pipeline words", "words x", "allocs/op", "ms/op",
+		fmt.Sprintf("Scenario catalog, n=%d seed=%d (planner AlgorithmAuto vs deterministic pipeline and randomized baseline)", section.N, section.Seed),
+		"scenario", "strategy", "rounds", "max edge words", "messages", "words", "pipeline words", "words x", "rand words", "rand x", "allocs/op", "ms/op",
 	)
 	for _, e := range section.Entries {
 		ratio := "-"
 		if e.WordsVsPipeline > 0 {
 			ratio = fmt.Sprintf("%.1fx", e.WordsVsPipeline)
 		}
+		randWords, randRatio := "-", "-"
+		if e.RandomizedRounds > 0 {
+			randWords = fmt.Sprintf("%d", e.RandomizedTotalWords)
+			if e.WordsVsRandomized > 0 {
+				randRatio = fmt.Sprintf("%.1fx", e.WordsVsRandomized)
+			}
+		}
 		t.AddRow(e.Scenario, e.Strategy, e.Rounds, e.MaxEdgeWords, e.TotalMessages, e.TotalWords,
-			e.PipelineTotalWords, ratio, e.AllocsPerOp, fmt.Sprintf("%.2f", float64(e.NsPerOp)/1e6))
+			e.PipelineTotalWords, ratio, randWords, randRatio, e.AllocsPerOp, fmt.Sprintf("%.2f", float64(e.NsPerOp)/1e6))
 	}
 	if markdown {
 		return t.Markdown()

@@ -1,0 +1,208 @@
+package main
+
+// The -temporal mode: execute each temporal trace step by step on a
+// plan-cached handle (census charged) and on a plain AlgorithmAuto handle,
+// deep-compare every step between the two, and record hit rate and net
+// speedup. The comparison is deliberately asymmetric in the cache side's
+// favor never being assumed: the cached handle pays the census on every step
+// and the schedule capture on every miss, while the plain handle pays
+// neither, so NetSpeedup is the end-to-end figure a caller with bursty
+// demand would actually see.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	cc "congestedclique"
+
+	"congestedclique/internal/experiments"
+	"congestedclique/internal/tables"
+	"congestedclique/internal/workload"
+)
+
+func runTemporalCatalog(n int, seed int64, names string, cacheCap int, jsonPath, outPath string, markdown bool) error {
+	scenarios, err := selectTemporalScenarios(names)
+	if err != nil {
+		return err
+	}
+	section := &experiments.TemporalSection{
+		Tool:   "cliquescen",
+		Schema: "congestedclique/bench-temporal/v1",
+		Seed:   seed,
+		Note:   "net speedup: the cached handle pays the charged census every step and the schedule capture on every miss; every step verified bit-identical to the cache-off handle",
+	}
+	for _, sc := range scenarios {
+		row, err := runTemporalScenario(sc, n, seed, cacheCap)
+		if err != nil {
+			return fmt.Errorf("temporal scenario %s: %w", sc.Name, err)
+		}
+		section.MergeTemporalRun(row)
+	}
+
+	rendered := renderTemporalTable(section, n, markdown)
+	fmt.Println(rendered)
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(rendered+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		doc, err := experiments.ReadProtocolDoc(jsonPath)
+		if err != nil {
+			return err
+		}
+		if doc.Temporal != nil {
+			// Preserve rows of other (scenario, n) keys from earlier runs.
+			for _, row := range section.Entries {
+				doc.Temporal.MergeTemporalRun(row)
+			}
+			doc.Temporal.Tool = section.Tool
+			doc.Temporal.Schema = section.Schema
+			doc.Temporal.Seed = section.Seed
+			doc.Temporal.Note = section.Note
+		} else {
+			doc.Temporal = section
+		}
+		if doc.Tool == "" {
+			doc.Tool = "cliquescen"
+			doc.Schema = "congestedclique/bench-protocol/v1"
+		}
+		if err := experiments.WriteProtocolDoc(jsonPath, doc); err != nil {
+			return err
+		}
+		fmt.Printf("temporal section written to %s\n", jsonPath)
+	}
+	return nil
+}
+
+func selectTemporalScenarios(names string) ([]workload.TemporalScenario, error) {
+	if names == "all" || names == "" {
+		return workload.TemporalScenarios(), nil
+	}
+	var out []workload.TemporalScenario
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		sc, ok := workload.TemporalScenarioByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown temporal scenario %q (known: %s)", name, strings.Join(workload.TemporalScenarioNames(), ", "))
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// runTemporalScenario executes one trace on both handles. Both engines are
+// warmed with one Deterministic run of the first instance — call-scoped, so
+// it touches neither the planner nor the cache — before the measured window.
+func runTemporalScenario(sc workload.TemporalScenario, n int, seed int64, cacheCap int) (experiments.TemporalBench, error) {
+	tr, err := sc.Build(n, seed)
+	if err != nil {
+		return experiments.TemporalBench{}, err
+	}
+	if err := workload.ValidateTrace(tr); err != nil {
+		return experiments.TemporalBench{}, err
+	}
+	instances := make([][][]cc.Message, len(tr.Distinct))
+	for v, ri := range tr.Distinct {
+		msgs := make([][]cc.Message, n)
+		for i, row := range ri.Msgs {
+			for _, m := range row {
+				msgs[i] = append(msgs[i], cc.Message{Src: m.Src, Dst: m.Dst, Seq: m.Seq, Payload: int64(m.Payload)})
+			}
+		}
+		instances[v] = msgs
+	}
+
+	ctx := context.Background()
+	off, err := cc.New(n, cc.WithAlgorithm(cc.AlgorithmAuto))
+	if err != nil {
+		return experiments.TemporalBench{}, err
+	}
+	defer off.Close()
+	on, err := cc.New(n, cc.WithAlgorithm(cc.AlgorithmAuto), cc.WithPlanCache(cacheCap))
+	if err != nil {
+		return experiments.TemporalBench{}, err
+	}
+	defer on.Close()
+	for _, cl := range []*cc.Clique{off, on} {
+		if _, err := cl.Route(ctx, instances[0], cc.WithAlgorithm(cc.Deterministic)); err != nil {
+			return experiments.TemporalBench{}, err
+		}
+	}
+
+	row := experiments.TemporalBench{
+		Scenario:          sc.Name,
+		N:                 n,
+		Steps:             tr.Steps(),
+		DistinctInstances: len(tr.Distinct),
+	}
+	var offNs, onNs int64
+	seen := make([]bool, len(tr.Distinct))
+	for t, k := range tr.Sequence {
+		msgs := instances[k]
+		start := time.Now()
+		want, err := off.Route(ctx, msgs)
+		if err != nil {
+			return experiments.TemporalBench{}, err
+		}
+		offNs += time.Since(start).Nanoseconds()
+		start = time.Now()
+		got, err := on.Route(ctx, msgs)
+		if err != nil {
+			return experiments.TemporalBench{}, err
+		}
+		onNs += time.Since(start).Nanoseconds()
+		if err := sameDelivery(got, want); err != nil {
+			return experiments.TemporalBench{}, fmt.Errorf("step %d (instance %d): cached delivery diverges from cache-off: %w", t, k, err)
+		}
+		if got.Strategy != want.Strategy {
+			return experiments.TemporalBench{}, fmt.Errorf("step %d: cached strategy %v vs cache-off %v", t, got.Strategy, want.Strategy)
+		}
+		row.Strategy = got.Strategy.String()
+		row.CacheOffRounds = want.Stats.Rounds
+		row.CacheOffTotalWords += want.Stats.TotalWords
+		row.CacheOnTotalWords += got.Stats.TotalWords
+		if seen[k] {
+			row.HitRounds = got.Stats.Rounds
+		} else {
+			row.MissRounds = got.Stats.Rounds
+			seen[k] = true
+		}
+	}
+	row.Verified = true
+	cs := on.CumulativeStats()
+	row.CacheHits, row.CacheMisses = cs.PlanCacheHits, cs.PlanCacheMisses
+	if lookups := cs.PlanCacheHits + cs.PlanCacheMisses; lookups > 0 {
+		row.HitRate = float64(cs.PlanCacheHits) / float64(lookups)
+	}
+	steps := int64(tr.Steps())
+	row.CacheOffNsPerOp = offNs / steps
+	row.CacheOnNsPerOp = onNs / steps
+	if onNs > 0 {
+		row.NetSpeedup = float64(offNs) / float64(onNs)
+	}
+	return row, nil
+}
+
+func renderTemporalTable(section *experiments.TemporalSection, n int, markdown bool) string {
+	t := tables.New(
+		fmt.Sprintf("Temporal catalog, n=%d seed=%d (plan cache + charged census vs plain AlgorithmAuto)", n, section.Seed),
+		"scenario", "strategy", "steps", "distinct", "hits", "misses", "hit rate", "rounds off/miss/hit", "words off", "words on", "ms/op off", "ms/op on", "net speedup",
+	)
+	for _, e := range section.Entries {
+		t.AddRow(e.Scenario, e.Strategy, e.Steps, e.DistinctInstances, e.CacheHits, e.CacheMisses,
+			fmt.Sprintf("%.1f%%", e.HitRate*100),
+			fmt.Sprintf("%d/%d/%d", e.CacheOffRounds, e.MissRounds, e.HitRounds),
+			e.CacheOffTotalWords, e.CacheOnTotalWords,
+			fmt.Sprintf("%.2f", float64(e.CacheOffNsPerOp)/1e6),
+			fmt.Sprintf("%.2f", float64(e.CacheOnNsPerOp)/1e6),
+			fmt.Sprintf("%.2fx", e.NetSpeedup))
+	}
+	if markdown {
+		return t.Markdown()
+	}
+	return t.String()
+}

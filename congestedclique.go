@@ -388,6 +388,16 @@ type CumulativeStats struct {
 	// Rejected calls (malformed instances, handle-scoped options passed per
 	// call) are not counted; they never reached an engine.
 	FailedOperations int64
+	// PlanCacheHits, PlanCacheMisses and PlanCacheInvalidations report the
+	// WithPlanCache ledger: hits are lookups whose fingerprint matched AND
+	// whose canonical demand sequence compared equal (validate-on-hit);
+	// invalidations are fingerprint matches whose sequence did not compare
+	// equal — a drifted instance or a hash collision — which evict the stale
+	// entry and are also counted as misses. All zero unless the handle was
+	// built with WithPlanCache.
+	PlanCacheHits          int64
+	PlanCacheMisses        int64
+	PlanCacheInvalidations int64
 }
 
 func statsFromCumulative(c clique.Cumulative) CumulativeStats {
@@ -438,6 +448,14 @@ type config struct {
 	// fault-free. Call-scoped; a handle default injects into every
 	// operation's first attempt (chaos soak testing).
 	faults []clique.Fault
+	// planCacheCap enables the cross-run plan cache with the given entry
+	// capacity (WithPlanCache; 0 = off). Handle-scoped: the cache lives on
+	// the handle and is shared by every engine of the pool.
+	planCacheCap int
+	// census arms the charged planner census on every AlgorithmAuto
+	// operation (WithChargedCensus; also implied by planCacheCap > 0).
+	// Handle-scoped.
+	census bool
 	// handleScoped is set to the option's name by every handle-scoped option
 	// so that per-call application can reject it with a useful message. It is
 	// reset before call options are applied and ignored by New.
@@ -540,6 +558,69 @@ func WithMaxConcurrency(k int) Option {
 		return nil
 	}
 }
+
+// WithPlanCache enables the handle's cross-run plan and schedule cache
+// (default: off) with capacity entries, evicted least-recently-used. The
+// cache applies to AlgorithmAuto operations only (the planner produces the
+// cached verdicts; explicitly chosen algorithms bypass it silently) and is
+// shared by every engine of the handle's pool.
+//
+// A cache entry stores the planner verdict, the pipeline's announcement
+// schedule and the engine's schedule colorings, keyed by an order-sensitive
+// fingerprint of the staged demand; on a hit the exact demand sequence is
+// compared word for word before anything cached is reused
+// (validate-on-hit), so a drifted instance or a hash collision is counted
+// as an invalidation and replanned — a wrong schedule can never be
+// executed. Validated pipeline hits skip the planner, the colorings and all
+// four announcement exchanges (16 rounds become 8); sorting hits skip the
+// planner and the colorings. SortKeys instances carrying caller-assigned
+// Origin/Seq labels bypass the cache (the canonical representation stores
+// values only).
+//
+// Honest accounting: WithPlanCache implies the charged census of
+// WithChargedCensus on every AlgorithmAuto operation, so the rounds and
+// words that establish plan agreement and carry the fingerprint are on the
+// wire and in the Stats — cache advantage is reported net of planning cost.
+// The hit/miss/invalidation ledger is surfaced in CumulativeStats. Memory
+// is bounded by capacity: a full-load n=256 route entry (demand sequence +
+// schedule + colorings) is on the order of one megabyte. Handle-scoped:
+// pass it to New.
+func WithPlanCache(capacity int) Option {
+	return func(c *config) error {
+		if capacity < 1 {
+			return fmt.Errorf("congestedclique: plan cache capacity must be at least 1, got %d", capacity)
+		}
+		c.planCacheCap = capacity
+		c.handleScoped = "WithPlanCache"
+		return nil
+	}
+}
+
+// WithChargedCensus arms the planner census as a real charged protocol on
+// every AlgorithmAuto operation of the handle: the O(1)-round aggregation
+// that establishes the plan distributedly — by default computed centrally
+// and charged nothing, keeping goldens bit-identical — runs on the wire
+// (three rounds for Route, two for Sort), its words and rounds land in the
+// operation's Stats, and every node verifies the distributed verdict
+// against its plan. See internal/core/census.go for the protocol and its
+// one documented on-faith quantity. Implied by WithPlanCache.
+// Handle-scoped: pass it to New.
+func WithChargedCensus() Option {
+	return func(c *config) error {
+		c.census = true
+		c.handleScoped = "WithChargedCensus"
+		return nil
+	}
+}
+
+// Census round costs charged to every AlgorithmAuto operation when the
+// census runs on the wire (WithChargedCensus, or implied by WithPlanCache).
+const (
+	// RouteCensusRounds is the round cost the charged census adds to Route.
+	RouteCensusRounds = core.RouteCensusRounds
+	// SortCensusRounds is the round cost the charged census adds to Sort.
+	SortCensusRounds = core.SortCensusRounds
+)
 
 // WithRoundDeadline arms a round watchdog on every engine of the handle: if
 // any round of an operation fails to turn over within d, the operation fails

@@ -259,12 +259,19 @@ type Network struct {
 	// watchdog goroutine, which exists from the first such run until Close.
 	pendingFaults *FaultPlan
 	faults        *FaultPlan
-	failCh        chan struct{}
-	arrivals      []atomic.Int32
-	wdKick        chan struct{}
-	wdHalt        chan struct{}
-	wdAck         chan struct{}
-	wdStarted     bool
+
+	// pendingSeed is a shared-computation snapshot armed by ArmSharedSeed
+	// and consumed by the next beginRun: its entries pre-populate sharedK
+	// after resetRun has cleared it, so a validated plan-cache hit can reuse
+	// colorings without weakening the per-run scoping invariant (the seed is
+	// applied once, for exactly the run it was armed for).
+	pendingSeed SharedSnapshot
+	failCh      chan struct{}
+	arrivals    []atomic.Int32
+	wdKick      chan struct{}
+	wdHalt      chan struct{}
+	wdAck       chan struct{}
+	wdStarted   bool
 
 	metricsMu sync.Mutex
 	metrics   Metrics
@@ -457,6 +464,16 @@ func (nw *Network) beginRun() error {
 	if nw.faults.hasStall() {
 		nw.failCh = make(chan struct{})
 	}
+	// Apply the armed shared-computation seed (if any) after resetRun has
+	// cleared the cache: the seed belongs to exactly this run.
+	if nw.pendingSeed.keyed != nil {
+		nw.sharedMu.Lock()
+		for k, v := range nw.pendingSeed.keyed {
+			nw.sharedK[k] = v
+		}
+		nw.sharedMu.Unlock()
+		nw.pendingSeed = SharedSnapshot{}
+	}
 	return nil
 }
 
@@ -481,7 +498,10 @@ func (nw *Network) endRun(completed bool) {
 // the same state a fresh Network would, while keeping the allocated capacity
 // of every buffer and map. The shared cache must not survive a run: the
 // memoised values are colorings of this run's demand matrices, which depend
-// on the instance data, not only on n.
+// on the instance data, not only on n. The one sanctioned way to carry
+// values across runs is ArmSharedSeed, which re-populates the cleared cache
+// for exactly one run — and only after the session's plan cache has verified
+// the new run executes the identical instance (validate-on-hit).
 func (nw *Network) resetRun() {
 	b := nw.buffers
 	for t := 0; t < nw.n; t++ {
@@ -993,6 +1013,49 @@ func (nd *Node) ReportMemory(words int) {
 	if int64(words) > nd.memory {
 		nd.memory = int64(words)
 	}
+}
+
+// SharedSnapshot is an immutable copy of a run's keyed shared-computation
+// cache (colorings, balance plans), taken by CaptureShared after a run and
+// re-applied to a later run by ArmSharedSeed. Snapshots may be shared across
+// engines and goroutines: the map is never mutated after capture and the
+// values it holds are the engine's memoised deterministic computations,
+// which every consumer treats as read-only.
+type SharedSnapshot struct {
+	keyed map[SharedKey]interface{}
+}
+
+// Len returns the number of captured entries (for tests and introspection).
+func (s SharedSnapshot) Len() int { return len(s.keyed) }
+
+// CaptureShared copies the keyed shared-computation cache of the engine's
+// most recent run. Memoised error values are skipped — a snapshot must only
+// carry reusable results. Call it between runs (after RunContext returns).
+func (nw *Network) CaptureShared() SharedSnapshot {
+	nw.sharedMu.Lock()
+	defer nw.sharedMu.Unlock()
+	if len(nw.sharedK) == 0 {
+		return SharedSnapshot{}
+	}
+	m := make(map[SharedKey]interface{}, len(nw.sharedK))
+	for k, v := range nw.sharedK {
+		if _, isErr := v.(error); isErr {
+			continue
+		}
+		m[k] = v
+	}
+	return SharedSnapshot{keyed: m}
+}
+
+// ArmSharedSeed arms snap for this Network's next run: beginRun applies it
+// after clearing the per-run cache, so exactly one run starts with the
+// snapshot's entries pre-memoised. Passing an empty SharedSnapshot disarms.
+// Like SetFaultPlan it must be called by the goroutine that starts the run,
+// between runs. The caller is responsible for only seeding a run that
+// executes the identical instance the snapshot was captured from — the
+// session's plan cache establishes that via validate-on-hit.
+func (nw *Network) ArmSharedSeed(snap SharedSnapshot) {
+	nw.pendingSeed = snap
 }
 
 // SharedCompute memoises a deterministic computation across nodes (see

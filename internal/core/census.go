@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"congestedclique/internal/clique"
+)
+
+// This file implements the planner census as a real charged protocol: the
+// O(1)-round aggregation that, in a genuine congested clique, every
+// AlgorithmAuto operation would spend before dispatching on a plan. By
+// default the simulator computes the plan centrally and charges nothing
+// (the goldens stay bit-identical); with WithChargedCensus — or implicitly
+// with WithPlanCache, whose hit-rate claims must be net of planning cost —
+// the census runs on the wire, its words and rounds land in the operation's
+// Stats, and every node verifies the distributed verdict against the plan it
+// was handed.
+//
+// Route census (3 rounds):
+//
+//	R1  transpose      node i -> node j: i's message count for j (1 word,
+//	                   busy pairs only). Afterwards every node knows its
+//	                   receive total; its send total, per-pair row maximum
+//	                   and order-sensitive row hash are local.
+//	R2  aggregate      node i -> node 0: [sendTotal, recvTotal, rowPairMax,
+//	                   rowHash] (4 words).
+//	R3  decide+spread  node 0 -> all: [strategy, relayRounds, fingerprint]
+//	                   (3 words). Node 0 recomputes the dispatch from the
+//	                   aggregates via routeStrategyFromCensus — the same
+//	                   decision procedure as PlanRoute — and folds the row
+//	                   hashes in node order into the instance fingerprint
+//	                   (the identical fold RouteFingerprint performs
+//	                   host-side). Every node checks the broadcast strategy
+//	                   against its plan and, when the plan carries a cache
+//	                   fingerprint, the broadcast fingerprint against it.
+//
+// One quantity travels on faith rather than being re-derived: the broadcast
+// path's relay-round count is a function of the full (relay, destination)
+// distribution, not of any O(1) per-node aggregate, so node 0 echoes the
+// plan's value into the decision instead of recomputing it. Everything else
+// of the verdict is derived from the wire.
+//
+// Sort census (2 rounds): the sorting verdict depends on value distribution
+// properties (distinct count, duplicity, partition boundaries) that have no
+// O(1)-word per-node summary, so the charged sort census is a fingerprint
+// agreement: nodes send (count, row hash) to node 0, which folds the cache
+// fingerprint and broadcasts it with the strategy echoed from the plan;
+// every node verifies both. The costs of a full distributed verdict would be
+// the §6.3 machinery itself — the honesty note in planner_sort.go spells
+// this out.
+
+// Census round and word costs, referenced by tests and docs.
+const (
+	// RouteCensusRounds is the round cost the charged route census adds to
+	// every AlgorithmAuto Route call.
+	RouteCensusRounds = 3
+	// SortCensusRounds is the round cost of the charged sort census.
+	SortCensusRounds = 2
+)
+
+// routeStrategyFromCensus replays PlanRoute's dispatch decision from the
+// census aggregates. PlanRoute and this function must agree on every
+// instance — a test sweeps the workload catalog to pin that — so the
+// distributed verdict is the plan's verdict whenever the plan matches the
+// instance.
+func routeStrategyFromCensus(n, total, maxPairMult, activeSources, relayRounds int) RouteStrategy {
+	switch {
+	case total == 0:
+		return StrategyEmpty
+	case total > FastPathMaxTotal(n):
+		return StrategyPipeline
+	case maxPairMult <= DirectMaxMultiplicity:
+		return StrategyDirect
+	case activeSources > BroadcastSourceCap(n):
+		return StrategyPipeline
+	case 1+relayRounds <= BroadcastMaxRounds:
+		return StrategyBroadcast
+	default:
+		return StrategyPipeline
+	}
+}
+
+// runRouteCensus executes one node's part of the charged route census and
+// verifies the distributed verdict against the plan. Any disagreement —
+// strategy, relay rounds, or cache fingerprint — is an error: the plan does
+// not match the instance the nodes are actually holding.
+func runRouteCensus(ex clique.Exchanger, msgs []Message, plan RoutePlan) error {
+	n := ex.N()
+
+	// R1: transpose the demand counts so every node learns its receive total.
+	cnt := make([]int, n)
+	rowPairMax := 0
+	for _, m := range msgs {
+		if m.Dst < 0 || m.Dst >= n {
+			return fmt.Errorf("core: census: destination %d out of range", m.Dst)
+		}
+		cnt[m.Dst]++
+		if cnt[m.Dst] > rowPairMax {
+			rowPairMax = cnt[m.Dst]
+		}
+	}
+	// One backing buffer for all R1 sends: the engine copies payloads at
+	// delivery, and the capacity-n pre-allocation means the views handed to
+	// Send stay valid (append never reallocates).
+	sendBuf := make([]clique.Word, 0, n)
+	for dst, v := range cnt {
+		if v > 0 {
+			sendBuf = append(sendBuf, clique.Word(v))
+			ex.Send(dst, clique.Packet(sendBuf[len(sendBuf)-1:]))
+		}
+	}
+	inbox, err := ex.Exchange()
+	if err != nil {
+		return fmt.Errorf("core: census: %w", err)
+	}
+	recvTotal := 0
+	for _, packets := range inbox {
+		for _, p := range packets {
+			if len(p) < 1 {
+				return fmt.Errorf("core: census: malformed count message")
+			}
+			recvTotal += int(p[0])
+		}
+	}
+
+	// R2: every node reports its aggregates to node 0. The row hash is the
+	// order-sensitive FNV fold over this node's destination sequence — the
+	// same function the host-side fingerprint uses per row.
+	ex.Send(0, clique.Packet{
+		clique.Word(len(msgs)),
+		clique.Word(recvTotal),
+		clique.Word(rowPairMax),
+		clique.Word(routeRowHash(msgs)),
+	})
+	inbox, err = ex.Exchange()
+	if err != nil {
+		return fmt.Errorf("core: census: %w", err)
+	}
+
+	// R3: node 0 folds the fingerprint, recomputes the dispatch and
+	// broadcasts the verdict.
+	if ex.ID() == 0 {
+		total, maxPair, activeSources := 0, 0, 0
+		h := uint64(fnvOffset64)
+		for from := 0; from < n; from++ {
+			if len(inbox[from]) != 1 || len(inbox[from][0]) != 4 {
+				return fmt.Errorf("core: census: node 0 missing aggregate from node %d", from)
+			}
+			p := inbox[from][0]
+			sendTotal := int(p[0])
+			total += sendTotal
+			if sendTotal > 0 {
+				activeSources++
+			}
+			if int(p[2]) > maxPair {
+				maxPair = int(p[2])
+			}
+			h = foldRows(h, sendTotal, uint64(p[3]))
+		}
+		strategy := routeStrategyFromCensus(n, total, maxPair, activeSources, plan.relayRoundsCensus)
+		verdict := clique.Packet{clique.Word(strategy), clique.Word(plan.relayRoundsCensus), clique.Word(h)}
+		for to := 0; to < n; to++ {
+			ex.Send(to, verdict)
+		}
+	}
+	inbox, err = ex.Exchange()
+	if err != nil {
+		return fmt.Errorf("core: census: %w", err)
+	}
+	if len(inbox[0]) != 1 || len(inbox[0][0]) != 3 {
+		return fmt.Errorf("core: census: node %d missing verdict broadcast", ex.ID())
+	}
+	verdict := inbox[0][0]
+	if RouteStrategy(verdict[0]) != plan.Strategy {
+		return fmt.Errorf("core: census: distributed verdict %v disagrees with plan %v at node %d",
+			RouteStrategy(verdict[0]), plan.Strategy, ex.ID())
+	}
+	if int(verdict[1]) != plan.relayRoundsCensus {
+		return fmt.Errorf("core: census: relay rounds %d disagree with plan %d", int(verdict[1]), plan.relayRoundsCensus)
+	}
+	if plan.CensusHasFP && uint64(verdict[2]) != plan.CensusFP {
+		return fmt.Errorf("core: census: instance fingerprint %x disagrees with plan fingerprint %x at node %d",
+			uint64(verdict[2]), plan.CensusFP, ex.ID())
+	}
+	return nil
+}
+
+// runSortCensus executes one node's part of the charged sort census: a
+// two-round fingerprint agreement plus verdict broadcast (see the file
+// comment for why the sort verdict itself is echoed, not re-derived).
+func runSortCensus(ex clique.Exchanger, myKeys []Key, plan SortPlan) error {
+	n := ex.N()
+
+	// R1: every node reports (count, row hash) to node 0.
+	ex.Send(0, clique.Packet{clique.Word(len(myKeys)), clique.Word(sortRowHash(myKeys))})
+	inbox, err := ex.Exchange()
+	if err != nil {
+		return fmt.Errorf("core: sort census: %w", err)
+	}
+
+	// R2: node 0 folds and broadcasts [strategy, fingerprint].
+	if ex.ID() == 0 {
+		h := uint64(fnvOffset64)
+		for from := 0; from < n; from++ {
+			if len(inbox[from]) != 1 || len(inbox[from][0]) != 2 {
+				return fmt.Errorf("core: sort census: node 0 missing aggregate from node %d", from)
+			}
+			p := inbox[from][0]
+			h = foldRows(h, int(p[0]), uint64(p[1]))
+		}
+		verdict := clique.Packet{clique.Word(plan.Strategy), clique.Word(h)}
+		for to := 0; to < n; to++ {
+			ex.Send(to, verdict)
+		}
+	}
+	inbox, err = ex.Exchange()
+	if err != nil {
+		return fmt.Errorf("core: sort census: %w", err)
+	}
+	if len(inbox[0]) != 1 || len(inbox[0][0]) != 2 {
+		return fmt.Errorf("core: sort census: node %d missing verdict broadcast", ex.ID())
+	}
+	verdict := inbox[0][0]
+	if SortStrategy(verdict[0]) != plan.Strategy {
+		return fmt.Errorf("core: sort census: broadcast verdict %v disagrees with plan %v at node %d",
+			SortStrategy(verdict[0]), plan.Strategy, ex.ID())
+	}
+	if plan.CensusHasFP && uint64(verdict[1]) != plan.CensusFP {
+		return fmt.Errorf("core: sort census: instance fingerprint %x disagrees with plan fingerprint %x at node %d",
+			uint64(verdict[1]), plan.CensusFP, ex.ID())
+	}
+	return nil
+}

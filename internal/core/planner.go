@@ -37,13 +37,16 @@ import (
 // would be legal (for example a full-load permutation instance).
 //
 // Honesty note on the model: PlanRoute runs centrally, over the instance the
-// simulator already holds. In a real congested clique the same census is one
-// O(1)-round aggregation (every node announces its per-pair maxima and
-// totals, Corollary 3.3 spreads the result); the simulator does not charge
-// those words, exactly as it does not charge the deterministic schedule
-// computations all nodes perform locally. The plan is a pure function of the
-// instance, so every node dispatching on it agrees on the strategy and the
-// round count without communication.
+// simulator already holds. In a real congested clique the same census is an
+// O(1)-round aggregation; by default the simulator does not charge those
+// words, exactly as it does not charge the deterministic schedule
+// computations all nodes perform locally. Since PR 9 the census exists as a
+// real charged protocol (census.go, armed by WithChargedCensus or implied by
+// WithPlanCache): three rounds on the wire that recompute the strategy
+// verdict distributedly and verify it against the plan, so planner and cache
+// wins can be reported net of planning cost. The plan remains a pure
+// function of the instance, so every node dispatching on it agrees on the
+// strategy and the round count.
 
 // RouteStrategy identifies the delivery strategy the demand-aware planner
 // selected for a routing instance.
@@ -150,6 +153,28 @@ type RoutePlan struct {
 	// RelayRounds is the broadcast path's delivery round count (after the
 	// one scatter round); set only when Strategy == StrategyBroadcast.
 	RelayRounds int
+
+	// relayRoundsCensus is the scatter depth the dispatch decision consumed
+	// (set whenever planRelayRounds ran, even when the pipeline won); the
+	// charged census broadcasts it so its distributed decision replays
+	// PlanRoute's exactly.
+	relayRoundsCensus int
+
+	// Census arms the charged census protocol (census.go) for this
+	// execution: AutoRoute spends its rounds and words on the wire before
+	// dispatching. CensusHasFP additionally carries the plan-cache
+	// fingerprint for distributed agreement; both are per-run execution
+	// state, never part of a cached verdict.
+	Census      bool
+	CensusHasFP bool
+	CensusFP    uint64
+
+	// Sched is a validated cached announcement schedule to execute instead
+	// of the pipeline's announcement exchanges; Capture is an empty schedule
+	// to record them into. At most one is set, only for pipeline dispatch,
+	// and only by the session's plan-cache layer.
+	Sched   *RouteSchedule
+	Capture *RouteSchedule
 }
 
 // Rounds returns the number of communication rounds the plan's strategy will
@@ -279,6 +304,7 @@ func PlanRoute(n int, msgs [][]Message) RoutePlan {
 		return plan
 	}
 	relayRounds := planRelayRounds(n, msgs, sc)
+	plan.relayRoundsCensus = relayRounds
 	if 1+relayRounds <= BroadcastMaxRounds {
 		plan.Strategy = StrategyBroadcast
 		plan.RelayRounds = relayRounds
@@ -317,6 +343,11 @@ func AutoRoute(ex clique.Exchanger, msgs []Message, plan RoutePlan) ([]Message, 
 	if plan.N != ex.N() {
 		return nil, fmt.Errorf("core: plan computed for n=%d executed on n=%d", plan.N, ex.N())
 	}
+	if plan.Census {
+		if err := runRouteCensus(ex, msgs, plan); err != nil {
+			return nil, err
+		}
+	}
 	switch plan.Strategy {
 	case StrategyEmpty:
 		if len(msgs) != 0 {
@@ -328,7 +359,7 @@ func AutoRoute(ex clique.Exchanger, msgs []Message, plan RoutePlan) ([]Message, 
 	case StrategyBroadcast:
 		return broadcastRoute(ex, msgs, plan.RelayRounds)
 	case StrategyPipeline:
-		return Route(ex, msgs)
+		return routeWithSchedule(ex, msgs, plan.Sched, plan.Capture)
 	default:
 		return nil, fmt.Errorf("core: unknown route strategy %v", plan.Strategy)
 	}

@@ -37,10 +37,16 @@ import (
 // min/max spread via Corollary 3.3, and the distinct-value table of the
 // small-domain arm is only consulted when it has at most n/log²n entries —
 // the regime in which Section 6.3 itself assumes the domain is globally
-// known. The simulator does not charge those words, exactly as it does not
-// charge the deterministic schedule computations all nodes perform locally.
+// known. By default the simulator does not charge those words, exactly as it
+// does not charge the deterministic schedule computations all nodes perform
+// locally. Since PR 9 a charged sort census exists (census.go, armed by
+// WithChargedCensus or implied by WithPlanCache): two rounds of fingerprint
+// agreement plus a verdict broadcast. Unlike the route census it does not
+// re-derive the verdict distributedly — the sorting verdict depends on value
+// distribution properties with no O(1)-word per-node summary — so its charge
+// is honest for agreement, while the verdict itself is echoed from the plan.
 // The plan is a pure function of the instance, so every node dispatching on
-// it agrees on the strategy without communication.
+// it agrees on the strategy.
 
 // SortStrategy identifies the strategy the demand-aware sorting planner
 // selected for a sorting instance.
@@ -128,6 +134,14 @@ type SortPlan struct {
 	// i's first key and StartRanks[n] the total; set only when Strategy ==
 	// SortStrategyPresorted.
 	StartRanks []int
+
+	// Census arms the charged sort census (census.go) for this execution;
+	// CensusHasFP additionally carries the plan-cache fingerprint for
+	// distributed agreement. Per-run execution state, never part of a
+	// cached verdict.
+	Census      bool
+	CensusHasFP bool
+	CensusFP    uint64
 }
 
 // Rounds returns the number of communication rounds the plan's strategy will
@@ -268,6 +282,11 @@ func PlanSort(n int, keys [][]Key) SortPlan {
 func AutoSort(ex clique.Exchanger, myKeys []Key, plan SortPlan) (*SortResult, error) {
 	if plan.N != ex.N() {
 		return nil, fmt.Errorf("core: sort plan computed for n=%d executed on n=%d", plan.N, ex.N())
+	}
+	if plan.Census && ex.N() > 1 {
+		if err := runSortCensus(ex, myKeys, plan); err != nil {
+			return nil, err
+		}
 	}
 	if ex.N() == 1 {
 		// Mirror Sort's single-node shortcut for every arm.

@@ -75,7 +75,7 @@ func routeGeneral(c *comm, parcels []parcel, st step) ([]parcel, error) {
 			if err != nil {
 				return err
 			}
-			res, err := routeSquare(sub, parcels1, st.sub("v1", kcV1))
+			res, err := routeSquare(sub, parcels1, st.sub("v1", kcV1), nil, nil)
 			if err != nil {
 				return err
 			}
@@ -89,7 +89,7 @@ func routeGeneral(c *comm, parcels []parcel, st step) ([]parcel, error) {
 			if err != nil {
 				return err
 			}
-			res, err := routeSquare(sub, parcels2, st.sub("v2", kcV2))
+			res, err := routeSquare(sub, parcels2, st.sub("v2", kcV2), nil, nil)
 			if err != nil {
 				return err
 			}

@@ -86,6 +86,14 @@ type ScenarioBench struct {
 	// planned execution (warm engine, one measured iteration by default).
 	NsPerOp     int64 `json:"ns_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// RandomizedTotalWords/RandomizedRounds are the cost of the randomized
+	// Valiant-style two-hop baseline on the identical instance (routing
+	// scenarios only — the randomized sorting baseline is a different
+	// algorithm family, not a per-scenario routing comparison);
+	// WordsVsRandomized = RandomizedTotalWords / TotalWords.
+	RandomizedTotalWords int64   `json:"randomized_total_words,omitempty"`
+	RandomizedRounds     int     `json:"randomized_rounds,omitempty"`
+	WordsVsRandomized    float64 `json:"words_vs_randomized,omitempty"`
 	// Verified reports that the planned delivery was compared message by
 	// message against the deterministic pipeline's and found identical.
 	Verified bool `json:"verified"`
@@ -118,12 +126,16 @@ type ServiceBench struct {
 	SheddedOps   int     `json:"shedded_ops"`
 	FailedOps    int     `json:"failed_ops"`
 	Retries      int64   `json:"retries"`
-	VerifiedOps  int     `json:"verified_ops"`
-	OpsPerSec    float64 `json:"ops_per_sec"`
-	P50Ms        float64 `json:"latency_p50_ms"`
-	P99Ms        float64 `json:"latency_p99_ms"`
-	P999Ms       float64 `json:"latency_p999_ms"`
-	WallMs       float64 `json:"wall_ms"`
+	// PlanCacheHits/PlanCacheMisses are the server-side plan-cache counter
+	// deltas over the run (zero unless cliqued runs with -plan-cache).
+	PlanCacheHits   int64   `json:"plan_cache_hits,omitempty"`
+	PlanCacheMisses int64   `json:"plan_cache_misses,omitempty"`
+	VerifiedOps     int     `json:"verified_ops"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	P50Ms           float64 `json:"latency_p50_ms"`
+	P99Ms           float64 `json:"latency_p99_ms"`
+	P999Ms          float64 `json:"latency_p999_ms"`
+	WallMs          float64 `json:"wall_ms"`
 }
 
 // ServiceSection is the service block of BENCH_protocol.json: the network
@@ -155,6 +167,64 @@ func (s *ServiceSection) MergeServiceRun(run ServiceBench) {
 	s.Runs = append(s.Runs, run)
 }
 
+// TemporalBench is one measured temporal-scenario trace: a sequence of
+// routing instances with bursty repetition, executed on one handle with the
+// plan cache armed (census charged) versus one plain AlgorithmAuto handle,
+// every step's delivery deep-compared between the two. The speedup is net:
+// the cache side pays the census on every step and the capture on every
+// miss.
+type TemporalBench struct {
+	Scenario string `json:"scenario"`
+	N        int    `json:"n"`
+	// Steps is the trace length; DistinctInstances of them are unique, so
+	// Steps - DistinctInstances are expected cache hits.
+	Steps             int    `json:"steps"`
+	DistinctInstances int    `json:"distinct_instances"`
+	Strategy          string `json:"strategy"`
+	CacheHits         int64  `json:"cache_hits"`
+	CacheMisses       int64  `json:"cache_misses"`
+	// HitRate = CacheHits / (CacheHits + CacheMisses).
+	HitRate float64 `json:"hit_rate"`
+	// MissRounds/HitRounds are the per-op round costs observed on the cache
+	// side (census included); CacheOffRounds is the plain planner's cost.
+	CacheOffRounds int `json:"cache_off_rounds"`
+	MissRounds     int `json:"miss_rounds"`
+	HitRounds      int `json:"hit_rounds"`
+	// CacheOffNsPerOp/CacheOnNsPerOp are amortized wall times over the whole
+	// trace; NetSpeedup = CacheOffNsPerOp / CacheOnNsPerOp.
+	CacheOffNsPerOp    int64   `json:"cache_off_ns_per_op"`
+	CacheOnNsPerOp     int64   `json:"cache_on_ns_per_op"`
+	NetSpeedup         float64 `json:"net_speedup"`
+	CacheOffTotalWords int64   `json:"cache_off_total_words"`
+	CacheOnTotalWords  int64   `json:"cache_on_total_words"`
+	// Verified reports that every step's delivery on the cached handle was
+	// compared message by message against the cache-off handle's.
+	Verified bool `json:"verified"`
+}
+
+// TemporalSection is the temporal block of BENCH_protocol.json, written by
+// cmd/cliquescen -temporal. Rows merge by (scenario, n) so the section can
+// be regenerated one trace at a time.
+type TemporalSection struct {
+	Tool    string          `json:"tool"`
+	Schema  string          `json:"schema"`
+	Seed    int64           `json:"seed"`
+	Note    string          `json:"note,omitempty"`
+	Entries []TemporalBench `json:"entries"`
+}
+
+// MergeTemporalRun replaces the row with the same (scenario, n) key or
+// appends a new one, keeping regeneration idempotent.
+func (s *TemporalSection) MergeTemporalRun(run TemporalBench) {
+	for i, r := range s.Entries {
+		if r.Scenario == run.Scenario && r.N == run.N {
+			s.Entries[i] = run
+			return
+		}
+	}
+	s.Entries = append(s.Entries, run)
+}
+
 // ProtocolDoc is the schema of BENCH_protocol.json.
 type ProtocolDoc struct {
 	Tool     string          `json:"tool"`
@@ -177,6 +247,10 @@ type ProtocolDoc struct {
 	// ServiceSection); owned by cmd/cliqueload -addr -protocol-json and
 	// preserved by the other writers.
 	Service *ServiceSection `json:"service,omitempty"`
+	// Temporal records the cross-run plan-cache profile on bursty instance
+	// sequences (see TemporalSection); owned by cmd/cliquescen -temporal and
+	// preserved by the other writers.
+	Temporal *TemporalSection `json:"temporal,omitempty"`
 	// PreRefactorBaseline is the recorded per-parcel implementation the
 	// flat-frame layer is compared against.
 	PreRefactorBaseline []ProtocolBench `json:"pre_refactor_baseline"`

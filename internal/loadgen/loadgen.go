@@ -91,6 +91,11 @@ type Result struct {
 	// in-process runs, which have no admission queue. Shed operations are
 	// not FailedOps: shedding is the overload policy working as designed.
 	SheddedOps int
+	// PlanCacheHits and PlanCacheMisses are the server-side plan-cache
+	// counter deltas over the measured pass (network mode only, and only
+	// nonzero when the server runs with -plan-cache).
+	PlanCacheHits   int64
+	PlanCacheMisses int64
 }
 
 // golden holds the serial reference results of the run's workloads.

@@ -260,6 +260,8 @@ func RunNetwork(ctx context.Context, cfg NetworkConfig) (Result, error) {
 		return Result{}, fmt.Errorf("loadgen: server stats: %w", err)
 	}
 	res.Retries = statsAfter.Retries - statsBefore.Retries
+	res.PlanCacheHits = statsAfter.PlanCacheHits - statsBefore.PlanCacheHits
+	res.PlanCacheMisses = statsAfter.PlanCacheMisses - statsBefore.PlanCacheMisses
 	res.Verified = verified
 	return res, nil
 }

@@ -50,6 +50,14 @@ type Config struct {
 	// (chaos hook for faulted load runs). Off by default: a production
 	// server must not let clients cancel engine rounds.
 	AllowFaultInjection bool
+	// PlanCacheCapacity, when > 0, arms the cross-run plan and schedule
+	// cache on the handle (WithPlanCache): AlgorithmAuto requests carrying
+	// demand the server has seen before reuse the validated plan, with the
+	// census charged on the wire. 0 disables (the default).
+	PlanCacheCapacity int
+	// ChargedCensus arms the charged planner census (WithChargedCensus)
+	// without the cache; implied by PlanCacheCapacity > 0.
+	ChargedCensus bool
 }
 
 // Server is the network front-end: it accepts wire-protocol connections,
@@ -127,9 +135,17 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Retries < 0 || cfg.RetryBackoff < 0 {
 		return nil, errors.New("service: negative retry configuration")
 	}
+	if cfg.PlanCacheCapacity < 0 {
+		return nil, errors.New("service: negative plan-cache capacity")
+	}
 	opts := []cc.Option{cc.WithMaxConcurrency(cfg.MaxConcurrency)}
 	if cfg.RoundDeadline > 0 {
 		opts = append(opts, cc.WithRoundDeadline(cfg.RoundDeadline))
+	}
+	if cfg.PlanCacheCapacity > 0 {
+		opts = append(opts, cc.WithPlanCache(cfg.PlanCacheCapacity))
+	} else if cfg.ChargedCensus {
+		opts = append(opts, cc.WithChargedCensus())
 	}
 	cl, err := cc.New(cfg.N, opts...)
 	if err != nil {
@@ -464,6 +480,10 @@ func (s *Server) Stats() StatsReply {
 		DrainRejected:    s.drainRejected.Load(),
 		BatchedRuns:      s.batchedRuns.Load(),
 		BatchedOps:       s.batchedOps.Load(),
+
+		PlanCacheHits:          cs.PlanCacheHits,
+		PlanCacheMisses:        cs.PlanCacheMisses,
+		PlanCacheInvalidations: cs.PlanCacheInvalidations,
 	}
 }
 

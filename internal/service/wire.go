@@ -262,6 +262,11 @@ type StatsReply struct {
 	DrainRejected int64
 	BatchedRuns   int64
 	BatchedOps    int64
+	// PlanCacheHits..PlanCacheInvalidations mirror the handle's plan-cache
+	// counters (all zero unless the server runs with a plan cache).
+	PlanCacheHits          int64
+	PlanCacheMisses        int64
+	PlanCacheInvalidations int64
 }
 
 // Response is the decoded form of one wire response.
@@ -677,7 +682,9 @@ func encodeResponse(dst []clique.Word, resp *Response) []clique.Word {
 				clique.Word(st.TotalMessages), clique.Word(st.TotalWords),
 				clique.Word(st.Retries), clique.Word(st.FailedOperations),
 				clique.Word(st.SheddedOps), clique.Word(st.DrainRejected),
-				clique.Word(st.BatchedRuns), clique.Word(st.BatchedOps))
+				clique.Word(st.BatchedRuns), clique.Word(st.BatchedOps),
+				clique.Word(st.PlanCacheHits), clique.Word(st.PlanCacheMisses),
+				clique.Word(st.PlanCacheInvalidations))
 		})
 	default:
 		// OpPing replies carry the clique size in PingN.
@@ -690,7 +697,7 @@ func encodeResponse(dst []clique.Word, resp *Response) []clique.Word {
 }
 
 // statsReplyWords is the exact body length of an OpServerStats reply.
-const statsReplyWords = 15
+const statsReplyWords = 18
 
 // decodeResponse parses a response frame; op is the operation of the request
 // it answers (responses do not repeat the op on the wire — the caller matches
@@ -827,6 +834,8 @@ func decodeResponse(frame []clique.Word, op Op, n int) (*Response, error) {
 			TotalWords: int64(r[8]), Retries: int64(r[9]), FailedOperations: int64(r[10]),
 			SheddedOps: int64(r[11]), DrainRejected: int64(r[12]),
 			BatchedRuns: int64(r[13]), BatchedOps: int64(r[14]),
+			PlanCacheHits: int64(r[15]), PlanCacheMisses: int64(r[16]),
+			PlanCacheInvalidations: int64(r[17]),
 		}
 	default:
 		return nil, fmt.Errorf("service: unknown op %d decoding response", int(op))

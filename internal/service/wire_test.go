@@ -105,6 +105,7 @@ func TestResponseRoundTrip(t *testing.T) {
 			Operations: 10, Rounds: 160, TotalMessages: 99, TotalWords: 400,
 			Retries: 1, FailedOperations: 2, SheddedOps: 3, DrainRejected: 4,
 			BatchedRuns: 5, BatchedOps: 6,
+			PlanCacheHits: 7, PlanCacheMisses: 8, PlanCacheInvalidations: 9,
 		}}},
 		{OpRoute, &Response{ID: 9, Status: StatusOverloaded, Err: ErrOverloaded.Error()}},
 		{OpSort, &Response{ID: 10, Status: StatusDraining, Err: ErrDraining.Error()}},

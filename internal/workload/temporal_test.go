@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+
+	"congestedclique/internal/core"
+)
+
+func TestTemporalCatalogTraces(t *testing.T) {
+	t.Parallel()
+	const n = 16
+	for _, sc := range TemporalScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			tr, err := sc.Build(n, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ValidateTrace(tr); err != nil {
+				t.Fatal(err)
+			}
+			if tr.IdealHitRate() < 0.75 {
+				t.Fatalf("ideal hit rate %.2f, the temporal family targets bursty repetition", tr.IdealHitRate())
+			}
+			// Every distinct instance must be a legal Problem 3.1 instance and
+			// genuinely distinct in its demand (the cache keys on the ordered
+			// destination sequence, not payloads).
+			seen := map[uint64]int{}
+			for v, ri := range tr.Distinct {
+				if len(ri.Msgs) != n {
+					t.Fatalf("instance %d has %d rows", v, len(ri.Msgs))
+				}
+				recv := make([]int, n)
+				for src, row := range ri.Msgs {
+					if len(row) > n {
+						t.Fatalf("instance %d node %d sends %d > n", v, src, len(row))
+					}
+					for _, m := range row {
+						recv[m.Dst]++
+					}
+				}
+				for dst, r := range recv {
+					if r > n {
+						t.Fatalf("instance %d node %d receives %d > n", v, dst, r)
+					}
+				}
+				fp := core.RouteFingerprint(n, ri.Msgs)
+				if prev, dup := seen[fp.Hash]; dup {
+					t.Fatalf("instances %d and %d share demand fingerprint %x", prev, v, fp.Hash)
+				}
+				seen[fp.Hash] = v
+			}
+			// Determinism: the same (n, seed) rebuilds the same demand.
+			tr2, err := sc.Build(n, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range tr.Distinct {
+				if core.RouteFingerprint(n, tr.Distinct[v].Msgs) != core.RouteFingerprint(n, tr2.Distinct[v].Msgs) {
+					t.Fatalf("instance %d not reproducible from (n, seed)", v)
+				}
+			}
+		})
+	}
+}
+
+func TestTemporalScenarioLookup(t *testing.T) {
+	t.Parallel()
+	for _, name := range TemporalScenarioNames() {
+		if _, ok := TemporalScenarioByName(name); !ok {
+			t.Fatalf("catalog name %q not resolvable", name)
+		}
+	}
+	if _, ok := TemporalScenarioByName("no-such-trace"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}

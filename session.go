@@ -63,6 +63,11 @@ type Clique struct {
 	// CumulativeStats).
 	retries   atomic.Int64
 	failedOps atomic.Int64
+
+	// planCache is the cross-run plan and schedule cache (WithPlanCache;
+	// nil when disabled). One instance per handle, shared by every engine
+	// of the pool — core.PlanCache is safe for concurrent use.
+	planCache *core.PlanCache
 }
 
 // execUnit is one poolable executor: an engine plus the input staging and
@@ -129,6 +134,9 @@ func New(n int, opts ...Option) (*Clique, error) {
 		idle:     []*execUnit{u},
 		engines:  []*execUnit{u},
 	}
+	if cfg.planCacheCap > 0 {
+		c.planCache = core.NewPlanCache(cfg.planCacheCap)
+	}
 	for i := 0; i < k; i++ {
 		c.slots <- struct{}{}
 	}
@@ -194,6 +202,9 @@ func (c *Clique) CumulativeStats() CumulativeStats {
 	cs := statsFromCumulative(total)
 	cs.Retries = c.retries.Load()
 	cs.FailedOperations = c.failedOps.Load()
+	if c.planCache != nil {
+		cs.PlanCacheHits, cs.PlanCacheMisses, cs.PlanCacheInvalidations = c.planCache.Counters()
+	}
 	return cs
 }
 
@@ -406,7 +417,7 @@ func (c *Clique) Route(ctx context.Context, msgs [][]Message, opts ...Option) (*
 		return nil, err
 	}
 	return runOp(c, ctx, cfg, func(u *execUnit) (*RouteResult, error) {
-		return u.route(ctx, cfg, msgs)
+		return u.route(ctx, cfg, msgs, c.planCache)
 	})
 }
 
@@ -418,13 +429,13 @@ func (c *Clique) routeValidated(ctx context.Context, msgs [][]Message) (*RouteRe
 		return nil, err
 	}
 	return runOp(c, ctx, c.cfg, func(u *execUnit) (*RouteResult, error) {
-		return u.route(ctx, c.cfg, msgs)
+		return u.route(ctx, c.cfg, msgs, c.planCache)
 	})
 }
 
 // route is the routing pipeline body; the caller owns the unit and has
 // validated msgs.
-func (u *execUnit) route(ctx context.Context, cfg config, msgs [][]Message) (*RouteResult, error) {
+func (u *execUnit) route(ctx context.Context, cfg config, msgs [][]Message, pc *core.PlanCache) (*RouteResult, error) {
 	inputs := u.msgIn
 	for i := 0; i < u.n; i++ {
 		if i < len(msgs) && len(msgs[i]) > 0 {
@@ -446,10 +457,48 @@ func (u *execUnit) route(ctx context.Context, cfg config, msgs [][]Message) (*Ro
 	// Under AlgorithmAuto the demand-aware planner classifies the staged
 	// instance once, centrally (the plan is a pure function of the instance,
 	// so every node dispatching on it agrees on the schedule — see
-	// internal/core/planner.go for the model-honesty note).
-	var plan core.RoutePlan
+	// internal/core/planner.go for the model-honesty note). With a plan cache
+	// the fingerprint lookup replaces re-planning: a validated hit (exact
+	// instance compare, never fingerprint trust alone) reuses the cached
+	// verdict, seeds the engine's shared-compute cache for this one run, and
+	// — for pipeline instances — replays the captured announcement schedule,
+	// skipping the schedule-establishment rounds. A miss plans as usual and
+	// captures for next time.
+	var (
+		plan     core.RoutePlan
+		fp       core.Fingerprint
+		cacheHit bool
+	)
 	if cfg.algorithm == AlgorithmAuto {
-		plan = core.PlanRoute(u.n, inputs)
+		if pc != nil {
+			var hit *core.RouteHit
+			fp, hit = pc.LookupRoute(u.n, inputs)
+			if hit != nil {
+				cacheHit = true
+				plan = hit.Plan
+				plan.Sched = hit.Sched
+				if hit.Shared.Len() > 0 {
+					u.nw.ArmSharedSeed(hit.Shared)
+					// Disarm on every exit: a seed the run consumed is gone
+					// already, and one that never ran (the run failed before
+					// starting) must not leak into another caller's operation.
+					defer u.nw.ArmSharedSeed(clique.SharedSnapshot{})
+				}
+			}
+		}
+		if !cacheHit {
+			plan = core.PlanRoute(u.n, inputs)
+			if pc != nil && plan.Strategy == core.StrategyPipeline {
+				plan.Capture = core.NewRouteScheduleCapture(u.n)
+			}
+		}
+		if pc != nil || cfg.census {
+			plan.Census = true
+			if pc != nil {
+				plan.CensusHasFP = true
+				plan.CensusFP = fp.Hash
+			}
+		}
 	}
 
 	outputs := u.msgOut
@@ -480,6 +529,12 @@ func (u *execUnit) route(ctx context.Context, cfg config, msgs [][]Message) (*Ro
 	})
 	if runErr != nil {
 		return nil, runErr
+	}
+	if pc != nil && cfg.algorithm == AlgorithmAuto && !cacheHit {
+		// Only a fully successful run is stored: the captured schedule (if
+		// any) is complete, and the shared-compute snapshot holds exactly the
+		// colorings and balance plans this instance established.
+		pc.StoreRoute(fp, u.n, inputs, plan, plan.Capture, u.nw.CaptureShared())
 	}
 
 	res := &RouteResult{Delivered: make([][]Message, u.n), Strategy: strategyFromCore(plan.Strategy), Stats: statsFromMetrics(u.nw.Metrics())}
@@ -521,7 +576,7 @@ func (c *Clique) Sort(ctx context.Context, values [][]int64, opts ...Option) (*S
 		return nil, err
 	}
 	return runOp(c, ctx, cfg, func(u *execUnit) (*SortResult, error) {
-		return u.sortStaged(ctx, cfg, u.stageValues(values))
+		return u.sortStaged(ctx, cfg, u.stageValues(values), c.planCache)
 	})
 }
 
@@ -542,7 +597,7 @@ func (c *Clique) SortKeys(ctx context.Context, keys [][]Key, opts ...Option) (*S
 		return nil, err
 	}
 	return runOp(c, ctx, cfg, func(u *execUnit) (*SortResult, error) {
-		return u.sortKeys(ctx, cfg, keys)
+		return u.sortKeys(ctx, cfg, keys, c.planCache)
 	})
 }
 
@@ -556,7 +611,7 @@ func (c *Clique) sortKeysValidated(ctx context.Context, keys [][]Key) (*SortResu
 		return nil, err
 	}
 	return runOp(c, ctx, c.cfg, func(u *execUnit) (*SortResult, error) {
-		return u.sortKeys(ctx, c.cfg, keys)
+		return u.sortKeys(ctx, c.cfg, keys, c.planCache)
 	})
 }
 
@@ -571,7 +626,7 @@ func rejectNaiveDirectSort(cfg config) error {
 
 // sortKeys is the key-sorting pipeline body; the caller owns the unit and
 // has validated keys.
-func (u *execUnit) sortKeys(ctx context.Context, cfg config, keys [][]Key) (*SortResult, error) {
+func (u *execUnit) sortKeys(ctx context.Context, cfg config, keys [][]Key, pc *core.PlanCache) (*SortResult, error) {
 	inputs := u.keyIn
 	for i := 0; i < u.n; i++ {
 		if i < len(keys) && len(keys[i]) > 0 {
@@ -589,12 +644,12 @@ func (u *execUnit) sortKeys(ctx context.Context, cfg config, keys [][]Key) (*Sor
 			inputs[i] = inputs[i][:0]
 		}
 	}
-	return u.sortStaged(ctx, cfg, inputs)
+	return u.sortStaged(ctx, cfg, inputs, pc)
 }
 
 // sortStaged runs the sorting pipeline on inputs already staged as core keys
 // (the caller owns the unit).
-func (u *execUnit) sortStaged(ctx context.Context, cfg config, inputs [][]core.Key) (*SortResult, error) {
+func (u *execUnit) sortStaged(ctx context.Context, cfg config, inputs [][]core.Key, pc *core.PlanCache) (*SortResult, error) {
 	if u.sortOut == nil {
 		u.sortOut = make([]*core.SortResult, u.n)
 	}
@@ -603,10 +658,41 @@ func (u *execUnit) sortStaged(ctx context.Context, cfg config, inputs [][]core.K
 	// Under AlgorithmAuto the sorting planner classifies the staged instance
 	// once, centrally (the plan is a pure function of the instance, so every
 	// node dispatching on it agrees on the schedule — see
-	// internal/core/planner_sort.go for the model-honesty note).
-	var plan core.SortPlan
+	// internal/core/planner_sort.go for the model-honesty note). The plan
+	// cache stores the verdict plus the shared-compute snapshot; instances
+	// with non-canonical Origin/Seq labels (possible via SortKeys) bypass the
+	// cache entirely, since the fingerprint only covers values.
+	var (
+		plan      core.SortPlan
+		fp        core.Fingerprint
+		cacheable bool
+		cacheHit  bool
+	)
 	if cfg.algorithm == AlgorithmAuto {
-		plan = core.PlanSort(u.n, inputs)
+		if pc != nil {
+			var hit *core.SortHit
+			fp, hit, cacheable = pc.LookupSort(u.n, inputs)
+			if hit != nil {
+				cacheHit = true
+				plan = hit.Plan
+				if hit.Shared.Len() > 0 {
+					u.nw.ArmSharedSeed(hit.Shared)
+					// Disarm on every exit (see route): a seed that never ran
+					// must not leak into another caller's operation.
+					defer u.nw.ArmSharedSeed(clique.SharedSnapshot{})
+				}
+			}
+		}
+		if !cacheHit {
+			plan = core.PlanSort(u.n, inputs)
+		}
+		if pc != nil || cfg.census {
+			plan.Census = true
+			if pc != nil && cacheable {
+				plan.CensusHasFP = true
+				plan.CensusFP = fp.Hash
+			}
+		}
 	}
 
 	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
@@ -632,6 +718,9 @@ func (u *execUnit) sortStaged(ctx context.Context, cfg config, inputs [][]core.K
 	})
 	if runErr != nil {
 		return nil, runErr
+	}
+	if pc != nil && cfg.algorithm == AlgorithmAuto && cacheable && !cacheHit {
+		pc.StoreSort(fp, u.n, inputs, plan, u.nw.CaptureShared())
 	}
 
 	out := &SortResult{
