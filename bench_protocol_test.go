@@ -303,6 +303,69 @@ func BenchmarkSortCachedHit(b *testing.B) {
 	}
 }
 
+// BenchmarkSparseRoute measures the sparse demand path end to end: the
+// O(n)-message frontier instance (workload.ScaleSparseRoute) issued
+// repeatedly on one long-lived WithSparsePath handle, planned by
+// AlgorithmAuto and executed by the step executors. cmd/benchguard holds
+// allocs/op to the committed baseline, so a dense O(n²) structure creeping
+// back into the sparse pipeline is caught at small n long before the
+// frontier guard would see it at n=16384.
+func BenchmarkSparseRoute(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{64, 256} {
+		ri, err := workload.ScaleSparseRoute(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs := instanceMessages(ri)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cl, err := New(n, WithSparsePath())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cl.Route(ctx, msgs, WithAlgorithm(AlgorithmAuto))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Strategy != StrategyDirect {
+					b.Fatalf("strategy %v, want direct", res.Strategy)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSparseSort is BenchmarkSparseRoute for the sorting pipeline: the
+// presorted O(n)-key frontier instance on the sparse step executors.
+func BenchmarkSparseSort(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{64, 256} {
+		values := workload.ScalePresortedValues(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cl, err := New(n, WithSparsePath())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cl.Sort(ctx, values, WithAlgorithm(AlgorithmAuto))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Strategy != SortStrategyPresorted {
+					b.Fatalf("strategy %v, want presorted", res.Strategy)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSortWatchdog is BenchmarkRouteWatchdog for the sorting pipeline.
 func BenchmarkSortWatchdog(b *testing.B) {
 	ctx := context.Background()

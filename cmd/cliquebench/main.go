@@ -50,12 +50,17 @@ func run() error {
 		jsonPath     = flag.String("json", "", "also write all tables to this file as JSON")
 		protocolJSON = flag.String("protocol-json", "", "run the end-to-end Route/Sort protocol benchmarks and write them to this file (skips the experiment tables)")
 		protocolMaxN = flag.Int("protocol-max-n", 1024, "largest clique size for -protocol-json")
+		scalingJSON  = flag.String("scaling-json", "", "run the sparse scale-out frontier curve and merge its scaling section into this file (skips the experiment tables)")
+		scalingMaxN  = flag.Int("scaling-max-n", 16384, "largest clique size for -scaling-json")
 	)
 	flag.BoolVar(&markdown, "markdown", false, "emit markdown tables")
 	flag.Parse()
 
 	if *protocolJSON != "" {
 		return runProtocolBench(*protocolJSON, *protocolMaxN)
+	}
+	if *scalingJSON != "" {
+		return runScalingBench(*scalingJSON, *scalingMaxN)
 	}
 
 	sizes := []int{16, 25, 49, 64, 100, 144, 196, 256, 324, 400, 529, 625, 784, 1024}

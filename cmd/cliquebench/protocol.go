@@ -193,9 +193,13 @@ func runProtocolBench(path string, maxN int) error {
 		Measured:     measured,
 		SessionReuse: reuse,
 		Concurrency:  conc,
-		// The scenarios section is owned by cmd/cliquescen; regenerating the
-		// protocol sections must not destroy it.
+		// The scenarios, service, temporal and scaling sections are owned by
+		// other writers (cmd/cliquescen, cmd/cliqued, -scaling-json);
+		// regenerating the protocol sections must not destroy them.
 		Scenarios:           prev.Scenarios,
+		Service:             prev.Service,
+		Temporal:            prev.Temporal,
+		Scaling:             prev.Scaling,
 		PreRefactorBaseline: protocolBaseline,
 	}
 	return experiments.WriteProtocolDoc(path, doc)

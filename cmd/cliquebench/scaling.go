@@ -1,0 +1,211 @@
+package main
+
+// The scale-out frontier curve (cliquebench -scaling-json): full Route and
+// Sort protocol runs on the sparse demand path at n up to 16384, recording
+// wall time, allocation figures, process peak RSS and the model cost (rounds,
+// total words) per point. At every size where the dense scheduler is still
+// affordable the sparse output is cross-checked element by element against
+// it, so the curve doubles as a correctness pin. Results merge into the
+// scaling section of BENCH_protocol.json by (op, n), preserving every other
+// section of the document.
+
+import (
+	"fmt"
+	"reflect"
+
+	cc "congestedclique"
+
+	"congestedclique/internal/experiments"
+	"congestedclique/internal/workload"
+)
+
+// scalingSizes is the frontier's n axis; points above -scaling-max-n are
+// skipped. Sizes run ascending so the recorded VmHWM reads as "peak RSS
+// after completing size n".
+var scalingSizes = []int{256, 1024, 4096, 16384}
+
+// denseCrossCheckMaxN bounds the sizes where the dense scheduler (O(n²)
+// demand matrix) is run alongside the sparse path for verification.
+const denseCrossCheckMaxN = 1024
+
+// scalingMessages converts a workload routing instance to the public message
+// type.
+func scalingMessages(ri *workload.RoutingInstance) [][]cc.Message {
+	msgs := make([][]cc.Message, ri.N)
+	for i, row := range ri.Msgs {
+		msgs[i] = make([]cc.Message, len(row))
+		for j, m := range row {
+			msgs[i][j] = cc.Message{Src: m.Src, Dst: m.Dst, Seq: m.Seq, Payload: int64(m.Payload)}
+		}
+	}
+	return msgs
+}
+
+// scalingOp is one measured operation of the curve: a routing demand or a
+// sorting input at one size.
+type scalingOp struct {
+	op     string
+	route  [][]cc.Message
+	values [][]int64
+}
+
+// scalingOps builds the three frontier workloads at size n: the ~2n-message
+// direct-strategy route, the one-to-many broadcast-strategy route and the
+// presorted-strategy sort (workload.Scale* builders).
+func scalingOps(n int) ([]scalingOp, error) {
+	ri, err := workload.ScaleSparseRoute(n, 1)
+	if err != nil {
+		return nil, err
+	}
+	bi, err := workload.ScaleBroadcastRoute(n)
+	if err != nil {
+		return nil, err
+	}
+	return []scalingOp{
+		{op: "route-sparse", route: scalingMessages(ri)},
+		{op: "route-broadcast", route: scalingMessages(bi)},
+		{op: "sort-presorted", values: workload.ScalePresortedValues(n)},
+	}, nil
+}
+
+// rowsEqual compares per-node output rows, treating absent and empty rows as
+// equal (the dense and sparse schedulers may differ in which they produce
+// for inactive nodes).
+func rowsEqual[T any](a, b [][]T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) == 0 && len(b[i]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// measureScaling runs one frontier point: a verification/warm-up pass (with
+// the dense cross-check when n allows it) followed by iters timed runs
+// through the shared measurement helper.
+func measureScaling(n, iters int, o scalingOp) (experiments.ScalingBench, error) {
+	sparseOpts := []cc.Option{cc.WithAlgorithm(cc.AlgorithmAuto), cc.WithSparsePath()}
+	var strategy string
+	var stats cc.Stats
+	verified := false
+
+	// Warm-up pass doubling as the correctness pin.
+	if o.route != nil {
+		sres, err := cc.Route(n, o.route, sparseOpts...)
+		if err != nil {
+			return experiments.ScalingBench{}, err
+		}
+		strategy, stats = sres.Strategy.String(), sres.Stats
+		if n <= denseCrossCheckMaxN {
+			dres, err := cc.Route(n, o.route, cc.WithAlgorithm(cc.AlgorithmAuto))
+			if err != nil {
+				return experiments.ScalingBench{}, fmt.Errorf("dense cross-check: %w", err)
+			}
+			if sres.Strategy != dres.Strategy || sres.Stats != dres.Stats || !rowsEqual(sres.Delivered, dres.Delivered) {
+				return experiments.ScalingBench{}, fmt.Errorf("sparse path diverges from dense scheduler (%s n=%d)", o.op, n)
+			}
+			verified = true
+		}
+	} else {
+		sres, err := cc.Sort(n, o.values, sparseOpts...)
+		if err != nil {
+			return experiments.ScalingBench{}, err
+		}
+		strategy, stats = sres.Strategy.String(), sres.Stats
+		if n <= denseCrossCheckMaxN {
+			dres, err := cc.Sort(n, o.values, cc.WithAlgorithm(cc.AlgorithmAuto))
+			if err != nil {
+				return experiments.ScalingBench{}, fmt.Errorf("dense cross-check: %w", err)
+			}
+			if sres.Strategy != dres.Strategy || sres.Stats != dres.Stats || sres.Total != dres.Total ||
+				!reflect.DeepEqual(sres.Starts, dres.Starts) || !rowsEqual(sres.Batches, dres.Batches) {
+				return experiments.ScalingBench{}, fmt.Errorf("sparse path diverges from dense scheduler (%s n=%d)", o.op, n)
+			}
+			verified = true
+		}
+	}
+
+	m, err := experiments.MeasureOp(iters, func() error {
+		if o.route != nil {
+			_, opErr := cc.Route(n, o.route, sparseOpts...)
+			return opErr
+		}
+		_, opErr := cc.Sort(n, o.values, sparseOpts...)
+		return opErr
+	})
+	if err != nil {
+		return experiments.ScalingBench{}, err
+	}
+	return experiments.ScalingBench{
+		Op:            o.op,
+		N:             n,
+		Strategy:      strategy,
+		Rounds:        stats.Rounds,
+		TotalMessages: stats.TotalMessages,
+		TotalWords:    stats.TotalWords,
+		Iterations:    iters,
+		NsPerOp:       m.NsPerOp,
+		AllocsPerOp:   m.AllocsPerOp,
+		BytesPerOp:    m.BytesPerOp,
+		PeakRSSBytes:  experiments.PeakRSSBytes(),
+		Verified:      verified,
+	}, nil
+}
+
+// runScalingBench measures the scale-out frontier at every size up to maxN
+// and merges the resulting curve into the scaling section of the document at
+// path, leaving the other sections untouched.
+func runScalingBench(path string, maxN int) error {
+	prev, err := experiments.ReadProtocolDoc(path)
+	if err != nil {
+		return err
+	}
+	if prev.Tool == "" { // fresh document (standalone artifact runs)
+		prev.Tool = "cliquebench -scaling-json"
+		prev.Schema = "congestedclique/bench-protocol/v1"
+	}
+	sec := prev.Scaling
+	if sec == nil {
+		sec = &experiments.ScalingSection{}
+	}
+	sec.Tool = "cliquebench -scaling-json"
+	sec.Schema = "congestedclique/bench-scaling/v1"
+	sec.Note = "full sparse-path protocol runs (AlgorithmAuto + WithSparsePath, one-shot handles) per point; " +
+		"peak_rss_bytes is the process VmHWM sampled after the point and is monotone across one invocation " +
+		"(sizes run ascending, so it reads as peak RSS after completing size n); verified means the sparse " +
+		"delivery was compared element by element against the dense scheduler on the identical instance, " +
+		"done at every n <= 1024 where the dense O(n^2) demand matrix is affordable; single-core container " +
+		"(GOMAXPROCS=1), so wall times show the simulation's sequential cost, not protocol parallelism"
+
+	for _, n := range scalingSizes {
+		if n > maxN {
+			continue
+		}
+		ops, err := scalingOps(n)
+		if err != nil {
+			return err
+		}
+		iters := 3
+		if n >= 4096 {
+			iters = 1
+		}
+		for _, o := range ops {
+			run, err := measureScaling(n, iters, o)
+			if err != nil {
+				return fmt.Errorf("%s n=%d: %w", o.op, n, err)
+			}
+			sec.MergeScalingRun(run)
+			fmt.Printf("scaling %-16s n=%-6d %-10s rounds=%-2d words=%-8d %12d ns/op %10d B/op %8d allocs/op rss=%d MiB verified=%v\n",
+				run.Op, run.N, run.Strategy, run.Rounds, run.TotalWords,
+				run.NsPerOp, run.BytesPerOp, run.AllocsPerOp, run.PeakRSSBytes>>20, run.Verified)
+		}
+	}
+	prev.Scaling = sec
+	return experiments.WriteProtocolDoc(path, prev)
+}

@@ -63,12 +63,39 @@ func runChaos(n int, names string, markdown bool) (string, error) {
 		return "", fmt.Errorf("fault-free sort golden: %w", err)
 	}
 
+	// Sparse scenarios run on the O(n) scale-out instance through the sparse
+	// step executors; their golden is the same fault-free sparse-path run.
+	ri, err := workload.ScaleSparseRoute(n, 1)
+	if err != nil {
+		return "", err
+	}
+	sparseMsgs := make([][]cc.Message, n)
+	for i, row := range ri.Msgs {
+		sparseMsgs[i] = make([]cc.Message, len(row))
+		for j, m := range row {
+			sparseMsgs[i][j] = cc.Message{Src: m.Src, Dst: m.Dst, Seq: m.Seq, Payload: int64(m.Payload)}
+		}
+	}
+	sparseCl, err := cc.New(n, cc.WithSparsePath())
+	if err != nil {
+		return "", err
+	}
+	defer sparseCl.Close()
+	goldenSparse, err := sparseCl.Route(ctx, sparseMsgs, cc.WithAlgorithm(cc.AlgorithmAuto))
+	if err != nil {
+		return "", fmt.Errorf("fault-free sparse route golden: %w", err)
+	}
+
 	var rows []chaosRow
 	for _, sc := range scenarios {
 		if err := workload.ValidateChaosScenario(sc, n); err != nil {
 			return "", err
 		}
-		row, err := runChaosScenario(ctx, cl, sc, n, msgs, values, goldenRoute, goldenSort)
+		scMsgs, scGoldenRoute := msgs, goldenRoute
+		if sc.Sparse {
+			scMsgs, scGoldenRoute = sparseMsgs, goldenSparse
+		}
+		row, err := runChaosScenario(ctx, cl, sc, n, scMsgs, values, scGoldenRoute, goldenSort)
 		if err != nil {
 			return "", fmt.Errorf("chaos scenario %s: %w", sc.Name, err)
 		}
@@ -134,15 +161,26 @@ func runChaosScenario(ctx context.Context, cl *cc.Clique, sc workload.ChaosScena
 	if err != nil {
 		return chaosRow{}, err
 	}
-	// The watchdog deadline is handle-scoped, so deadline scenarios run on
-	// their own short-lived handle instead of re-arming the shared one.
+	// The watchdog deadline and sparse path are handle-scoped, so scenarios
+	// using either run on their own short-lived handle instead of re-arming
+	// the shared one.
 	runCl := cl
-	if sc.Deadline > 0 {
-		runCl, err = cc.New(n, cc.WithRoundDeadline(sc.Deadline))
+	if sc.Deadline > 0 || sc.Sparse {
+		var handleOpts []cc.Option
+		if sc.Deadline > 0 {
+			handleOpts = append(handleOpts, cc.WithRoundDeadline(sc.Deadline))
+		}
+		if sc.Sparse {
+			handleOpts = append(handleOpts, cc.WithSparsePath())
+		}
+		runCl, err = cc.New(n, handleOpts...)
 		if err != nil {
 			return chaosRow{}, err
 		}
 		defer runCl.Close()
+	}
+	if sc.Sparse {
+		opts = append(opts, cc.WithAlgorithm(cc.AlgorithmAuto))
 	}
 
 	var routeRes *cc.RouteResult

@@ -67,17 +67,20 @@ type Fault struct {
 }
 
 // FaultPlan is a per-run schedule of deterministic faults. A plan is armed on
-// a Network with SetFaultPlan and consumed by the next blocking run
-// (Run/RunContext); it never carries over to later runs, which is what lets a
-// session-level retry re-run the same operation fault-free on the same
-// engine. Because every fault fires at an exact (node, round) coordinate of a
-// deterministic execution, chaos runs replay bit-identically: the same plan
-// on the same instance produces the same error, and a plan whose faults are
-// all absorbed (stalls shorter than the round deadline) produces results
-// bit-identical to a fault-free run.
+// a Network with SetFaultPlan and consumed by the next run — blocking
+// (Run/RunContext) or engine-driven (RunRounds/RunRoundsContext); it never
+// carries over to later runs, which is what lets a session-level retry re-run
+// the same operation fault-free on the same engine. Because every fault fires
+// at an exact (node, round) coordinate of a deterministic execution, chaos
+// runs replay bit-identically: the same plan on the same instance produces
+// the same error, and a plan whose faults are all absorbed (stalls shorter
+// than the round deadline) produces results bit-identical to a fault-free
+// run.
 //
-// Plans apply to the blocking scheduler only; RunRounds drives the barrier
-// itself and ignores them.
+// On the engine-driven scheduler the coordinates keep their meaning: a panic
+// fault departs the node before its step of the chosen round runs, a stall
+// delays the node's step, and a cancellation lands at the round's turn-over
+// before delivery.
 type FaultPlan struct {
 	Faults []Fault
 }
@@ -156,11 +159,11 @@ func (p *FaultPlan) hasStall() bool {
 	return false
 }
 
-// SetFaultPlan arms plan for this Network's next blocking run. The plan is
-// consumed by that run and cleared: later runs on the same Network execute
-// fault-free unless a new plan is armed. Passing nil (or an empty plan)
-// disarms. SetFaultPlan must be called by the same goroutine that starts the
-// run, between runs.
+// SetFaultPlan arms plan for this Network's next run (blocking or
+// engine-driven). The plan is consumed by that run and cleared: later runs on
+// the same Network execute fault-free unless a new plan is armed. Passing nil
+// (or an empty plan) disarms. SetFaultPlan must be called by the same
+// goroutine that starts the run, between runs.
 func (nw *Network) SetFaultPlan(p *FaultPlan) {
 	if p != nil && len(p.Faults) == 0 {
 		p = nil

@@ -196,6 +196,166 @@ func TestInjectedCancelAtTurnOver(t *testing.T) {
 	runChaosGolden(t, nw, n, rounds)
 }
 
+// chaosStepProgram is chaosProgram for the engine-driven scheduler: the same
+// rolling-checksum relay, expressed as a StepFunc. Sends of round r arrive in
+// the inbox of round r+1, so the final accumulation happens in round `rounds`
+// with no sends — producing checksums identical to the blocking program's.
+func chaosStepProgram(rounds int, sums []int64) StepFunc {
+	accs := make([]int64, len(sums))
+	return func(nd *Node, round int, inbox Inbox) (bool, error) {
+		id := nd.ID()
+		if round == 0 {
+			accs[id] = int64(id + 1)
+		}
+		for from := 0; from < len(inbox); from++ {
+			for _, p := range inbox[from] {
+				accs[id] += int64(from+1) * int64(p[0])
+			}
+		}
+		if round == rounds {
+			sums[id] = accs[id]
+			return true, nil
+		}
+		nd.Send((id+round+1)%nd.N(), Packet{Word(accs[id])})
+		return false, nil
+	}
+}
+
+func runStepChaosGolden(t *testing.T, nw *Network, n, rounds int) []int64 {
+	t.Helper()
+	sums := make([]int64, n)
+	if err := nw.RunRounds(chaosStepProgram(rounds, sums)); err != nil {
+		t.Fatalf("fault-free step run failed: %v", err)
+	}
+	return sums
+}
+
+func TestRunRoundsInjectedPanic(t *testing.T) {
+	const n, rounds = 8, 5
+	nw, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	var msgs []string
+	for i := 0; i < 3; i++ {
+		nw.SetFaultPlan(&FaultPlan{Faults: []Fault{{Kind: FaultPanic, Node: 3, Round: 2}}})
+		sums := make([]int64, n)
+		err := nw.RunRounds(chaosStepProgram(rounds, sums))
+		if err == nil {
+			t.Fatal("injected panic did not fail the step run")
+		}
+		if !errors.Is(err, ErrFaultInjected) {
+			t.Fatalf("error does not wrap ErrFaultInjected: %v", err)
+		}
+		for _, want := range []string{"node 3", "round 2"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("error %q does not name %q", err, want)
+			}
+		}
+		msgs = append(msgs, err.Error())
+	}
+	for _, m := range msgs[1:] {
+		if m != msgs[0] {
+			t.Fatalf("injected step panic not deterministic: %q vs %q", msgs[0], m)
+		}
+	}
+
+	// The plan was consumed: later step runs are fault-free and bit-identical.
+	golden := runStepChaosGolden(t, nw, n, rounds)
+	again := runStepChaosGolden(t, nw, n, rounds)
+	for i := range golden {
+		if golden[i] != again[i] {
+			t.Fatalf("node %d: fault-free step replay diverged: %d vs %d", i, golden[i], again[i])
+		}
+	}
+}
+
+func TestRunRoundsStallAbsorbed(t *testing.T) {
+	const n, rounds = 6, 4
+	nw, err := New(n, WithRoundDeadline(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	golden := runStepChaosGolden(t, nw, n, rounds)
+	nw.SetFaultPlan(&FaultPlan{Faults: []Fault{{Kind: FaultStall, Node: 2, Round: 1, Stall: 20 * time.Millisecond}}})
+	sums := make([]int64, n)
+	if err := nw.RunRounds(chaosStepProgram(rounds, sums)); err != nil {
+		t.Fatalf("stalled step run failed: %v", err)
+	}
+	for i := range golden {
+		if sums[i] != golden[i] {
+			t.Fatalf("node %d: stalled step run diverged from golden: %d vs %d", i, sums[i], golden[i])
+		}
+	}
+}
+
+func TestRunRoundsWatchdogFailsLongStall(t *testing.T) {
+	const n, rounds = 6, 4
+	nw, err := New(n, WithRoundDeadline(40*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	nw.SetFaultPlan(&FaultPlan{Faults: []Fault{{Kind: FaultStall, Node: 4, Round: 1, Stall: 30 * time.Second}}})
+	sums := make([]int64, n)
+	start := time.Now()
+	err = nw.RunRounds(chaosStepProgram(rounds, sums))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("watchdog did not fail the stalled step run")
+	}
+	if !errors.Is(err, ErrRoundDeadline) {
+		t.Fatalf("error does not wrap ErrRoundDeadline: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("stalled step run took %v; the watchdog fire did not interrupt the stall", elapsed)
+	}
+
+	// Engine stays usable and deterministic after the failure.
+	golden := runStepChaosGolden(t, nw, n, rounds)
+	again := runStepChaosGolden(t, nw, n, rounds)
+	for i := range golden {
+		if golden[i] != again[i] {
+			t.Fatalf("node %d: post-failure step replay diverged", i)
+		}
+	}
+}
+
+func TestRunRoundsInjectedCancel(t *testing.T) {
+	const n, rounds = 8, 5
+	nw, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	var msgs []string
+	for i := 0; i < 2; i++ {
+		nw.SetFaultPlan(&FaultPlan{Faults: []Fault{{Kind: FaultCancel, Round: 1}}})
+		sums := make([]int64, n)
+		err := nw.RunRounds(chaosStepProgram(rounds, sums))
+		if err == nil {
+			t.Fatal("injected cancellation did not fail the step run")
+		}
+		if !errors.Is(err, ErrFaultInjected) {
+			t.Fatalf("error does not wrap ErrFaultInjected: %v", err)
+		}
+		if !strings.Contains(err.Error(), "round 1 turn-over") {
+			t.Fatalf("error %q does not name the turn-over round", err)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Fatalf("injected step cancellation not deterministic: %q vs %q", msgs[0], msgs[1])
+	}
+	runStepChaosGolden(t, nw, n, rounds)
+}
+
 func TestFaultPlanValidate(t *testing.T) {
 	cases := []struct {
 		fault Fault

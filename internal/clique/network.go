@@ -822,6 +822,7 @@ func (nw *Network) RunRoundsContext(ctx context.Context, step StepFunc) error {
 	}
 	errs := make([]error, nw.n)
 	nw.segs = make([][]inboxSeg, nw.n) // switches delivery to segment mode
+	watching := nw.startWatchdogRun()
 
 	type ack struct {
 		left   int
@@ -845,6 +846,25 @@ func (nw *Network) RunRoundsContext(ctx context.Context, step StepFunc) error {
 					nd := nodes[id]
 					if nd.departed {
 						continue
+					}
+					if f := nw.faults.at(id, round); f != nil {
+						switch f.Kind {
+						case FaultPanic:
+							// The injected crash surfaces exactly like a panic
+							// inside step would: the node departs with the
+							// fault-coordinate error and the round is never
+							// delivered.
+							errs[id] = nodePanicError(id, &injectedPanic{node: id, round: round})
+							nw.setFailure(errs[id])
+							a.failed = true
+							nd.departed = true
+							nw.departed[id] = true
+							nw.noteArrival(id, 0, true)
+							a.left++
+							continue
+						case FaultStall:
+							nw.stallNode(f.Stall)
+						}
 					}
 					var inbox Inbox
 					if segs := nw.segs[id]; len(segs) > 0 {
@@ -878,7 +898,10 @@ func (nw *Network) RunRoundsContext(ctx context.Context, step StepFunc) error {
 					if done {
 						nd.departed = true
 						nw.departed[id] = true
+						nw.noteArrival(id, 0, true)
 						a.left++
+					} else {
+						nw.noteArrival(id, round, false)
 					}
 				}
 				acks <- a
@@ -909,6 +932,12 @@ func (nw *Network) RunRoundsContext(ctx context.Context, step StepFunc) error {
 			// to deliver or account.
 			break
 		}
+		if nw.faults.cancelAt(round) {
+			// The injected cancellation lands at the exact turn-over, before
+			// delivery — the same coordinate the blocking barrier uses.
+			nw.setFailure(fmt.Errorf("clique: run cancelled at round %d turn-over: %w", round, ErrFaultInjected))
+			break
+		}
 		nw.deliverRound()
 		if nw.fail.Load() != nil {
 			break
@@ -918,6 +947,9 @@ func (nw *Network) RunRoundsContext(ctx context.Context, step StepFunc) error {
 		close(ch)
 	}
 	workers.Wait()
+	if watching {
+		nw.stopWatchdogRun()
+	}
 
 	nw.stepsMu.Lock()
 	for _, nd := range nodes {

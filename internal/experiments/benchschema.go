@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -225,6 +227,81 @@ func (s *TemporalSection) MergeTemporalRun(run TemporalBench) {
 	s.Entries = append(s.Entries, run)
 }
 
+// ScalingBench is one point of the scale-out frontier curve: a full
+// protocol run (sparse demand, AlgorithmAuto, WithSparsePath) at one clique
+// size, with wall time, allocation figures and the process peak RSS recorded
+// alongside the model cost.
+type ScalingBench struct {
+	// Op names the measured operation: route-sparse, route-broadcast or
+	// sort-presorted.
+	Op string `json:"op"`
+	N  int    `json:"n"`
+	// Strategy is the planner verdict the run executed under.
+	Strategy      string `json:"strategy"`
+	Rounds        int    `json:"rounds"`
+	TotalMessages int64  `json:"total_messages"`
+	TotalWords    int64  `json:"total_words"`
+	Iterations    int    `json:"iterations"`
+	NsPerOp       int64  `json:"ns_per_op"`
+	AllocsPerOp   int64  `json:"allocs_per_op"`
+	BytesPerOp    int64  `json:"bytes_per_op"`
+	// PeakRSSBytes is the process high-water resident set (VmHWM) sampled
+	// right after this point's runs. It is monotone across the whole
+	// invocation, so with sizes measured in ascending order it reads as
+	// "peak RSS after completing size n".
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+	// Verified reports that the sparse-path delivery was compared element by
+	// element against the dense scheduler on the identical instance (done at
+	// every n where the dense path is affordable, n <= 1024).
+	Verified bool `json:"verified"`
+}
+
+// ScalingSection is the scaling block of BENCH_protocol.json, written by
+// cmd/cliquebench -scaling-json. Rows merge by (op, n) so the curve can be
+// extended one size at a time.
+type ScalingSection struct {
+	Tool    string         `json:"tool"`
+	Schema  string         `json:"schema"`
+	Note    string         `json:"note"`
+	Entries []ScalingBench `json:"entries"`
+}
+
+// MergeScalingRun replaces the row with the same (op, n) key or appends a
+// new one, keeping regeneration idempotent.
+func (s *ScalingSection) MergeScalingRun(run ScalingBench) {
+	for i, r := range s.Entries {
+		if r.Op == run.Op && r.N == run.N {
+			s.Entries[i] = run
+			return
+		}
+	}
+	s.Entries = append(s.Entries, run)
+}
+
+// PeakRSSBytes returns the process's peak resident set size (VmHWM) in
+// bytes, or 0 when the platform does not expose /proc/self/status.
+func PeakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
 // ProtocolDoc is the schema of BENCH_protocol.json.
 type ProtocolDoc struct {
 	Tool     string          `json:"tool"`
@@ -251,6 +328,10 @@ type ProtocolDoc struct {
 	// sequences (see TemporalSection); owned by cmd/cliquescen -temporal and
 	// preserved by the other writers.
 	Temporal *TemporalSection `json:"temporal,omitempty"`
+	// Scaling records the sparse scale-out frontier curve (see
+	// ScalingSection); owned by cmd/cliquebench -scaling-json and preserved
+	// by the other writers.
+	Scaling *ScalingSection `json:"scaling,omitempty"`
 	// PreRefactorBaseline is the recorded per-parcel implementation the
 	// flat-frame layer is compared against.
 	PreRefactorBaseline []ProtocolBench `json:"pre_refactor_baseline"`

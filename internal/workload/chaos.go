@@ -33,6 +33,11 @@ type ChaosScenario struct {
 	Description string
 	// Op selects the session operation under test.
 	Op ChaosOp
+	// Sparse runs the operation on the sparse scale-out instance
+	// (ScaleSparseRoute) under WithSparsePath + AlgorithmAuto instead of the
+	// uniform full-load workload, so the catalog also exercises the
+	// engine-driven step executors' fault paths.
+	Sparse bool
 	// Deadline, when positive, arms the round watchdog (WithRoundDeadline)
 	// for every attempt of the run.
 	Deadline time.Duration
@@ -103,6 +108,28 @@ func ChaosScenarios() []ChaosScenario {
 				return []clique.Fault{{Kind: clique.FaultStall, Node: 1, Round: 1, Stall: 30 * time.Second}}
 			},
 			WantError: clique.ErrRoundDeadline,
+		},
+		{
+			Name:        "sparse-panic-retry",
+			Description: "node n/4 panics at round 1 of a sparse-path route (step scheduler); one retry re-runs the op fault-free and must reproduce the golden delivery",
+			Op:          ChaosRoute,
+			Sparse:      true,
+			Retries:     1,
+			Faults: func(n int) []clique.Fault {
+				return []clique.Fault{{Kind: clique.FaultPanic, Node: n / 4, Round: 1}}
+			},
+			WantRecover: true,
+		},
+		{
+			Name:        "sparse-straggler-absorbed",
+			Description: "node n/2 stalls 5ms at round 0 of a sparse-path route under a 5s watchdog; the step scheduler absorbs the stall and the delivery stays bit-identical",
+			Op:          ChaosRoute,
+			Sparse:      true,
+			Deadline:    5 * time.Second,
+			Faults: func(n int) []clique.Fault {
+				return []clique.Fault{{Kind: clique.FaultStall, Node: n / 2, Round: 0, Stall: 5 * time.Millisecond}}
+			},
+			WantRecover: true,
 		},
 		{
 			Name:        "deadline-then-retry",

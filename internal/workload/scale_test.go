@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"testing"
+
+	"congestedclique/internal/core"
+)
+
+// TestScaleBuildersPlanAsIntended pins the planner classification of every
+// scale-out builder: the frontier harness relies on these shapes exercising
+// exactly the strategies they are named for, at every n.
+func TestScaleBuildersPlanAsIntended(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{64, 256, 1024} {
+		sparse, err := ScaleSparseRoute(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan := core.PlanRoute(n, sparse.Msgs); plan.Strategy != core.StrategyDirect {
+			t.Errorf("n=%d: scale-sparse classified %v (%s), want direct", n, plan.Strategy, plan.Reason)
+		}
+
+		bc, err := ScaleBroadcastRoute(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan := core.PlanRoute(n, bc.Msgs); plan.Strategy != core.StrategyBroadcast {
+			t.Errorf("n=%d: scale-broadcast classified %v (%s), want broadcast", n, plan.Strategy, plan.Reason)
+		}
+
+		under, err := BroadcastGateRoute(n, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := core.PlanRoute(n, under.Msgs)
+		if plan.Strategy != core.StrategyBroadcast {
+			t.Errorf("n=%d: gate-under classified %v (%s), want broadcast", n, plan.Strategy, plan.Reason)
+		} else if plan.RelayRounds != core.BroadcastMaxRounds-1 {
+			t.Errorf("n=%d: gate-under relay rounds %d, want %d (exactly at the cap)", n, plan.RelayRounds, core.BroadcastMaxRounds-1)
+		}
+
+		over, err := BroadcastGateRoute(n, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan := core.PlanRoute(n, over.Msgs); plan.Strategy != core.StrategyPipeline {
+			t.Errorf("n=%d: gate-over classified %v (%s), want pipeline", n, plan.Strategy, plan.Reason)
+		}
+
+		values := ScalePresortedValues(n)
+		keys := make([][]core.Key, n)
+		for i, row := range values {
+			for j, v := range row {
+				keys[i] = append(keys[i], core.Key{Value: v, Origin: i, Seq: j})
+			}
+		}
+		if plan := core.PlanSort(n, keys); plan.Strategy != core.SortStrategyPresorted {
+			t.Errorf("n=%d: scale-presorted classified %v (%s), want presorted", n, plan.Strategy, plan.Reason)
+		}
+	}
+}

@@ -468,7 +468,20 @@ func (u *execUnit) route(ctx context.Context, cfg config, msgs [][]Message, pc *
 		plan     core.RoutePlan
 		fp       core.Fingerprint
 		cacheHit bool
+		sd       *core.SparseDemand
 	)
+	if cfg.sparsePath && cfg.algorithm == AlgorithmAuto && u.n > 1 {
+		// Sparse scale-out path (WithSparsePath): the instance is held as a
+		// per-source adjacency and — when the plan's strategy has a step-mode
+		// executor — run on the worker-pool scheduler, so no per-node dense
+		// buffer or goroutine stack exists. Wire behaviour, results and stats
+		// are bit-identical to the blocking path.
+		var sdErr error
+		sd, sdErr = core.NewSparseDemand(u.n, inputs)
+		if sdErr != nil {
+			return nil, sdErr
+		}
+	}
 	if cfg.algorithm == AlgorithmAuto {
 		if pc != nil {
 			var hit *core.RouteHit
@@ -487,7 +500,11 @@ func (u *execUnit) route(ctx context.Context, cfg config, msgs [][]Message, pc *
 			}
 		}
 		if !cacheHit {
-			plan = core.PlanRoute(u.n, inputs)
+			if sd != nil {
+				plan = core.PlanRouteSparse(sd)
+			} else {
+				plan = core.PlanRoute(u.n, inputs)
+			}
 			if pc != nil && plan.Strategy == core.StrategyPipeline {
 				plan.Capture = core.NewRouteScheduleCapture(u.n)
 			}
@@ -502,31 +519,45 @@ func (u *execUnit) route(ctx context.Context, cfg config, msgs [][]Message, pc *
 	}
 
 	outputs := u.msgOut
-	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
-		var (
-			out  []core.Message
-			rErr error
-		)
-		switch cfg.algorithm {
-		case Deterministic:
-			out, rErr = core.Route(nd, inputs[nd.ID()])
-		case LowCompute:
-			out, rErr = core.LowComputeRoute(nd, inputs[nd.ID()])
-		case Randomized:
-			out, rErr = baseline.RandomizedRoute(nd, inputs[nd.ID()], cfg.seed)
-		case NaiveDirect:
-			out, rErr = baseline.NaiveDirectRoute(nd, inputs[nd.ID()])
-		case AlgorithmAuto:
-			out, rErr = core.AutoRoute(nd, inputs[nd.ID()], plan)
-		default:
-			rErr = fmt.Errorf("congestedclique: unsupported algorithm %v", cfg.algorithm)
+	var runErr error
+	if sd != nil && core.SparseStepCapable(plan.Strategy) {
+		run, buildErr := core.NewSparseRouteRun(sd, plan)
+		if buildErr != nil {
+			return nil, buildErr
 		}
-		if rErr != nil {
-			return rErr
+		runErr = u.nw.RunRoundsContext(ctx, run.Step)
+		if runErr == nil {
+			for i := 0; i < u.n; i++ {
+				outputs[i] = run.Output(i)
+			}
 		}
-		outputs[nd.ID()] = out
-		return nil
-	})
+	} else {
+		runErr = u.nw.RunContext(ctx, func(nd *clique.Node) error {
+			var (
+				out  []core.Message
+				rErr error
+			)
+			switch cfg.algorithm {
+			case Deterministic:
+				out, rErr = core.Route(nd, inputs[nd.ID()])
+			case LowCompute:
+				out, rErr = core.LowComputeRoute(nd, inputs[nd.ID()])
+			case Randomized:
+				out, rErr = baseline.RandomizedRoute(nd, inputs[nd.ID()], cfg.seed)
+			case NaiveDirect:
+				out, rErr = baseline.NaiveDirectRoute(nd, inputs[nd.ID()])
+			case AlgorithmAuto:
+				out, rErr = core.AutoRoute(nd, inputs[nd.ID()], plan)
+			default:
+				rErr = fmt.Errorf("congestedclique: unsupported algorithm %v", cfg.algorithm)
+			}
+			if rErr != nil {
+				return rErr
+			}
+			outputs[nd.ID()] = out
+			return nil
+		})
+	}
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -695,27 +726,45 @@ func (u *execUnit) sortStaged(ctx context.Context, cfg config, inputs [][]core.K
 		}
 	}
 
-	runErr := u.nw.RunContext(ctx, func(nd *clique.Node) error {
-		var (
-			res  *core.SortResult
-			sErr error
-		)
-		switch cfg.algorithm {
-		case Deterministic, LowCompute:
-			res, sErr = core.Sort(nd, inputs[nd.ID()])
-		case AlgorithmAuto:
-			res, sErr = core.AutoSort(nd, inputs[nd.ID()], plan)
-		case Randomized:
-			res, sErr = baseline.RandomizedSampleSort(nd, inputs[nd.ID()], cfg.seed)
-		default:
-			sErr = fmt.Errorf("congestedclique: unsupported algorithm %v", cfg.algorithm)
+	var runErr error
+	if cfg.sparsePath && cfg.algorithm == AlgorithmAuto && u.n > 1 && core.SparseSortStepCapable(plan.Strategy) {
+		// Sparse scale-out path (WithSparsePath): the empty and presorted
+		// arms run as step programs on the worker-pool scheduler — same wire
+		// traffic, results and stats as the blocking path, no per-node dense
+		// comm scratch or goroutine stack.
+		run, buildErr := core.NewSparseSortRun(u.n, inputs, plan)
+		if buildErr != nil {
+			return nil, buildErr
 		}
-		if sErr != nil {
-			return sErr
+		runErr = u.nw.RunRoundsContext(ctx, run.Step)
+		if runErr == nil {
+			for i := range results {
+				results[i] = run.Result(i)
+			}
 		}
-		results[nd.ID()] = res
-		return nil
-	})
+	} else {
+		runErr = u.nw.RunContext(ctx, func(nd *clique.Node) error {
+			var (
+				res  *core.SortResult
+				sErr error
+			)
+			switch cfg.algorithm {
+			case Deterministic, LowCompute:
+				res, sErr = core.Sort(nd, inputs[nd.ID()])
+			case AlgorithmAuto:
+				res, sErr = core.AutoSort(nd, inputs[nd.ID()], plan)
+			case Randomized:
+				res, sErr = baseline.RandomizedSampleSort(nd, inputs[nd.ID()], cfg.seed)
+			default:
+				sErr = fmt.Errorf("congestedclique: unsupported algorithm %v", cfg.algorithm)
+			}
+			if sErr != nil {
+				return sErr
+			}
+			results[nd.ID()] = res
+			return nil
+		})
+	}
 	if runErr != nil {
 		return nil, runErr
 	}

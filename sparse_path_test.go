@@ -1,0 +1,168 @@
+package congestedclique
+
+// Parity pins for WithSparsePath: every operation served by the sparse
+// step-mode executors must be bit-identical — deliveries, strategy, and the
+// full Stats block — to the same operation on the dense blocking path, with
+// and without the charged census, on plan-cache hits, and on the pipeline
+// fallback where the sparse handle silently reverts to the dense scheduler.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// presortedValues builds a globally presorted [][]int64 instance: node i's
+// values are ascending and strictly below node i+1's.
+func presortedValues(n int) [][]int64 {
+	values := make([][]int64, n)
+	v := int64(0)
+	for i := 0; i < n; i++ {
+		cnt := (i*7)%5 + 1
+		if i%11 == 0 {
+			cnt = 0
+		}
+		for j := 0; j < cnt; j++ {
+			values[i] = append(values[i], v)
+			v += int64(1 + (i+j)%3)
+		}
+	}
+	return values
+}
+
+// sparsePathRouteInstances is the root-level route shape sweep: one instance
+// per sparse-served strategy plus the pipeline fallback.
+func sparsePathRouteInstances(t *testing.T, n int) map[string][][]Message {
+	t.Helper()
+	oneToMany := make([][]Message, n)
+	for j := 0; j < 6*min(n, 8); j++ {
+		oneToMany[0] = append(oneToMany[0], Message{Src: 0, Dst: 1 + j%4, Seq: j, Payload: int64(j)})
+	}
+	return map[string][][]Message{
+		"empty":     make([][]Message, n),
+		"direct":    scenarioMessages(t, "sparse", n, 1),
+		"broadcast": oneToMany,
+		"pipeline":  benchRouteWorkload(n),
+	}
+}
+
+func routeResultEqual(t *testing.T, label string, got, want *RouteResult) {
+	t.Helper()
+	if got.Strategy != want.Strategy {
+		t.Fatalf("%s: strategy %v, want %v", label, got.Strategy, want.Strategy)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("%s: stats differ:\n sparse %+v\n dense  %+v", label, got.Stats, want.Stats)
+	}
+	routeDeliveredEqual(t, label, got, want)
+}
+
+func TestSparsePathRouteBitIdentical(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{64, 256} {
+		for name, msgs := range sparsePathRouteInstances(t, n) {
+			for _, census := range []bool{false, true} {
+				label := fmt.Sprintf("n=%d/%s/census=%v", n, name, census)
+				opts := []Option{WithAlgorithm(AlgorithmAuto)}
+				if census {
+					opts = append(opts, WithChargedCensus())
+				}
+				want, err := Route(n, msgs, opts...)
+				if err != nil {
+					t.Fatalf("%s: dense: %v", label, err)
+				}
+				got, err := Route(n, msgs, append(opts, WithSparsePath())...)
+				if err != nil {
+					t.Fatalf("%s: sparse: %v", label, err)
+				}
+				routeResultEqual(t, label, got, want)
+			}
+		}
+	}
+}
+
+func TestSparsePathSortBitIdentical(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{64, 256} {
+		for _, tc := range []struct {
+			name   string
+			values [][]int64
+		}{
+			{"empty", make([][]int64, n)},
+			{"presorted", presortedValues(n)},
+			{"pipeline", benchSortWorkload(n)},
+		} {
+			for _, census := range []bool{false, true} {
+				label := fmt.Sprintf("n=%d/%s/census=%v", n, tc.name, census)
+				opts := []Option{WithAlgorithm(AlgorithmAuto)}
+				if census {
+					opts = append(opts, WithChargedCensus())
+				}
+				want, err := Sort(n, tc.values, opts...)
+				if err != nil {
+					t.Fatalf("%s: dense: %v", label, err)
+				}
+				got, err := Sort(n, tc.values, append(opts, WithSparsePath())...)
+				if err != nil {
+					t.Fatalf("%s: sparse: %v", label, err)
+				}
+				if got.Strategy != want.Strategy {
+					t.Fatalf("%s: strategy %v, want %v", label, got.Strategy, want.Strategy)
+				}
+				if got.Stats != want.Stats {
+					t.Fatalf("%s: stats differ:\n sparse %+v\n dense  %+v", label, got.Stats, want.Stats)
+				}
+				if got.Total != want.Total {
+					t.Fatalf("%s: total %d, want %d", label, got.Total, want.Total)
+				}
+				for i := 0; i < n; i++ {
+					if got.Starts[i] != want.Starts[i] {
+						t.Fatalf("%s: node %d start %d, want %d", label, i, got.Starts[i], want.Starts[i])
+					}
+					if len(got.Batches[i]) != len(want.Batches[i]) {
+						t.Fatalf("%s: node %d batch length %d, want %d", label, i, len(got.Batches[i]), len(want.Batches[i]))
+					}
+					for j := range want.Batches[i] {
+						if got.Batches[i][j] != want.Batches[i][j] {
+							t.Fatalf("%s: node %d key %d = %+v, want %+v", label, i, j, got.Batches[i][j], want.Batches[i][j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSparsePathPlanCacheHit pins the interplay of the cross-run plan cache
+// with the sparse executors: the second run of the same instance hits the
+// cache (whose plans always arm the census with a pinned fingerprint) and the
+// sparse census verify accepts it, bit-identically to the dense hit.
+func TestSparsePathPlanCacheHit(t *testing.T) {
+	t.Parallel()
+	const n = 64
+	ctx := context.Background()
+	msgs := scenarioMessages(t, "sparse", n, 1)
+
+	run := func(opts ...Option) [2]*RouteResult {
+		cl, err := New(n, append([]Option{WithPlanCache(8)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		var out [2]*RouteResult
+		for i := range out {
+			res, err := cl.Route(ctx, msgs, WithAlgorithm(AlgorithmAuto))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = res
+		}
+		return out
+	}
+
+	dense := run()
+	sparse := run(WithSparsePath())
+	for i := range dense {
+		routeResultEqual(t, fmt.Sprintf("run %d", i), sparse[i], dense[i])
+	}
+}
